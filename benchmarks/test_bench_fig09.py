@@ -1,0 +1,57 @@
+"""Benchmark E-9: Figure 9 — impact of parameters on the number of schools.
+
+Paper claims reproduced here:
+* 9(a) the average number of object schools decreases as the deviation
+  threshold ε grows, for every speed distribution;
+* 9(b) the number of schools grows sub-linearly with the population and the
+  shed ratio approaches the paper's ~90 % at the largest population;
+* 9(c) with a 10 s clustering interval the school count stays within a
+  narrow band over time.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig09_schools import run_fig09a, run_fig09b, run_fig09c
+
+
+def test_fig09a_schools_vs_epsilon(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig09a,
+        epsilons=(1.0, 5.0, 10.0, 20.0, 40.0),
+        num_objects=100,
+        duration_s=60.0,
+    )
+    print()
+    print(result.to_table())
+    for series in result.series:
+        assert series.ys[-1] < series.ys[0], (
+            f"{series.label}: #OS should fall as epsilon grows"
+        )
+
+
+def test_fig09b_schools_vs_population(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig09b,
+        object_counts=(100, 200, 400, 700, 1000),
+        duration_s=60.0,
+    )
+    print()
+    print(result.to_table())
+    schools = result.get_series("avg #OS").ys
+    shed = result.get_series("shed ratio").ys
+    # Sub-linear growth: 10x the objects yields far fewer than 10x schools.
+    assert schools[-1] < 5 * schools[0]
+    # Shedding improves with density and approaches the paper's ~90%.
+    assert shed[-1] > shed[0]
+    assert shed[-1] > 0.6
+
+
+def test_fig09c_schools_over_time(benchmark):
+    result = run_once(benchmark, run_fig09c, duration_s=120.0, num_objects=100)
+    print()
+    print(result.to_table())
+    counts = result.get_series("#OS").ys
+    settled = counts[len(counts) // 3:]
+    assert max(settled) - min(settled) <= 25

@@ -1,0 +1,44 @@
+"""Benchmark E-10: Figure 10 — per-clustering latency breakdown.
+
+Paper claims reproduced here:
+* 10(a) latency grows with the number of pre-clustering leaders and the
+  growth is dominated by read time;
+* 10(b) latency depends only weakly on the reduction ratio (the number of
+  post-clustering leaders).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10_clustering import run_fig10a, run_fig10b
+
+
+def test_fig10a_latency_vs_pre_leaders(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig10a,
+        pre_leader_counts=(500, 1000, 2000, 4000),
+        post_leaders=100,
+    )
+    print()
+    print(result.to_table(float_format="{:.4f}"))
+    totals = result.get_series("total").ys
+    reads = result.get_series("read time").ys
+    writes = result.get_series("write time").ys
+    assert totals[-1] > totals[0]
+    # Read time dominates the write time at every scale (Figure 10a).
+    assert all(read > write for read, write in zip(reads, writes))
+
+
+def test_fig10b_latency_vs_post_leaders(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig10b,
+        post_leader_counts=(50, 100, 500, 1000, 2000),
+        pre_leaders=4000,
+    )
+    print()
+    print(result.to_table(float_format="{:.4f}"))
+    totals = result.get_series("total").ys
+    # Latency has little to do with the reduction ratio: under 2.5x spread
+    # while the post-clustering leader count varies by 40x.
+    assert max(totals) < 2.5 * min(totals)

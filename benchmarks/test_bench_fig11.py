@@ -1,0 +1,36 @@
+"""Benchmark E-11: Figure 11 — NN QPS against the clustering frequency.
+
+Paper claims reproduced here:
+* both settings (A: fast leader growth, B: slow leader growth) have an
+  optimal clustering frequency whose NN QPS clearly exceeds the
+  no-clustering baseline;
+* the optimal frequency of setting A is at least as high as setting B's and
+  clustering helps setting A more.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig11_cluster_frequency import run_fig11
+
+
+def test_fig11_nn_qps_vs_clustering_frequency(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig11,
+        frequencies_hz=(0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+        initial_leaders=500,
+        total_objects=5000,
+    )
+    print()
+    print(result.to_table(float_format="{:.0f}"))
+    setting_a = result.get_series("setting A (30s growth)")
+    setting_b = result.get_series("setting B (60s growth)")
+    baseline = result.get_series("no clustering").ys[0]
+
+    assert max(setting_a.ys) > baseline
+    assert max(setting_b.ys) > baseline
+
+    best_a = setting_a.xs[setting_a.ys.index(max(setting_a.ys))]
+    best_b = setting_b.xs[setting_b.ys.index(max(setting_b.ys))]
+    # The highly dynamic setting wants clustering at least as often.
+    assert best_a >= best_b

@@ -1,0 +1,50 @@
+"""Benchmark E-12: Figure 12 — FLAG versus fixed NN search levels.
+
+Paper claims reproduced here:
+* 12(a)/(b) fixed-level NN search slows down sharply as the search range
+  grows, while FLAG adapts its level and keeps QPS roughly flat;
+* 12(c)/(d) fixed fine levels lose throughput as density grows, while FLAG
+  conserves relatively high performance by adapting the level to density.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12_flag import run_fig12_density, run_fig12_range
+
+
+def test_fig12_range(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig12_range,
+        range_limits=(20.0, 40.0, 60.0, 80.0, 100.0),
+        num_objects=5000,
+    )
+    print()
+    print(result.to_table(float_format="{:.4f}"))
+    flag = result.get_series("FLAG QPS").ys
+    fine = result.get_series("fixed level 8 (4m cells) QPS").ys
+    coarse = result.get_series("fixed level 7 (8m cells) QPS").ys
+    # FLAG dominates both fixed levels at every range.
+    assert all(f >= max(a, b) for f, a, b in zip(flag, fine, coarse))
+    # Fixed levels degrade with the range; FLAG degrades far less.
+    assert fine[-1] < fine[0]
+    assert (flag[0] / flag[-1]) < (fine[0] / fine[-1])
+
+
+def test_fig12_density(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig12_density,
+        object_counts=(1000, 10000, 50000, 100000),
+    )
+    print()
+    print(result.to_table(float_format="{:.4f}"))
+    flag = result.get_series("FLAG QPS").ys
+    fine = result.get_series("fixed level 8 (4m cells) QPS").ys
+    coarse = result.get_series("fixed level 7 (8m cells) QPS").ys
+    # FLAG stays the best option (within the small probing overhead it pays
+    # when its adapted level coincides with the best fixed level).
+    assert all(f >= 0.9 * max(a, b) for f, a, b in zip(flag, fine, coarse))
+    assert all(f >= b for f, b in zip(flag, fine))
+    # And conserves a substantial fraction of its low-density throughput.
+    assert flag[-1] / flag[0] >= 0.3

@@ -1,0 +1,72 @@
+"""Benchmark E-13: Figure 13 — update QPS of the BigTable-backed indexer.
+
+Paper claims reproduced here:
+* 13(a) a single front-end server sustains ~8k updates/s and the number is
+  nearly independent of the indexed population (the paper reports 7,875 at
+  one million objects);
+* 13(b) five servers sharing one BigTable achieve a close-to-optimal ~5x
+  speedup;
+* 13(c) ten servers reach ~60k QPS, a close-to-optimal speedup with only a
+  small loss to shared-store contention.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13_qps import (
+    measure_speedup,
+    run_fig13a,
+    run_fig13b,
+    run_fig13c,
+)
+
+
+def test_fig13a_single_server_qps(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig13a,
+        object_counts=(20000, 50000, 100000),
+        num_updates=5000,
+    )
+    print()
+    print(result.to_table(float_format="{:.1f}"))
+    qps = result.get_series("update QPS").ys
+    assert all(6000 < value < 10000 for value in qps)
+    # Nearly flat in the population size.
+    assert max(qps) < 1.2 * min(qps)
+
+
+def test_fig13b_five_servers(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig13b,
+        num_objects=50000,
+        num_updates=20000,
+        num_clients=50,
+    )
+    print()
+    print(result.to_table(float_format="{:.0f}"))
+    average = result.get_series("average QPS").ys[0]
+    assert 25000 < average < 45000  # ~4-5x a single server
+
+
+def test_fig13c_ten_servers(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig13c,
+        num_objects=50000,
+        num_updates=20000,
+        num_clients=100,
+    )
+    print()
+    print(result.to_table(float_format="{:.0f}"))
+    average = result.get_series("average QPS").ys[0]
+    assert 50000 < average < 80000  # the paper reports ~60k
+
+
+def test_fig13_speedup_summary(benchmark):
+    result = run_once(benchmark, measure_speedup, num_objects=20000, num_updates=5000)
+    print()
+    print(result.to_table(float_format="{:.2f}"))
+    speedups = result.get_series("speedup").ys
+    assert speedups[1] > 4.0   # 5 servers
+    assert speedups[2] > 7.5   # 10 servers

@@ -1,0 +1,34 @@
+"""Benchmark E-T1: the paper's headline comparison against the Bx-tree.
+
+Claims reproduced here (Sections 1 and 4):
+* the Bx-tree handles ~3k updates/s;
+* a single MOIST front-end (no schools) handles ~8k updates/s, roughly 2x;
+* object schools shed roughly 80 % of road-network updates;
+* ten servers plus schools reach an effective client-facing throughput in
+  the tens of thousands of updates per second, roughly 80x the Bx-tree.
+"""
+
+from conftest import run_once
+
+from repro.experiments.headline import run_headline
+
+
+def test_headline_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        run_headline,
+        num_objects=20000,
+        num_updates=5000,
+        shed_objects=800,
+    )
+    print()
+    print(result.to_table(float_format="{:.2f}"))
+    values = result.get_series("value").ys
+    bx_qps, single_qps, single_vs_bx, ten_qps, shed, effective, effective_vs_bx = values
+
+    assert 2000 < bx_qps < 4500          # paper: ~3k
+    assert 6500 < single_qps < 9500      # paper: 7,875
+    assert 1.5 < single_vs_bx < 4.0      # paper: ~2x
+    assert 45000 < ten_qps < 80000       # paper: ~60k storage-side
+    assert 0.6 < shed < 0.95             # paper: ~80% shed
+    assert effective_vs_bx > 40.0        # paper: ~80x overall

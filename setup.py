@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (e.g. offline boxes without the ``wheel`` package, where
+``pip install -e . --no-use-pep517 --no-build-isolation`` falls back to the
+classic ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

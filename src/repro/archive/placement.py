@@ -1,0 +1,62 @@
+"""Locality-preserving data placement (Section 3.6.1).
+
+Object ``i``'s aged data always goes to disk ``hash_d(i, loc_{i,0})`` where
+``loc_{i,0}`` is the object's *initial* location.  Two goals:
+
+* **object locality** — one object's entire history lives on one disk, so an
+  object-history query reads a single disk;
+* **spatial locality** — objects that started out nearby hash to the same
+  disk with elevated probability (the initial location contributes through
+  its coarse spatial cell), so location-based history queries also touch few
+  disks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ArchiveError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.model import ObjectId
+from repro.spatial.cell import CellId, WORLD_UNIT_BOX
+
+
+@dataclass(frozen=True)
+class PlacementHash:
+    """Deterministic object -> disk placement."""
+
+    num_disks: int
+    world: BoundingBox = WORLD_UNIT_BOX
+    #: Level of the coarse cell the initial location contributes; coarse so
+    #: that a whole neighbourhood of objects shares a disk.
+    locality_level: int = 4
+    #: Weight of the spatial component: the disk index is
+    #: ``(cell_bucket + object_bucket) % num_disks`` and this controls how
+    #: many adjacent coarse cells share one object-bucket rotation.
+    use_initial_location: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_disks <= 0:
+            raise ArchiveError("placement needs at least one disk")
+        if self.locality_level < 0:
+            raise ArchiveError("locality_level must be non-negative")
+
+    def disk_for(self, object_id: ObjectId, initial_location: Point) -> int:
+        """Disk index in ``[0, num_disks)`` for one object."""
+        object_bucket = self._stable_hash(object_id)
+        if not self.use_initial_location:
+            return object_bucket % self.num_disks
+        cell = CellId.from_point(initial_location, self.locality_level, self.world)
+        # The spatial cell picks the "home" disk of the neighbourhood and the
+        # object hash spreads a neighbourhood's objects over a small window
+        # of disks to balance load.
+        spread = max(1, self.num_disks // 4)
+        return (cell.pos + object_bucket % spread) % self.num_disks
+
+    @staticmethod
+    def _stable_hash(object_id: ObjectId) -> int:
+        """Hash that is stable across processes (``hash()`` is salted)."""
+        digest = hashlib.blake2b(object_id.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")

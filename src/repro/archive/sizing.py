@@ -1,0 +1,123 @@
+"""Choosing the buffer size and disk count (Section 3.6.2).
+
+The paper formulates archiving configuration as
+
+    maximise   min(Ud, Rd)
+    subject to min Tm >= max Td
+
+where ``Ud`` is the write-side disk utilisation (decreasing in the number of
+disks ``nd``), ``Rd = k * nd / no`` is the read-side resolution (increasing
+in ``nd``), ``Tm`` is the time to fill a buffer and ``Td`` the time to flush
+one.  Because ``Ud`` decreases and ``Rd`` increases monotonically, the
+unconstrained optimum sits where they cross; if that crossing violates the
+double-buffering constraint the optimum moves to the largest ``nd`` that
+still satisfies ``Tm >= Td``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.model import DiskModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of the disk-count optimisation."""
+
+    num_disks: int
+    write_utilisation: float
+    read_resolution: float
+    flush_time: float
+    constraint_satisfied: bool
+    #: Which rule fixed the answer: "crossover" (Ud == Rd) or "constraint"
+    #: (largest nd with Tm >= Td).
+    binding: str
+
+    @property
+    def objective(self) -> float:
+        """``min(Ud, Rd)`` at the chosen configuration."""
+        return min(self.write_utilisation, self.read_resolution)
+
+
+def optimise_disk_count(
+    model: DiskModel,
+    buffer_bytes: float,
+    num_objects: int,
+    fill_time_s: float,
+    k: float = 1.0,
+    max_disks: Optional[int] = None,
+) -> SizingResult:
+    """Pick ``nd`` per Section 3.6.2.
+
+    ``buffer_bytes`` is the total aged-data buffer ``sB`` (split evenly over
+    the disks), ``num_objects`` is ``no``, ``fill_time_s`` is the expected
+    time to fill one buffer (``Tm``) and ``k`` the read-resolution
+    normalisation factor.
+    """
+    if buffer_bytes <= 0:
+        raise ConfigurationError("buffer_bytes must be positive")
+    if num_objects <= 0:
+        raise ConfigurationError("num_objects must be positive")
+    if fill_time_s <= 0:
+        raise ConfigurationError("fill_time_s must be positive")
+    if max_disks is None:
+        max_disks = max(num_objects, 1)
+    if max_disks <= 0:
+        raise ConfigurationError("max_disks must be positive")
+
+    best_cross: Optional[SizingResult] = None
+    best_constrained: Optional[SizingResult] = None
+    previous_sign: Optional[bool] = None
+
+    for num_disks in range(1, max_disks + 1):
+        utilisation = model.write_utilisation(buffer_bytes, num_disks)
+        resolution = model.read_resolution(num_disks, num_objects, k=k)
+        flush = model.flush_time(buffer_bytes, num_disks)
+        satisfies = fill_time_s >= flush
+        result = SizingResult(
+            num_disks=num_disks,
+            write_utilisation=utilisation,
+            read_resolution=resolution,
+            flush_time=flush,
+            constraint_satisfied=satisfies,
+            binding="crossover",
+        )
+        # Track the crossover Ud == Rd: the first nd where Rd >= Ud.
+        sign = resolution >= utilisation
+        if best_cross is None and sign and (previous_sign is False or num_disks == 1):
+            best_cross = result
+        previous_sign = sign
+        # Track the largest nd that satisfies the flush constraint.
+        if satisfies:
+            best_constrained = SizingResult(
+                num_disks=num_disks,
+                write_utilisation=utilisation,
+                read_resolution=resolution,
+                flush_time=flush,
+                constraint_satisfied=True,
+                binding="constraint",
+            )
+        if best_cross is not None and num_disks > best_cross.num_disks and satisfies:
+            # Nothing further can improve min(Ud, Rd) once past the
+            # crossover while the constraint still holds.
+            break
+
+    if best_cross is not None and best_cross.constraint_satisfied:
+        return best_cross
+    if best_constrained is not None:
+        return best_constrained
+    # Even a single disk violates the constraint; report nd = 1 so the caller
+    # can see the violation explicitly.
+    utilisation = model.write_utilisation(buffer_bytes, 1)
+    resolution = model.read_resolution(1, num_objects, k=k)
+    return SizingResult(
+        num_disks=1,
+        write_utilisation=utilisation,
+        read_resolution=resolution,
+        flush_time=model.flush_time(buffer_bytes, 1),
+        constraint_satisfied=False,
+        binding="constraint",
+    )

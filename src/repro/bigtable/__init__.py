@@ -1,0 +1,35 @@
+"""In-process BigTable emulator.
+
+MOIST's storage layer is Google BigTable (Section 3.1).  The emulator here
+reproduces the parts of BigTable's contract that the paper's algorithms rely
+on:
+
+* rows are kept **sorted by key**, so contiguous key ranges can be read with
+  a single range scan (the basis of both NN search and clustering reads);
+* values live in **column families** that are individually configured to be
+  in-memory or on-disk, which is how the Location/Affiliation tables separate
+  fresh records from aged ones;
+* every cell is **timestamped** and a family keeps multiple versions;
+* **batch** mutations and reads amortise the per-RPC overhead.
+
+All operations are accounted against a :class:`~repro.bigtable.cost.CostModel`
+so experiments can report simulated service time (and therefore QPS) that
+reflects the *operation mix* of each algorithm rather than Python's
+interpreter speed.  See DESIGN.md Section 6.
+"""
+
+from repro.bigtable.sorted_map import SortedMap
+from repro.bigtable.cost import CostModel, OpCounter, OpKind
+from repro.bigtable.table import ColumnFamily, Cell, Table
+from repro.bigtable.emulator import BigtableEmulator
+
+__all__ = [
+    "SortedMap",
+    "CostModel",
+    "OpCounter",
+    "OpKind",
+    "ColumnFamily",
+    "Cell",
+    "Table",
+    "BigtableEmulator",
+]

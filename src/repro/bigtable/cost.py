@@ -1,0 +1,179 @@
+"""Operation accounting and the simulated BigTable cost model.
+
+The experiments in Section 4 are dominated by the number and kind of
+BigTable operations (reads, writes, range scans, batches) rather than by CPU
+work.  Every emulator operation therefore reports itself to an
+:class:`OpCounter`, and a :class:`CostModel` converts operation counts into
+simulated service time.  The default constants are calibrated so that the
+leader-update path costs ~0.125 ms, which reproduces the paper's anchor of
+"as many as 7,875 update requests per second" on a single front-end server
+with one million indexed objects (Figure 13a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class OpKind(enum.Enum):
+    """Kinds of storage operations the cost model distinguishes."""
+
+    READ = "read"
+    WRITE = "write"
+    DELETE = "delete"
+    SCAN = "scan"
+    SCAN_ROW = "scan_row"
+    BATCH_READ = "batch_read"
+    BATCH_READ_ROW = "batch_read_row"
+    BATCH_WRITE = "batch_write"
+    BATCH_WRITE_ROW = "batch_write_row"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation simulated costs, in seconds.
+
+    ``*_rpc`` entries are charged once per call (the RPC round trip);
+    ``*_row`` entries are charged per row touched by a scan or batch.  Batch
+    rows are cheaper than individual point operations, which is what makes
+    the paper's batch-read clustering pass profitable (Section 3.3.2).
+    """
+
+    read_rpc: float = 22e-6
+    write_rpc: float = 26e-6
+    delete_rpc: float = 22e-6
+    scan_rpc: float = 40e-6
+    scan_row: float = 2e-6
+    batch_rpc: float = 40e-6
+    batch_read_row: float = 5e-6
+    batch_write_row: float = 2.5e-6
+    #: Multiplier applied to write costs to model BigTable's lower write
+    #: concurrency ("BigTable had a much better concurrency in read
+    #: operations than write ones", Section 4.2).
+    write_contention_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_rpc",
+            "write_rpc",
+            "delete_rpc",
+            "scan_rpc",
+            "scan_row",
+            "batch_rpc",
+            "batch_read_row",
+            "batch_write_row",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"cost model field {name} must be >= 0")
+        if self.write_contention_factor <= 0:
+            raise ConfigurationError("write_contention_factor must be positive")
+
+    def cost_of(self, kind: OpKind, rows: int = 1) -> float:
+        """Simulated time for one call of ``kind`` touching ``rows`` rows."""
+        if kind is OpKind.READ:
+            return self.read_rpc
+        if kind is OpKind.WRITE:
+            return self.write_rpc * self.write_contention_factor
+        if kind is OpKind.DELETE:
+            return self.delete_rpc * self.write_contention_factor
+        if kind is OpKind.SCAN:
+            return self.scan_rpc + self.scan_row * rows
+        if kind is OpKind.BATCH_READ:
+            return self.batch_rpc + self.batch_read_row * rows
+        if kind is OpKind.BATCH_WRITE:
+            return (
+                self.batch_rpc + self.batch_write_row * rows
+            ) * self.write_contention_factor
+        raise ConfigurationError(f"no standalone cost defined for {kind}")
+
+
+@dataclass
+class OpCounter:
+    """Accumulates operation counts and simulated time.
+
+    One counter is typically shared by every table of an emulator instance;
+    experiments snapshot/reset it around the measured section so read,
+    compute and write time can be reported separately (Figure 10).
+    """
+
+    model: CostModel = field(default_factory=CostModel)
+    counts: Dict[OpKind, int] = field(default_factory=dict)
+    rows: Dict[OpKind, int] = field(default_factory=dict)
+    simulated_seconds: float = 0.0
+    read_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    def record(self, kind: OpKind, rows: int = 1) -> float:
+        """Record one operation and return its simulated cost."""
+        cost = self.model.cost_of(kind, rows=rows)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.rows[kind] = self.rows.get(kind, 0) + rows
+        self.simulated_seconds += cost
+        if kind in (OpKind.READ, OpKind.SCAN, OpKind.BATCH_READ):
+            self.read_seconds += cost
+        else:
+            self.write_seconds += cost
+        return cost
+
+    def count(self, kind: OpKind) -> int:
+        """Number of calls of the given kind recorded so far."""
+        return self.counts.get(kind, 0)
+
+    def rows_touched(self, kind: OpKind) -> int:
+        """Total rows touched by calls of the given kind."""
+        return self.rows.get(kind, 0)
+
+    def total_calls(self) -> int:
+        """Total number of storage calls of any kind."""
+        return sum(self.counts.values())
+
+    def snapshot(self) -> "OpCounterSnapshot":
+        """Immutable copy of the current totals."""
+        return OpCounterSnapshot(
+            counts=dict(self.counts),
+            rows=dict(self.rows),
+            simulated_seconds=self.simulated_seconds,
+            read_seconds=self.read_seconds,
+            write_seconds=self.write_seconds,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.counts.clear()
+        self.rows.clear()
+        self.simulated_seconds = 0.0
+        self.read_seconds = 0.0
+        self.write_seconds = 0.0
+
+
+@dataclass(frozen=True)
+class OpCounterSnapshot:
+    """Frozen view of an :class:`OpCounter` at one instant."""
+
+    counts: Dict[OpKind, int]
+    rows: Dict[OpKind, int]
+    simulated_seconds: float
+    read_seconds: float
+    write_seconds: float
+
+    def delta(self, earlier: "OpCounterSnapshot") -> "OpCounterSnapshot":
+        """Difference between this snapshot and an ``earlier`` one."""
+        counts = {
+            kind: self.counts.get(kind, 0) - earlier.counts.get(kind, 0)
+            for kind in set(self.counts) | set(earlier.counts)
+        }
+        rows = {
+            kind: self.rows.get(kind, 0) - earlier.rows.get(kind, 0)
+            for kind in set(self.rows) | set(earlier.rows)
+        }
+        return OpCounterSnapshot(
+            counts=counts,
+            rows=rows,
+            simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
+            read_seconds=self.read_seconds - earlier.read_seconds,
+            write_seconds=self.write_seconds - earlier.write_seconds,
+        )

@@ -1,0 +1,62 @@
+"""The multi-table BigTable emulator shared by every MOIST component."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bigtable.cost import CostModel, OpCounter
+from repro.bigtable.table import ColumnFamily, Table
+from repro.errors import StorageError, TableNotFoundError
+
+
+class BigtableEmulator:
+    """A named collection of :class:`~repro.bigtable.table.Table` objects.
+
+    One emulator instance plays the role of the single BigTable cluster that
+    all of MOIST's front-end servers share (Section 4.3.3).  Every table
+    created through the emulator shares the emulator's :class:`OpCounter`,
+    so experiments get one consolidated view of storage work regardless of
+    which table it hit.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.counter = OpCounter(model=cost_model or CostModel())
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, families: Sequence[ColumnFamily]) -> Table:
+        """Create a table; fails if the name is already taken."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(name, families, counter=self.counter)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up an existing table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        """True when a table with that name exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Delete a table and its contents."""
+        if name not in self._tables:
+            raise TableNotFoundError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table_names(self) -> List[str]:
+        """Names of every table, sorted."""
+        return sorted(self._tables)
+
+    def reset_counters(self) -> None:
+        """Zero the shared operation counter."""
+        self.counter.reset()
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated storage time accumulated so far."""
+        return self.counter.simulated_seconds

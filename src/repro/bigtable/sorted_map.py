@@ -1,0 +1,115 @@
+"""A mapping that keeps its keys sorted and supports range scans.
+
+BigTable tablets store rows ordered by key; range scans over contiguous key
+intervals are the cheap access path the paper exploits.  ``SortedMap`` is the
+in-process equivalent: a dict for point access plus a lazily maintained
+sorted key list for ordered iteration, with ``bisect`` for range boundaries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class SortedMap:
+    """String-keyed mapping with ordered iteration and range scans."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, object] = {}
+        self._keys: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def get(self, key: str, default: Optional[object] = None) -> Optional[object]:
+        """Point lookup."""
+        return self._data.get(key, default)
+
+    def set(self, key: str, value: object) -> None:
+        """Insert or overwrite ``key``."""
+        if key not in self._data:
+            insort(self._keys, key)
+        self._data[key] = value
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns ``True`` when it was present."""
+        if key not in self._data:
+            return False
+        del self._data[key]
+        index = bisect_left(self._keys, key)
+        # The key is guaranteed present, so the bisect position holds it.
+        del self._keys[index]
+        return True
+
+    def keys(self) -> List[str]:
+        """All keys in ascending order (copy)."""
+        return list(self._keys)
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """All ``(key, value)`` pairs in key order."""
+        for key in self._keys:
+            yield key, self._data[key]
+
+    def scan(
+        self,
+        start: Optional[str] = None,
+        end: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Tuple[str, object]]:
+        """Yield ``(key, value)`` for keys in ``[start, end)`` in order.
+
+        ``None`` bounds are open-ended; ``limit`` caps the number of rows.
+        """
+        lo = 0 if start is None else bisect_left(self._keys, start)
+        hi = len(self._keys) if end is None else bisect_left(self._keys, end)
+        count = 0
+        for index in range(lo, hi):
+            if limit is not None and count >= limit:
+                return
+            key = self._keys[index]
+            yield key, self._data[key]
+            count += 1
+
+    def count_range(self, start: Optional[str] = None, end: Optional[str] = None) -> int:
+        """Number of keys in ``[start, end)`` without materialising them."""
+        lo = 0 if start is None else bisect_left(self._keys, start)
+        hi = len(self._keys) if end is None else bisect_left(self._keys, end)
+        return max(hi - lo, 0)
+
+    def first_key(self) -> Optional[str]:
+        """Smallest key, or ``None`` when empty."""
+        return self._keys[0] if self._keys else None
+
+    def last_key(self) -> Optional[str]:
+        """Largest key, or ``None`` when empty."""
+        return self._keys[-1] if self._keys else None
+
+    def floor_key(self, key: str) -> Optional[str]:
+        """Largest stored key ``<= key``, or ``None``."""
+        index = bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return key
+        if index == 0:
+            return None
+        return self._keys[index - 1]
+
+    def ceiling_key(self, key: str) -> Optional[str]:
+        """Smallest stored key ``>= key``, or ``None``."""
+        index = bisect_left(self._keys, key)
+        if index >= len(self._keys):
+            return None
+        return self._keys[index]
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._data.clear()
+        self._keys.clear()

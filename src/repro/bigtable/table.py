@@ -1,0 +1,362 @@
+"""A single emulated BigTable table: sorted rows, column families, versions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bigtable.cost import OpCounter, OpKind
+from repro.bigtable.sorted_map import SortedMap
+from repro.errors import ColumnFamilyError, RowNotFoundError
+
+
+@dataclass(frozen=True)
+class ColumnFamily:
+    """Declaration of a column family.
+
+    ``in_memory`` mirrors BigTable's locality-group setting: the Location and
+    Affiliation tables keep their freshest column in memory and their aged
+    columns on disk (Section 3.1).  ``max_versions`` bounds how many
+    timestamped cells a ``(row, family, qualifier)`` keeps; the Location
+    Table keeps ``m`` in-memory records per object for Viterbi-style location
+    smoothing and travel-path rendering (Section 3.5).
+    """
+
+    name: str
+    in_memory: bool = True
+    max_versions: int = 1
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One timestamped value."""
+
+    timestamp: float
+    value: object
+
+
+@dataclass
+class _Row:
+    """Internal row representation: family -> qualifier -> newest-first cells."""
+
+    families: Dict[str, Dict[str, List[Cell]]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not any(
+            cells for qualifiers in self.families.values() for cells in qualifiers.values()
+        )
+
+
+class Table:
+    """One emulated table.
+
+    All mutating / reading methods report themselves to the shared
+    :class:`~repro.bigtable.cost.OpCounter` so the simulated service time of
+    an algorithm is the sum of its storage operations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        families: Sequence[ColumnFamily],
+        counter: Optional[OpCounter] = None,
+    ) -> None:
+        if not families:
+            raise ColumnFamilyError(f"table {name!r} declared without column families")
+        self.name = name
+        self._families: Dict[str, ColumnFamily] = {}
+        for family in families:
+            if family.name in self._families:
+                raise ColumnFamilyError(
+                    f"duplicate column family {family.name!r} in table {name!r}"
+                )
+            self._families[family.name] = family
+        self._rows = SortedMap()
+        self.counter = counter if counter is not None else OpCounter()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    @property
+    def family_names(self) -> List[str]:
+        """Declared column family names."""
+        return list(self._families)
+
+    def family(self, name: str) -> ColumnFamily:
+        """Declared family, raising :class:`ColumnFamilyError` when unknown."""
+        try:
+            return self._families[name]
+        except KeyError:
+            raise ColumnFamilyError(
+                f"unknown column family {name!r} in table {self.name!r}"
+            ) from None
+
+    def add_family(self, family: ColumnFamily) -> None:
+        """Declare an additional column family (used by archiving to add
+        aged disk columns on demand)."""
+        if family.name in self._families:
+            raise ColumnFamilyError(
+                f"column family {family.name!r} already exists in {self.name!r}"
+            )
+        self._families[family.name] = family
+
+    # ------------------------------------------------------------------
+    # Point mutations
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        row_key: str,
+        family: str,
+        qualifier: str,
+        value: object,
+        timestamp: float,
+        _charge: bool = True,
+    ) -> None:
+        """Write one cell (a timestamped value)."""
+        declared = self.family(family)
+        row = self._rows.get(row_key)
+        if row is None:
+            row = _Row()
+            self._rows.set(row_key, row)
+        qualifiers = row.families.setdefault(family, {})
+        cells = qualifiers.setdefault(qualifier, [])
+        cells.insert(0, Cell(timestamp=timestamp, value=value))
+        cells.sort(key=lambda cell: cell.timestamp, reverse=True)
+        if declared.max_versions > 0 and len(cells) > declared.max_versions:
+            del cells[declared.max_versions:]
+        if _charge:
+            self.counter.record(OpKind.WRITE)
+
+    def delete_cell(
+        self, row_key: str, family: str, qualifier: str, _charge: bool = True
+    ) -> bool:
+        """Delete every version of one cell; returns whether anything existed."""
+        self.family(family)
+        if _charge:
+            self.counter.record(OpKind.DELETE)
+        row = self._rows.get(row_key)
+        if row is None:
+            return False
+        qualifiers = row.families.get(family)
+        if not qualifiers or qualifier not in qualifiers:
+            return False
+        del qualifiers[qualifier]
+        if row.is_empty():
+            self._rows.delete(row_key)
+        return True
+
+    def delete_row(self, row_key: str, _charge: bool = True) -> bool:
+        """Delete an entire row."""
+        if _charge:
+            self.counter.record(OpKind.DELETE)
+        return self._rows.delete(row_key)
+
+    # ------------------------------------------------------------------
+    # Point reads
+    # ------------------------------------------------------------------
+    def read_latest(
+        self, row_key: str, family: str, qualifier: str, _charge: bool = True
+    ) -> Optional[Cell]:
+        """Newest cell of ``(row, family, qualifier)`` or ``None``."""
+        self.family(family)
+        if _charge:
+            self.counter.record(OpKind.READ)
+        row = self._rows.get(row_key)
+        if row is None:
+            return None
+        cells = row.families.get(family, {}).get(qualifier)
+        if not cells:
+            return None
+        return cells[0]
+
+    def read_versions(
+        self, row_key: str, family: str, qualifier: str, _charge: bool = True
+    ) -> List[Cell]:
+        """All versions of one cell, newest first."""
+        self.family(family)
+        if _charge:
+            self.counter.record(OpKind.READ)
+        row = self._rows.get(row_key)
+        if row is None:
+            return []
+        return list(row.families.get(family, {}).get(qualifier, []))
+
+    def read_row(
+        self, row_key: str, _charge: bool = True
+    ) -> Dict[str, Dict[str, List[Cell]]]:
+        """Full row contents: ``family -> qualifier -> cells`` (newest first).
+
+        Raises :class:`RowNotFoundError` when the row does not exist.
+        """
+        if _charge:
+            self.counter.record(OpKind.READ)
+        row = self._rows.get(row_key)
+        if row is None:
+            raise RowNotFoundError(f"row {row_key!r} not found in table {self.name!r}")
+        return {
+            family: {qualifier: list(cells) for qualifier, cells in qualifiers.items()}
+            for family, qualifiers in row.families.items()
+        }
+
+    def row_exists(self, row_key: str, _charge: bool = True) -> bool:
+        """Existence check (charged as a read)."""
+        if _charge:
+            self.counter.record(OpKind.READ)
+        return row_key in self._rows
+
+    # ------------------------------------------------------------------
+    # Scans and batches
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        start_key: Optional[str] = None,
+        end_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, Dict[str, Dict[str, List[Cell]]]]]:
+        """Range scan over ``[start_key, end_key)``, charged per row returned."""
+        results = []
+        for row_key, row in self._rows.scan(start_key, end_key, limit):
+            results.append(
+                (
+                    row_key,
+                    {
+                        family: {
+                            qualifier: list(cells)
+                            for qualifier, cells in qualifiers.items()
+                        }
+                        for family, qualifiers in row.families.items()
+                    },
+                )
+            )
+        self.counter.record(OpKind.SCAN, rows=max(len(results), 1))
+        return results
+
+    def scan_keys(
+        self, start_key: Optional[str] = None, end_key: Optional[str] = None
+    ) -> List[str]:
+        """Keys-only range scan (still charged per row)."""
+        keys = [row_key for row_key, _ in self._rows.scan(start_key, end_key)]
+        self.counter.record(OpKind.SCAN, rows=max(len(keys), 1))
+        return keys
+
+    def count_range(
+        self, start_key: Optional[str] = None, end_key: Optional[str] = None
+    ) -> int:
+        """Number of rows in ``[start_key, end_key)``.
+
+        Charged as a single scan RPC (BigTable answers this from tablet
+        metadata without streaming every row back).
+        """
+        self.counter.record(OpKind.SCAN, rows=1)
+        return self._rows.count_range(start_key, end_key)
+
+    def batch_read(
+        self, row_keys: Sequence[str]
+    ) -> Dict[str, Dict[str, Dict[str, List[Cell]]]]:
+        """Read several rows in one RPC; absent rows are simply missing."""
+        results: Dict[str, Dict[str, Dict[str, List[Cell]]]] = {}
+        for row_key in row_keys:
+            row = self._rows.get(row_key)
+            if row is None:
+                continue
+            results[row_key] = {
+                family: {qualifier: list(cells) for qualifier, cells in qualifiers.items()}
+                for family, qualifiers in row.families.items()
+            }
+        self.counter.record(OpKind.BATCH_READ, rows=max(len(row_keys), 1))
+        return results
+
+    def batch_write(
+        self, mutations: Sequence[Tuple[str, str, str, object, float]]
+    ) -> None:
+        """Apply several writes in one RPC.
+
+        Each mutation is ``(row_key, family, qualifier, value, timestamp)``.
+        """
+        for row_key, family, qualifier, value, timestamp in mutations:
+            self.write(row_key, family, qualifier, value, timestamp, _charge=False)
+        self.counter.record(OpKind.BATCH_WRITE, rows=max(len(mutations), 1))
+
+    def batch_delete(self, deletes: Sequence[Tuple[str, str, str]]) -> None:
+        """Apply several cell deletions in one RPC."""
+        for row_key, family, qualifier in deletes:
+            self.delete_cell(row_key, family, qualifier, _charge=False)
+        self.counter.record(OpKind.BATCH_WRITE, rows=max(len(deletes), 1))
+
+    # ------------------------------------------------------------------
+    # Aging
+    # ------------------------------------------------------------------
+    def age_out(
+        self,
+        source_family: str,
+        target_family: str,
+        cutoff_timestamp: float,
+    ) -> int:
+        """Move cells older than ``cutoff_timestamp`` between families.
+
+        This models the Location Table's periodic transfer of aged records
+        from its in-memory column to the next disk column (Section 3.1.2).
+        Returns the number of cells moved; charged as one batch write over
+        the affected rows.
+        """
+        self.family(source_family)
+        target = self.family(target_family)
+        moved = 0
+        touched_rows = 0
+        for _, row in self._rows.items():
+            qualifiers = row.families.get(source_family)
+            if not qualifiers:
+                continue
+            row_touched = False
+            for qualifier, cells in qualifiers.items():
+                fresh = [cell for cell in cells if cell.timestamp >= cutoff_timestamp]
+                aged = [cell for cell in cells if cell.timestamp < cutoff_timestamp]
+                if not aged:
+                    continue
+                row_touched = True
+                cells[:] = fresh
+                destination = row.families.setdefault(target_family, {}).setdefault(
+                    qualifier, []
+                )
+                destination.extend(aged)
+                destination.sort(key=lambda cell: cell.timestamp, reverse=True)
+                if target.max_versions > 0 and len(destination) > target.max_versions:
+                    del destination[target.max_versions:]
+                moved += len(aged)
+            if row_touched:
+                touched_rows += 1
+        self.counter.record(OpKind.BATCH_WRITE, rows=max(touched_rows, 1))
+        return moved
+
+    # ------------------------------------------------------------------
+    # Introspection (not charged: administrative / test helpers)
+    # ------------------------------------------------------------------
+    def row_count(self) -> int:
+        """Number of rows currently stored."""
+        return len(self._rows)
+
+    def all_keys(self) -> List[str]:
+        """Every row key in order (test helper, not charged)."""
+        return self._rows.keys()
+
+    def memory_cell_count(self) -> int:
+        """Number of cells stored in in-memory families."""
+        return self._count_cells(in_memory=True)
+
+    def disk_cell_count(self) -> int:
+        """Number of cells stored in on-disk families."""
+        return self._count_cells(in_memory=False)
+
+    def _count_cells(self, in_memory: bool) -> int:
+        total = 0
+        for _, row in self._rows.items():
+            for family_name, qualifiers in row.families.items():
+                if self._families[family_name].in_memory != in_memory:
+                    continue
+                for cells in qualifiers.values():
+                    total += len(cells)
+        return total
+
+    def clear(self) -> None:
+        """Drop every row (test helper, not charged)."""
+        self._rows.clear()

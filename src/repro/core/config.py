@@ -1,0 +1,109 @@
+"""Configuration of a MOIST indexer instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.geometry.bbox import BoundingBox
+from repro.spatial.cell import MAX_LEVEL
+
+#: The synthetic map used throughout the paper's school experiments: a square
+#: of 1,000 x 1,000 units (Section 4.1).
+DEFAULT_WORLD = BoundingBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class MoistConfig:
+    """Tunable parameters of MOIST.
+
+    The defaults follow the paper's experimental setup where one is stated
+    and otherwise pick values that keep the three levels (storage <
+    clustering < NN) consistent on the 1,000 x 1,000-unit map.
+    """
+
+    #: The indexed world rectangle.
+    world: BoundingBox = field(default_factory=lambda: DEFAULT_WORLD)
+    #: Level ``ls`` of the Spatial Index Table rows (Section 3.4.1).
+    storage_level: int = 14
+    #: ``d``: an NN cell spans ``2^d x 2^d`` storage cells, i.e. the default
+    #: NN level is ``storage_level - nn_level_delta``.
+    nn_level_delta: int = 3
+    #: Deviation threshold ε: a follower whose reported location is within ε
+    #: of its estimated location has its update shed (Algorithm 1, line 7).
+    deviation_threshold: float = 20.0
+    #: Δm: maximum velocity deviation within an object school; the hexagonal
+    #: velocity partition guarantees intra-cell deviation below this bound
+    #: (Section 3.3.2).
+    velocity_threshold: float = 1.0
+    #: Level of a clustering cell (coarser than the storage level so its
+    #: spatial cells form one contiguous key range).
+    clustering_cell_level: int = 3
+    #: ``Tc``: seconds between two clustering passes over a clustering cell.
+    clustering_interval_s: float = 10.0
+    #: σ: the target number of objects per NN cell used by FLAG
+    #: (Algorithm 3).  The value depends on how the Spatial Index Table is
+    #: laid out in BigTable; with one leader per storage row, ~8 rows per
+    #: range scan balances RPC overhead against wasted rows.
+    sigma: int = 8
+    #: Seconds a cached FLAG level stays valid (Algorithm 4's "too old").
+    flag_cache_ttl_s: float = 60.0
+    #: ``m``: number of in-memory location records kept per object
+    #: (Section 3.5).
+    memory_records: int = 8
+    #: Seconds after which a location record is considered aged and moved to
+    #: the disk columns / PPP archive.
+    aging_interval_s: float = 300.0
+    #: Master switch for object schooling; with schools disabled every object
+    #: is treated as a leader (the paper's "worst case" BigTable experiments,
+    #: Section 4).
+    enable_schools: bool = True
+    #: Simulated CPU seconds per leader spent by the clustering computation
+    #: phase (the paper reports computation time as the small middle slice of
+    #: Figure 10).
+    compute_seconds_per_leader: float = 2e-6
+    #: Safety bound on the number of NN cells a single query may visit.
+    max_nn_cells_per_query: int = 4096
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.storage_level <= MAX_LEVEL:
+            raise ConfigurationError(
+                f"storage_level must be in [1, {MAX_LEVEL}], got {self.storage_level}"
+            )
+        if self.nn_level_delta < 0 or self.nn_level_delta >= self.storage_level:
+            raise ConfigurationError(
+                "nn_level_delta must be non-negative and smaller than storage_level"
+            )
+        if self.clustering_cell_level <= 0:
+            raise ConfigurationError("clustering_cell_level must be positive")
+        if self.clustering_cell_level >= self.storage_level:
+            raise ConfigurationError(
+                "clustering cells must be coarser than storage cells "
+                f"(clustering_cell_level={self.clustering_cell_level} >= "
+                f"storage_level={self.storage_level})"
+            )
+        if self.deviation_threshold < 0:
+            raise ConfigurationError("deviation_threshold must be non-negative")
+        if self.velocity_threshold <= 0:
+            raise ConfigurationError("velocity_threshold must be positive")
+        if self.clustering_interval_s <= 0:
+            raise ConfigurationError("clustering_interval_s must be positive")
+        if self.sigma <= 0:
+            raise ConfigurationError("sigma must be positive")
+        if self.flag_cache_ttl_s <= 0:
+            raise ConfigurationError("flag_cache_ttl_s must be positive")
+        if self.memory_records <= 0:
+            raise ConfigurationError("memory_records must be positive")
+        if self.aging_interval_s <= 0:
+            raise ConfigurationError("aging_interval_s must be positive")
+        if self.compute_seconds_per_leader < 0:
+            raise ConfigurationError("compute_seconds_per_leader must be non-negative")
+        if self.max_nn_cells_per_query <= 0:
+            raise ConfigurationError("max_nn_cells_per_query must be positive")
+        if self.world.width <= 0 or self.world.height <= 0:
+            raise ConfigurationError("the world box must have positive area")
+
+    @property
+    def default_nn_level(self) -> int:
+        """NN cell level when FLAG is not consulted: ``ls - d``."""
+        return self.storage_level - self.nn_level_delta

@@ -1,0 +1,180 @@
+"""FLAG — Fast Level Adaptive Grid (Section 3.4.2, Algorithms 3 and 4).
+
+FLAG picks the NN cell level so that a visited NN cell holds roughly σ
+objects.  Algorithm 3 starts from the level a *uniform* distribution would
+imply (``ln = 1/2 · log2(n/σ)``), probes the actual object count in the cell
+containing the query location, and moves the level by ``δ = 1/2 · log2(m/σ)``
+until the bracket closes.  Algorithm 4 caches the chosen level per spatial
+key range with a timestamp so repeated queries in the same area skip the
+probing entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import MoistConfig
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.spatial.cell import CellId
+from repro.tables.spatial_index_table import SpatialIndexTable
+
+
+@dataclass(frozen=True)
+class LevelCacheRecord:
+    """One cached NN level, valid over a spatial key range (Algorithm 4)."""
+
+    level: int
+    left_key: str
+    right_key: str
+    created_time: float
+
+    def covers(self, key: str) -> bool:
+        """True when ``key`` falls inside the cached range."""
+        return self.left_key <= key <= self.right_key
+
+
+@dataclass
+class FlagStats:
+    """Counters describing how often FLAG had to recompute levels."""
+
+    lookups: int = 0
+    cache_hits: int = 0
+    recomputations: int = 0
+    probe_reads: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.cache_hits / self.lookups
+
+
+class FlagTuner:
+    """Adaptive NN-level selection with caching."""
+
+    def __init__(
+        self,
+        config: MoistConfig,
+        spatial_table: SpatialIndexTable,
+        total_objects_hint: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.spatial_table = spatial_table
+        #: ``n`` in Algorithm 3 — the number of moving objects in the whole
+        #: space.  The MOIST facade keeps this up to date; tests may pass a
+        #: fixed hint.
+        self.total_objects_hint = total_objects_hint
+        self.stats = FlagStats()
+        self._cache: List[LevelCacheRecord] = []
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: cache
+    # ------------------------------------------------------------------
+    def best_level(self, location: Point, now: float) -> int:
+        """Cached NN level for ``location``, recomputing when stale/missing."""
+        self.stats.lookups += 1
+        key = CellId.from_point(
+            location, self.config.storage_level, self.config.world
+        ).key()
+        record = self._find_cached(key, now)
+        if record is not None:
+            self.stats.cache_hits += 1
+            return record.level
+        level = self.compute_level(location)
+        cell = CellId.from_point(location, level, self.config.world)
+        left, right = cell.key_range()
+        self._cache.append(
+            LevelCacheRecord(
+                level=level, left_key=left, right_key=right, created_time=now
+            )
+        )
+        return level
+
+    def _find_cached(self, key: str, now: float) -> Optional[LevelCacheRecord]:
+        fresh: List[LevelCacheRecord] = []
+        found: Optional[LevelCacheRecord] = None
+        for record in self._cache:
+            if now - record.created_time > self.config.flag_cache_ttl_s:
+                continue  # drop stale entries lazily
+            fresh.append(record)
+            if found is None and record.covers(key):
+                found = record
+        self._cache = fresh
+        return found
+
+    def invalidate(self) -> None:
+        """Drop every cached level (e.g. after a clustering pass changed
+        leader density substantially)."""
+        self._cache.clear()
+
+    def cache_size(self) -> int:
+        """Number of cached ranges currently held."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: level computation
+    # ------------------------------------------------------------------
+    def compute_level(self, location: Point) -> int:
+        """Probe local density and return the best NN level for ``location``."""
+        self.stats.recomputations += 1
+        total = self._total_objects()
+        sigma = self.config.sigma
+        level = self._initial_level(total, sigma)
+        min_level = -math.inf
+        max_level = math.inf
+        for _ in range(self.config.storage_level):
+            cell = CellId.from_point(location, level, self.config.world)
+            # Probe the local density through the cheap row-count path: a
+            # BigTable can answer "how many rows in this key range" from
+            # tablet metadata, and at the storage level a row holds only a
+            # handful of leaders, so the row count is a good object-count
+            # estimate.  This keeps Algorithm 3's tuning loop from competing
+            # with the queries it is trying to speed up.
+            count = self.spatial_table.approximate_count_in_cell(cell)
+            self.stats.probe_reads += 1
+            delta = self._level_delta(count, sigma)
+            if delta == 0:
+                # The current level already yields ~sigma objects per cell.
+                break
+            if delta > 0:
+                min_level = level
+            else:
+                max_level = level
+            candidate = level + delta
+            if candidate <= min_level or candidate >= max_level:
+                break
+            level = self._clamp(candidate)
+        return self._clamp(level)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _total_objects(self) -> int:
+        if self.total_objects_hint is not None and self.total_objects_hint > 0:
+            return self.total_objects_hint
+        # Fall back to the number of indexed leaders; correct when schools
+        # are disabled and a safe underestimate otherwise.
+        total = self.spatial_table.total_objects()
+        return max(total, 1)
+
+    def _initial_level(self, total_objects: int, sigma: int) -> int:
+        """Line 1 of Algorithm 3: assume a uniform distribution."""
+        if total_objects <= sigma:
+            return 1
+        return self._clamp(int(round(0.5 * math.log2(total_objects / sigma))))
+
+    @staticmethod
+    def _level_delta(count: int, sigma: int) -> int:
+        """``δ = 1/2 · log2(m/σ)`` rounded to the nearest whole level."""
+        if count <= 0:
+            # An empty cell: coarsen aggressively by one level.
+            return -1
+        return int(round(0.5 * math.log2(count / sigma)))
+
+    def _clamp(self, level: float) -> int:
+        upper = self.config.storage_level
+        return int(min(max(level, 1), upper))

@@ -1,0 +1,212 @@
+"""Nearest-neighbour search (Section 3.4, Algorithm 2).
+
+The search keeps two priority queues: ``Qcell`` pops the unexplored NN cell
+closest to the query location, ``Qobj`` keeps the ``k`` closest objects seen
+so far.  A cell's distance to the query lower-bounds the distance of every
+object it contains, so the search stops as soon as the closest unexplored
+cell is farther than the current ``k``-th neighbour.
+
+Each NN cell spans a contiguous range of Spatial Index Table rows (storage
+cells), so fetching a cell's objects is one range scan.  Only leaders are
+stored in the table; when ``include_followers`` is set, the Affiliation Table
+is batch-read for the candidate leaders and follower locations are derived
+from the leader location plus the stored displacement (Section 3.4, step
+iii-iv).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import MoistConfig
+from repro.core.flag import FlagTuner
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import NeighborResult, ObjectId
+from repro.spatial.cell import CellId
+from repro.tables.affiliation_table import AffiliationTable
+from repro.tables.location_table import LocationTable
+from repro.tables.spatial_index_table import SpatialIndexTable
+
+
+@dataclass
+class NNQueryStats:
+    """Work accounting of a single NN query."""
+
+    cells_visited: int = 0
+    leaders_scanned: int = 0
+    followers_considered: int = 0
+    nn_level: int = 0
+
+
+class NearestNeighborSearcher:
+    """Executes NN queries against the Spatial Index / Affiliation tables."""
+
+    def __init__(
+        self,
+        config: MoistConfig,
+        spatial_table: SpatialIndexTable,
+        affiliation_table: AffiliationTable,
+        location_table: LocationTable,
+        flag_tuner: Optional[FlagTuner] = None,
+    ) -> None:
+        self.config = config
+        self.spatial_table = spatial_table
+        self.affiliation_table = affiliation_table
+        self.location_table = location_table
+        self.flag_tuner = flag_tuner
+
+    def query(
+        self,
+        location: Point,
+        k: int,
+        nn_level: Optional[int] = None,
+        range_limit: Optional[float] = None,
+        include_followers: bool = True,
+        at_time: Optional[float] = None,
+        use_flag: bool = True,
+        stats: Optional[NNQueryStats] = None,
+    ) -> List[NeighborResult]:
+        """Return up to ``k`` nearest objects around ``location``.
+
+        ``nn_level`` fixes the NN cell level explicitly (the paper's
+        fixed-level baselines of Figure 12); otherwise FLAG picks it when a
+        tuner is attached and ``use_flag`` is true, falling back to the
+        configured default level.  ``range_limit`` bounds the search radius
+        (the paper's "search range limit"); ``at_time`` enables the
+        predictive variant, dead-reckoning leaders to the query time.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        if range_limit is not None and range_limit < 0:
+            raise QueryError("range_limit must be non-negative")
+        level = self._resolve_level(location, nn_level, use_flag, at_time)
+        if stats is None:
+            stats = NNQueryStats()
+        stats.nn_level = level
+
+        world = self.config.world
+        start_cell = CellId.from_point(location, level, world)
+        counter = itertools.count()
+        cell_queue: List[Tuple[float, int, CellId]] = [
+            (start_cell.distance_to_point(location, world), next(counter), start_cell)
+        ]
+        seen_cells: Set[CellId] = {start_cell}
+        # Max-heap of the best k candidates: (-distance, tiebreak, result).
+        best: List[Tuple[float, int, NeighborResult]] = []
+        dist_max = range_limit if range_limit is not None else float("inf")
+
+        while cell_queue and stats.cells_visited < self.config.max_nn_cells_per_query:
+            cell_distance, _, cell = heapq.heappop(cell_queue)
+            if cell_distance > dist_max:
+                break
+            stats.cells_visited += 1
+            for candidate in self._candidates_in_cell(cell, at_time, include_followers, stats):
+                distance = candidate.location.distance_to(location)
+                if range_limit is not None and distance > range_limit:
+                    continue
+                entry = NeighborResult(
+                    object_id=candidate.object_id,
+                    location=candidate.location,
+                    distance=distance,
+                    is_leader=candidate.is_leader,
+                    leader_id=candidate.leader_id,
+                )
+                heapq.heappush(best, (-distance, next(counter), entry))
+                if len(best) > k:
+                    heapq.heappop(best)
+                if len(best) == k:
+                    kth_distance = -best[0][0]
+                    dist_max = (
+                        min(kth_distance, range_limit)
+                        if range_limit is not None
+                        else kth_distance
+                    )
+            for neighbor in cell.edge_neighbors():
+                if neighbor in seen_cells:
+                    continue
+                seen_cells.add(neighbor)
+                neighbor_distance = neighbor.distance_to_point(location, world)
+                if neighbor_distance <= dist_max:
+                    heapq.heappush(
+                        cell_queue, (neighbor_distance, next(counter), neighbor)
+                    )
+
+        results = [entry for _, _, entry in best]
+        results.sort(key=lambda item: (item.distance, item.object_id))
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_level(
+        self,
+        location: Point,
+        nn_level: Optional[int],
+        use_flag: bool,
+        at_time: Optional[float],
+    ) -> int:
+        if nn_level is not None:
+            if not 1 <= nn_level <= self.config.storage_level:
+                raise QueryError(
+                    f"nn_level must be in [1, {self.config.storage_level}], got {nn_level}"
+                )
+            return nn_level
+        if use_flag and self.flag_tuner is not None:
+            now = at_time if at_time is not None else 0.0
+            return self.flag_tuner.best_level(location, now)
+        return self.config.default_nn_level
+
+    def _candidates_in_cell(
+        self,
+        cell: CellId,
+        at_time: Optional[float],
+        include_followers: bool,
+        stats: NNQueryStats,
+    ) -> List[NeighborResult]:
+        """Leaders (and optionally their followers) located in ``cell``."""
+        leaders = self.spatial_table.objects_in_cell(cell)
+        stats.leaders_scanned += len(leaders)
+        candidates: List[NeighborResult] = []
+        leader_positions: Dict[ObjectId, Point] = {}
+        if at_time is not None and leaders:
+            # Predictive variant: dead-reckon each leader to the query time
+            # from its latest Location record.
+            records = self.location_table.batch_latest(list(leaders))
+            for object_id, stored in leaders.items():
+                record = records.get(object_id)
+                leader_positions[object_id] = (
+                    record.extrapolated(at_time) if record is not None else stored
+                )
+        else:
+            leader_positions = dict(leaders)
+
+        for object_id, position in leader_positions.items():
+            candidates.append(
+                NeighborResult(
+                    object_id=object_id,
+                    location=position,
+                    distance=0.0,
+                    is_leader=True,
+                )
+            )
+        if include_followers and leaders:
+            follower_info = self.affiliation_table.batch_followers(list(leaders))
+            for leader_id, followers in follower_info.items():
+                leader_position = leader_positions[leader_id]
+                for follower_id, displacement in followers.items():
+                    stats.followers_considered += 1
+                    candidates.append(
+                        NeighborResult(
+                            object_id=follower_id,
+                            location=leader_position.displaced(displacement),
+                            distance=0.0,
+                            is_leader=False,
+                            leader_id=leader_id,
+                        )
+                    )
+        return candidates

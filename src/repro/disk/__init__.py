@@ -1,0 +1,15 @@
+"""Analytic disk model used by the PPP archiver (Section 3.6).
+
+The paper sizes the parallel ping-pong buffers with a simple mechanical-disk
+model: a flush of a per-disk buffer of size ``sB/nd`` costs
+``Td = Trot + Tseek + sB / (nd * Rdisk)``, the write-side utilisation is
+``Ud = sB / (nd * Rdisk * (Trot + Tseek))`` and the read-side resolution is
+``Rd = k * nd / no``.  :class:`DiskModel` encodes those formulas and
+:class:`DiskArray` provides the in-memory "disk files" that PPP flushes land
+on, so history queries can measure read amplification.
+"""
+
+from repro.disk.model import DiskModel
+from repro.disk.array import DiskArray, DiskSegment
+
+__all__ = ["DiskModel", "DiskArray", "DiskSegment"]

@@ -1,0 +1,72 @@
+"""Mechanical disk timing model (Section 3.6.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Seek/rotate/transfer parameters of one archival disk.
+
+    Defaults approximate a 7,200 rpm SATA drive of the paper's era: ~4.2 ms
+    average rotational latency, ~8 ms average seek, 100 MB/s sequential
+    transfer.
+    """
+
+    rotational_delay_s: float = 4.2e-3
+    seek_time_s: float = 8.0e-3
+    transfer_rate_bytes_per_s: float = 100e6
+
+    def __post_init__(self) -> None:
+        if self.rotational_delay_s < 0 or self.seek_time_s < 0:
+            raise ConfigurationError("disk latencies must be non-negative")
+        if self.transfer_rate_bytes_per_s <= 0:
+            raise ConfigurationError("disk transfer rate must be positive")
+
+    @property
+    def access_latency_s(self) -> float:
+        """``Trot + Tseek`` — the fixed cost of every flush."""
+        return self.rotational_delay_s + self.seek_time_s
+
+    def flush_time(self, buffer_bytes: float, num_disks: int) -> float:
+        """``Td`` for flushing ``buffer_bytes`` split evenly over ``num_disks``.
+
+        Equation (1): ``Td = Trot + Tseek + sB / (nd * Rdisk)``.
+        """
+        if num_disks <= 0:
+            raise ConfigurationError("num_disks must be positive")
+        if buffer_bytes < 0:
+            raise ConfigurationError("buffer size must be non-negative")
+        return self.access_latency_s + buffer_bytes / (
+            num_disks * self.transfer_rate_bytes_per_s
+        )
+
+    def write_utilisation(self, buffer_bytes: float, num_disks: int) -> float:
+        """``Ud = sB / (nd * Rdisk * (Trot + Tseek))``.
+
+        The fraction of a flush spent actually transferring data; it shrinks
+        as the per-disk buffer shrinks (more disks, same total buffer).
+        """
+        if num_disks <= 0:
+            raise ConfigurationError("num_disks must be positive")
+        if buffer_bytes < 0:
+            raise ConfigurationError("buffer size must be non-negative")
+        return buffer_bytes / (
+            num_disks * self.transfer_rate_bytes_per_s * self.access_latency_s
+        )
+
+    @staticmethod
+    def read_resolution(num_disks: int, num_objects: int, k: float = 1.0) -> float:
+        """``Rd = k * nd / no`` — query-side effectiveness of the placement.
+
+        ``k`` is the paper's normalisation factor tuned to the cluster's
+        operational cost and the read/write mix.
+        """
+        if num_disks <= 0 or num_objects <= 0:
+            raise ConfigurationError("num_disks and num_objects must be positive")
+        if k <= 0:
+            raise ConfigurationError("normalisation factor k must be positive")
+        return k * num_disks / num_objects

@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by the whole ``repro`` package.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library-level failures without accidentally swallowing programming
+errors (``TypeError``, ``AttributeError`` and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SpatialError(ReproError):
+    """Invalid spatial-index operation (bad level, out-of-range coordinate)."""
+
+
+class StorageError(ReproError):
+    """Errors raised by the BigTable emulator layer."""
+
+
+class TableNotFoundError(StorageError):
+    """A named table does not exist in the emulator."""
+
+
+class RowNotFoundError(StorageError):
+    """A point read targeted a row key that is absent."""
+
+
+class ColumnFamilyError(StorageError):
+    """A mutation referenced a column family that was never declared."""
+
+
+class SchemaError(ReproError):
+    """A MOIST table wrapper received a malformed record."""
+
+
+class ClusteringError(ReproError):
+    """School clustering was invoked with inconsistent state."""
+
+
+class ArchiveError(ReproError):
+    """Errors raised by the PPP aged-data archiving subsystem."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload configuration (e.g. empty road network)."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object failed validation."""
+
+
+class QueryError(ReproError):
+    """A query (NN, history, point) was malformed or unanswerable."""

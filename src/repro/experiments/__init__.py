@@ -1,0 +1,20 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation.
+
+Each ``run_*`` function returns a :class:`~repro.experiments.report.FigureResult`
+holding the series the corresponding paper figure plots, so the benchmark
+suite, the examples and EXPERIMENTS.md all consume the same code path.
+
+| Module                    | Paper figure | What it reproduces                          |
+|---------------------------|--------------|---------------------------------------------|
+| ``fig09_schools``         | Fig. 9(a-c)  | #object schools vs ε, population and time    |
+| ``fig10_clustering``      | Fig. 10(a,b) | per-clustering latency breakdown             |
+| ``fig11_cluster_frequency``| Fig. 11     | NN QPS vs clustering frequency (A, B)        |
+| ``fig12_flag``            | Fig. 12(a-d) | FLAG vs fixed NN levels (range & density)    |
+| ``fig13_qps``             | Fig. 13(a-c) | update QPS: single server & 5/10-server      |
+| ``headline``              | Sec. 1 & 4   | MOIST vs Bx-tree update throughput, shed %   |
+| ``ablations``             | DESIGN.md §5 | Hilbert vs Z-curve, hex vs square bins, FLAG cache, PPP placement |
+"""
+
+from repro.experiments.report import FigureResult, Series
+
+__all__ = ["FigureResult", "Series"]

@@ -1,0 +1,144 @@
+"""Figure 10: per-clustering latency and its read/compute/write breakdown.
+
+* 10(a) — latency vs the number of *pre*-clustering leaders with a fixed
+  number of post-clustering leaders (1k in the paper).
+* 10(b) — latency vs the number of *post*-clustering leaders with a fixed
+  number of pre-clustering leaders (10k in the paper).
+
+The experiment constructs a synthetic leader population directly: leaders
+are placed inside one clustering cell and assigned velocities drawn from
+``post`` distinct velocity hexagons, so the clustering pass collapses the
+``pre`` leaders into exactly ``post`` schools.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.core.clustering import ClusteringReport
+from repro.core.config import MoistConfig
+from repro.core.moist import MoistIndexer
+from repro.errors import ReproError
+from repro.experiments.report import FigureResult
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+from repro.spatial.cell import CellId
+
+
+def _build_leader_population(
+    pre_leaders: int,
+    post_leaders: int,
+    seed: int = 13,
+) -> Tuple[MoistIndexer, CellId]:
+    """An indexer whose spatial index holds ``pre_leaders`` leaders that will
+    merge into ``post_leaders`` schools, all inside one clustering cell."""
+    if post_leaders <= 0 or pre_leaders <= 0:
+        raise ReproError("leader counts must be positive")
+    if post_leaders > pre_leaders:
+        raise ReproError("post_leaders cannot exceed pre_leaders")
+    config = MoistConfig(
+        world=BoundingBox(0.0, 0.0, 1000.0, 1000.0),
+        storage_level=12,
+        clustering_cell_level=3,
+        velocity_threshold=1.0,
+    )
+    indexer = MoistIndexer(config)
+    rng = random.Random(seed)
+    clustering_cell = CellId.from_point(
+        Point(100.0, 100.0), config.clustering_cell_level, config.world
+    )
+    cell_box = clustering_cell.to_box(config.world)
+    # Velocity groups: one representative velocity per target school, spread
+    # far enough apart that distinct groups never share a hexagon.
+    group_velocities = [
+        Vector(3.0 * group, 0.0) for group in range(post_leaders)
+    ]
+    for index in range(pre_leaders):
+        location = Point(
+            rng.uniform(cell_box.min_x, cell_box.max_x),
+            rng.uniform(cell_box.min_y, cell_box.max_y),
+        )
+        velocity = group_velocities[index % post_leaders]
+        indexer.update(
+            UpdateMessage(
+                object_id=format_object_id(index),
+                location=location,
+                velocity=velocity,
+                timestamp=0.0,
+            )
+        )
+    indexer.emulator.reset_counters()
+    return indexer, clustering_cell
+
+
+def measure_clustering_latency(
+    pre_leaders: int, post_leaders: int, seed: int = 13
+) -> ClusteringReport:
+    """Run one clustering pass over the synthetic population and report it."""
+    indexer, clustering_cell = _build_leader_population(
+        pre_leaders, post_leaders, seed=seed
+    )
+    return indexer.clusterer.cluster_cell(clustering_cell, now=1.0)
+
+
+def run_fig10a(
+    pre_leader_counts: Sequence[int] = (500, 1000, 2000, 4000),
+    post_leaders: int = 100,
+    seed: int = 13,
+) -> FigureResult:
+    """Clustering latency vs #pre-clustering leaders (fixed post count)."""
+    result = FigureResult(
+        figure_id="fig10a",
+        title="Per-clustering latency vs pre-clustering leaders",
+        x_label="pre-clustering leaders",
+        y_label="seconds (simulated)",
+    )
+    reads, computes, writes, totals = [], [], [], []
+    for pre in pre_leader_counts:
+        report = measure_clustering_latency(pre, post_leaders, seed=seed)
+        reads.append(report.read_seconds)
+        computes.append(report.compute_seconds)
+        writes.append(report.write_seconds)
+        totals.append(report.total_seconds)
+    result.add_series("read time", list(pre_leader_counts), reads)
+    result.add_series("compute time", list(pre_leader_counts), computes)
+    result.add_series("write time", list(pre_leader_counts), writes)
+    result.add_series("total", list(pre_leader_counts), totals)
+    result.add_note(
+        f"post-clustering leaders fixed at {post_leaders}; the paper fixes 1k "
+        "and observes latency growth dominated by read time"
+    )
+    return result
+
+
+def run_fig10b(
+    post_leader_counts: Sequence[int] = (50, 100, 500, 1000, 2000),
+    pre_leaders: int = 4000,
+    seed: int = 13,
+) -> FigureResult:
+    """Clustering latency vs #post-clustering leaders (fixed pre count)."""
+    result = FigureResult(
+        figure_id="fig10b",
+        title="Per-clustering latency vs post-clustering leaders",
+        x_label="post-clustering leaders",
+        y_label="seconds (simulated)",
+    )
+    reads, computes, writes, totals = [], [], [], []
+    for post in post_leader_counts:
+        report = measure_clustering_latency(pre_leaders, post, seed=seed)
+        reads.append(report.read_seconds)
+        computes.append(report.compute_seconds)
+        writes.append(report.write_seconds)
+        totals.append(report.total_seconds)
+    result.add_series("read time", list(post_leader_counts), reads)
+    result.add_series("compute time", list(post_leader_counts), computes)
+    result.add_series("write time", list(post_leader_counts), writes)
+    result.add_series("total", list(post_leader_counts), totals)
+    result.add_note(
+        f"pre-clustering leaders fixed at {pre_leaders}; the paper fixes 10k "
+        "and observes latency largely independent of the reduction ratio"
+    )
+    return result

@@ -1,0 +1,140 @@
+"""Figure 12: FLAG versus fixed NN levels.
+
+* 12(a)/(b) — NN QPS and per-query cost against the search range limit, for
+  FLAG and two fixed search levels (the paper uses S2 levels 19 and 20, i.e.
+  8 m and 4 m cells on a 1 km map; our equivalents are the levels whose cells
+  are 8 and 4 units wide on the 1,000-unit world).
+* 12(c)/(d) — NN QPS and per-query cost against object density (1k-100k
+  objects uniformly placed in the region) at a 10 m search range.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from repro.core.moist import MoistIndexer
+from repro.experiments.common import uniform_leader_indexer
+from repro.experiments.report import FigureResult
+from repro.geometry.point import Point
+
+#: World edge length in metres for these experiments (1 km² map).
+REGION_SIZE = 1000.0
+
+
+def fixed_level_for_cell_size(cell_size_m: float, storage_level: int) -> int:
+    """Level whose cells are ``cell_size_m`` wide on the 1 km world."""
+    level = int(round(math.log2(REGION_SIZE / cell_size_m)))
+    return max(1, min(level, storage_level))
+
+
+def measure_nn_query_cost(
+    indexer: MoistIndexer,
+    k: int,
+    range_limit: float,
+    nn_level: Optional[int],
+    use_flag: bool,
+    num_queries: int = 25,
+    seed: int = 41,
+) -> float:
+    """Mean simulated seconds per NN query for one configuration."""
+    rng = random.Random(seed)
+    before = indexer.emulator.counter.simulated_seconds
+    for _ in range(num_queries):
+        location = Point(
+            rng.uniform(0.0, REGION_SIZE), rng.uniform(0.0, REGION_SIZE)
+        )
+        indexer.nearest_neighbors(
+            location,
+            k,
+            range_limit=range_limit,
+            nn_level=nn_level,
+            use_flag=use_flag,
+        )
+    elapsed = indexer.emulator.counter.simulated_seconds - before
+    return elapsed / num_queries
+
+
+def run_fig12_range(
+    range_limits: Sequence[float] = (20.0, 40.0, 60.0, 80.0, 100.0),
+    num_objects: int = 20000,
+    k: int = 10,
+    storage_level: int = 12,
+    seed: int = 41,
+) -> FigureResult:
+    """NN QPS / cost vs search-range limit for FLAG and fixed levels."""
+    indexer = uniform_leader_indexer(
+        num_objects, region_size=REGION_SIZE, storage_level=storage_level, seed=seed
+    )
+    level_8m = fixed_level_for_cell_size(8.0, storage_level)
+    level_4m = fixed_level_for_cell_size(4.0, storage_level)
+    configurations = (
+        ("FLAG", None, True),
+        (f"fixed level {level_8m} (8m cells)", level_8m, False),
+        (f"fixed level {level_4m} (4m cells)", level_4m, False),
+    )
+    result = FigureResult(
+        figure_id="fig12ab",
+        title="NN QPS and cost vs search range limit",
+        x_label="search range limit (m)",
+        y_label="NN QPS (simulated)",
+    )
+    for label, nn_level, use_flag in configurations:
+        qps_values = []
+        cost_values = []
+        for range_limit in range_limits:
+            cost = measure_nn_query_cost(
+                indexer, k, range_limit, nn_level, use_flag, seed=seed
+            )
+            cost_values.append(cost)
+            qps_values.append(1.0 / cost if cost > 0 else 0.0)
+        result.add_series(f"{label} QPS", list(range_limits), qps_values)
+        result.add_series(f"{label} cost_s", list(range_limits), cost_values)
+    result.add_note(
+        f"{num_objects} static objects uniform in 1 km^2; k={k}; single server"
+    )
+    return result
+
+
+def run_fig12_density(
+    object_counts: Sequence[int] = (1000, 10000, 50000, 100000),
+    range_limit: float = 10.0,
+    k: int = 10,
+    storage_level: int = 12,
+    seed: int = 41,
+) -> FigureResult:
+    """NN QPS / cost vs object density at a fixed 10 m search range."""
+    level_8m = fixed_level_for_cell_size(8.0, storage_level)
+    level_4m = fixed_level_for_cell_size(4.0, storage_level)
+    configurations = (
+        ("FLAG", None, True),
+        (f"fixed level {level_8m} (8m cells)", level_8m, False),
+        (f"fixed level {level_4m} (4m cells)", level_4m, False),
+    )
+    result = FigureResult(
+        figure_id="fig12cd",
+        title="NN QPS and cost vs object density",
+        x_label="objects in 1 km^2",
+        y_label="NN QPS (simulated)",
+    )
+    costs = {label: [] for label, _, _ in configurations}
+    for count in object_counts:
+        indexer = uniform_leader_indexer(
+            count, region_size=REGION_SIZE, storage_level=storage_level, seed=seed
+        )
+        for label, nn_level, use_flag in configurations:
+            costs[label].append(
+                measure_nn_query_cost(
+                    indexer, k, range_limit, nn_level, use_flag, seed=seed
+                )
+            )
+    for label, _, _ in configurations:
+        cost_values = costs[label]
+        qps_values = [1.0 / cost if cost > 0 else 0.0 for cost in cost_values]
+        result.add_series(f"{label} QPS", list(object_counts), qps_values)
+        result.add_series(f"{label} cost_s", list(object_counts), cost_values)
+    result.add_note(
+        f"10 m search range, k={k}; FLAG adapts its level as density grows"
+    )
+    return result

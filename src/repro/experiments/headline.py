@@ -1,0 +1,93 @@
+"""The paper's headline comparisons (Sections 1 and 4).
+
+1. A single MOIST front-end with no object schools sustains ~8k updates/s at
+   one million indexed objects, roughly 2x the ~3k updates/s of the Bx-tree.
+2. On a road-network workload roughly 80 % of updates are shed by object
+   schools.
+3. With 10 servers and schools enabled, effective update throughput reaches
+   ~60k QPS — a ~80x improvement over the Bx-tree number.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bxtree import BxTree, BxTreeConfig
+from repro.core.moist import MoistIndexer
+from repro.experiments.common import dense_road_config, school_config, uniform_leader_indexer
+from repro.experiments.fig13_qps import measure_update_qps
+from repro.experiments.report import FigureResult
+from repro.server.cluster import ServerCluster
+from repro.server.loadtest import LoadTest
+from repro.workload.generator import RoadNetworkWorkload
+from repro.workload.uniform import UniformWorkload
+
+
+def measure_bxtree_update_qps(num_objects: int = 20000, num_updates: int = 5000, seed: int = 71) -> float:
+    """Simulated update throughput of the Bx-tree baseline."""
+    workload = UniformWorkload(num_objects=num_objects, seed=seed)
+    tree = BxTree(BxTreeConfig())
+    for message in workload.initial_updates():
+        tree.update(message)
+    tree.stats.simulated_seconds = 0.0
+    tree.stats.updates = 0
+    for index in range(num_updates):
+        tree.update(workload.random_update(timestamp=1.0 + index * 1e-3))
+    if tree.stats.simulated_seconds <= 0:
+        return 0.0
+    return tree.stats.updates / tree.stats.simulated_seconds
+
+
+def measure_road_network_shed_ratio(
+    num_objects: int = 800, duration_s: float = 90.0, seed: int = 3
+) -> float:
+    """Shed ratio of MOIST with schools on the road-network workload."""
+    indexer = MoistIndexer(school_config())
+    workload = RoadNetworkWorkload(dense_road_config(num_objects, seed=seed))
+    elapsed = 0.0
+    while elapsed < duration_s:
+        elapsed += 1.0
+        for message in workload.advance_to(elapsed):
+            indexer.update(message)
+        indexer.run_due_clustering(elapsed)
+    return indexer.shed_ratio()
+
+
+def run_headline(
+    num_objects: int = 20000,
+    num_updates: int = 5000,
+    shed_objects: int = 800,
+    seed: int = 71,
+) -> FigureResult:
+    """The headline table: MOIST vs Bx-tree update throughput and shedding."""
+    result = FigureResult(
+        figure_id="headline",
+        title="Headline comparison: MOIST vs Bx-tree",
+        x_label="row",
+        y_label="value",
+    )
+    bx_qps = measure_bxtree_update_qps(num_objects, num_updates, seed=seed)
+    single = measure_update_qps(num_objects, num_servers=1, num_updates=num_updates, seed=seed)
+    ten = measure_update_qps(num_objects, num_servers=10, num_updates=num_updates, seed=seed)
+    shed_ratio = measure_road_network_shed_ratio(shed_objects, seed=seed % 7 + 1)
+    # With schools, roughly 1/(1 - shed_ratio) client updates are absorbed per
+    # storage-visible update, so the effective client-facing throughput of the
+    # 10-server deployment scales accordingly (this is the paper's ~80x
+    # argument: ~8x from servers, ~5x-10x from shedding).
+    effective_ten_qps = ten.qps / max(1.0 - shed_ratio, 1e-6)
+
+    rows = [
+        ("bx_tree_update_qps", bx_qps),
+        ("moist_single_server_qps", single.qps),
+        ("moist_single_vs_bx", single.qps / bx_qps if bx_qps > 0 else 0.0),
+        ("moist_10_server_qps", ten.qps),
+        ("road_network_shed_ratio", shed_ratio),
+        ("moist_10_server_effective_qps", effective_ten_qps),
+        ("moist_10_server_effective_vs_bx", effective_ten_qps / bx_qps if bx_qps > 0 else 0.0),
+    ]
+    result.add_series("value", list(range(len(rows))), [value for _, value in rows])
+    for index, (label, value) in enumerate(rows):
+        result.add_note(f"row {index}: {label} = {value:.2f}")
+    result.add_note(
+        "paper: Bx-tree ~3k updates/s, MOIST single server ~8k (2x), 10 servers + "
+        "schools ~60k effective (~80x), ~80% of road-network updates shed"
+    )
+    return result

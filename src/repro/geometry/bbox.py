@@ -1,0 +1,150 @@
+"""Axis-aligned bounding box."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SpatialError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Used to describe spatial cells, road-network buildings, and query
+    regions.  Construction validates that the box is non-degenerate in the
+    sense ``min <= max`` (zero-area boxes are permitted: a cell at the
+    maximum level may collapse to a point in a discretised space).
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise SpatialError(
+                f"invalid bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "BoundingBox":
+        """Smallest box containing every point in ``points``.
+
+        Raises :class:`SpatialError` when ``points`` is empty.
+        """
+        xs = []
+        ys = []
+        for point in points:
+            xs.append(point.x)
+            ys.append(point.y)
+        if not xs:
+            raise SpatialError("cannot build a bounding box from zero points")
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def from_center(center: Point, half_width: float, half_height: float) -> "BoundingBox":
+        """Box centred on ``center`` with the given half extents."""
+        return BoundingBox(
+            center.x - half_width,
+            center.y - half_height,
+            center.x + half_width,
+            center.y + half_height,
+        )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def center(self) -> Point:
+        """Centre point of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corner points counter-clockwise from the minimum."""
+        yield Point(self.min_x, self.min_y)
+        yield Point(self.max_x, self.min_y)
+        yield Point(self.max_x, self.max_y)
+        yield Point(self.min_x, self.max_y)
+
+    def contains_point(self, point: Point) -> bool:
+        """True when ``point`` is inside or on the border of the box."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """True when ``other`` lies entirely within this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the two boxes share at least a border point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox":
+        """The overlapping region of the two boxes.
+
+        Raises :class:`SpatialError` when the boxes do not intersect.
+        """
+        if not self.intersects(other):
+            raise SpatialError("bounding boxes do not intersect")
+        return BoundingBox(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def clamp_point(self, point: Point) -> Point:
+        """Closest point inside the box to ``point``."""
+        return point.clamped(self.min_x, self.min_y, self.max_x, self.max_y)
+
+    def distance_to_point(self, point: Point) -> float:
+        """Shortest distance from the box to ``point`` (0 when inside).
+
+        This is the cell-to-query-location distance used by the nearest
+        neighbour search (Algorithm 2): the distance from a cell to ``loc``
+        lower-bounds the distance of every object stored in that cell.
+        """
+        return self.clamp_point(point).distance_to(point)

@@ -1,0 +1,33 @@
+"""Free-standing distance helpers.
+
+Most code uses the methods on :class:`~repro.geometry.point.Point` and
+:class:`~repro.geometry.bbox.BoundingBox`; these module-level functions exist
+for call sites that work on raw coordinate pairs (e.g. the Hilbert-curve code
+and the workload generators, which keep coordinates as plain floats for
+speed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+
+def euclidean_distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Euclidean distance between two ``(x, y)`` tuples."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def squared_distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Squared Euclidean distance between two ``(x, y)`` tuples."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def point_to_box_distance(point: Point, box: BoundingBox) -> float:
+    """Shortest distance from ``point`` to ``box`` (0 when the point is inside)."""
+    return box.distance_to_point(point)

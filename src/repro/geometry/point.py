@@ -1,0 +1,74 @@
+"""Immutable 2-D point."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.geometry.vector import Vector
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A location on the plane.
+
+    Points are immutable so they can be stored directly inside table records
+    and used as dictionary keys when deduplicating query results.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def displaced(self, vector: "Vector") -> "Point":
+        """Return the point reached by applying ``vector`` to this point."""
+        return Point(self.x + vector.dx, self.y + vector.dy)
+
+    def displacement_to(self, other: "Point") -> "Vector":
+        """Return the vector that moves this point onto ``other``."""
+        from repro.geometry.vector import Vector
+
+        return Vector(other.x - self.x, other.y - self.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by raw deltas."""
+        return Point(self.x + dx, self.y + dy)
+
+    def clamped(self, min_x: float, min_y: float, max_x: float, max_y: float) -> "Point":
+        """Return a copy clamped to the given inclusive rectangle."""
+        return Point(
+            min(max(self.x, min_x), max_x),
+            min(max(self.y, min_y), max_y),
+        )
+
+    def is_finite(self) -> bool:
+        """True when both coordinates are finite numbers."""
+        return math.isfinite(self.x) and math.isfinite(self.y)
+
+    @staticmethod
+    def origin() -> "Point":
+        """The point ``(0, 0)``."""
+        return Point(0.0, 0.0)

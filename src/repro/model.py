@@ -1,0 +1,102 @@
+"""Domain records shared across the MOIST subsystems.
+
+These are the payloads that flow between the workload generators, the
+front-end servers and the storage tables: an object's identifier, a
+timestamped location record and the update message of Algorithm 1
+(``(ID, Loc, V, t)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+
+#: Object identifiers are plain strings ("OID" in the paper).  Integer ids
+#: from the workload generators are formatted with :func:`format_object_id`
+#: so they sort sensibly as BigTable row keys.
+ObjectId = str
+
+
+def format_object_id(number: int) -> ObjectId:
+    """Zero-padded object id usable as a BigTable row key."""
+    if number < 0:
+        raise SchemaError(f"object id numbers must be non-negative, got {number}")
+    return f"obj{number:010d}"
+
+
+@dataclass(frozen=True)
+class LocationRecord:
+    """One timestamped location/velocity observation of an object.
+
+    This is what the Location Table stores per row version (Section 3.1.2):
+    "each location record includes various information such as location,
+    velocity, etc of the object".
+    """
+
+    location: Point
+    velocity: Vector
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if not self.location.is_finite() or not self.velocity.is_finite():
+            raise SchemaError("location records require finite coordinates")
+
+    def extrapolated(self, at_time: float) -> Point:
+        """Linear dead-reckoning of the object's position at ``at_time``.
+
+        Used when computing a follower's estimated location: the leader's
+        latest record is advanced to the follower's update time before the
+        stored displacement is applied (Section 3.3.1, step iii).
+        """
+        dt = at_time - self.timestamp
+        return Point(
+            self.location.x + self.velocity.dx * dt,
+            self.location.y + self.velocity.dy * dt,
+        )
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """The 4-tuple ``(ID, Loc, V, t)`` consumed by the update procedure."""
+
+    object_id: ObjectId
+    location: Point
+    velocity: Vector
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if not self.object_id:
+            raise SchemaError("update messages require a non-empty object id")
+        if not self.location.is_finite() or not self.velocity.is_finite():
+            raise SchemaError("update messages require finite coordinates")
+
+    def as_record(self) -> LocationRecord:
+        """The location record this update contributes."""
+        return LocationRecord(
+            location=self.location, velocity=self.velocity, timestamp=self.timestamp
+        )
+
+
+@dataclass(frozen=True)
+class NeighborResult:
+    """One entry returned by a nearest-neighbour query."""
+
+    object_id: ObjectId
+    location: Point
+    distance: float
+    is_leader: bool
+    leader_id: Optional[ObjectId] = None
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One archived observation returned by a history query."""
+
+    object_id: ObjectId
+    location: Point
+    velocity: Vector
+    timestamp: float

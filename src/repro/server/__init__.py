@@ -1,0 +1,25 @@
+"""Front-end servers, multi-server clusters and load testing.
+
+The paper's Figures 13(a)-(c) measure update QPS for one, five and ten MOIST
+front-end servers sharing a single BigTable.  The model here mirrors that
+deployment: every server forwards its requests to the shared
+:class:`~repro.bigtable.emulator.BigtableEmulator`, accumulates the simulated
+service time of the requests it handled (per-request server overhead plus the
+storage time, inflated by a shared-store contention factor that grows mildly
+with the number of servers), and the cluster's throughput over an interval is
+the requests completed divided by the busiest server's simulated time.
+"""
+
+from repro.server.frontend import FrontendServer
+from repro.server.cluster import ServerCluster
+from repro.server.client import ClientSimulator
+from repro.server.loadtest import LoadTest, LoadTestResult, TimelinePoint
+
+__all__ = [
+    "FrontendServer",
+    "ServerCluster",
+    "ClientSimulator",
+    "LoadTest",
+    "LoadTestResult",
+    "TimelinePoint",
+]

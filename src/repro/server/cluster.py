@@ -1,0 +1,109 @@
+"""A cluster of MOIST front-end servers sharing one BigTable."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.moist import MoistIndexer
+from repro.core.nn_search import NNQueryStats
+from repro.core.update import UpdateResult
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.model import NeighborResult, UpdateMessage
+from repro.server.frontend import FrontendServer
+
+
+class ServerCluster:
+    """Dispatches requests round-robin over ``num_servers`` front-ends.
+
+    MOIST front-ends are stateless apart from the shared key-value store, so
+    adding servers divides the per-server load; the only cross-server cost is
+    contention on the shared BigTable, modelled as a mild inflation of
+    storage time that grows with the cluster size ("MOIST has very little
+    communication overhead with the increase in the number of machines",
+    Section 4.3.3).
+    """
+
+    def __init__(
+        self,
+        indexer: MoistIndexer,
+        num_servers: int,
+        request_overhead_s: float = 12e-6,
+        contention_alpha: float = 0.025,
+    ) -> None:
+        if num_servers <= 0:
+            raise ConfigurationError("a cluster needs at least one server")
+        if contention_alpha < 0:
+            raise ConfigurationError("contention_alpha must be non-negative")
+        self.indexer = indexer
+        self.contention_alpha = contention_alpha
+        contention = 1.0 + contention_alpha * (num_servers - 1)
+        self.servers: List[FrontendServer] = [
+            FrontendServer(
+                server_id=index,
+                indexer=indexer,
+                request_overhead_s=request_overhead_s,
+                storage_contention_factor=contention,
+            )
+            for index in range(num_servers)
+        ]
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def _pick_server(self) -> FrontendServer:
+        server = self.servers[self._next]
+        self._next = (self._next + 1) % len(self.servers)
+        return server
+
+    def submit_update(self, message: UpdateMessage) -> UpdateResult:
+        """Route one update to the next server."""
+        return self._pick_server().handle_update(message)
+
+    def submit_nn_query(
+        self,
+        location: Point,
+        k: int,
+        range_limit: Optional[float] = None,
+        nn_level: Optional[int] = None,
+        use_flag: bool = True,
+        stats: Optional[NNQueryStats] = None,
+    ) -> List[NeighborResult]:
+        """Route one NN query to the next server."""
+        return self._pick_server().handle_nn_query(
+            location,
+            k,
+            range_limit=range_limit,
+            nn_level=nn_level,
+            use_flag=use_flag,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def makespan_seconds(self) -> float:
+        """Simulated time needed to finish the submitted work: the busiest
+        server determines when the cluster is done."""
+        return max(server.busy_seconds for server in self.servers)
+
+    def total_requests(self) -> int:
+        """Requests handled across all servers."""
+        return sum(server.requests_handled for server in self.servers)
+
+    def throughput_qps(self) -> float:
+        """Aggregate requests per simulated second."""
+        makespan = self.makespan_seconds()
+        if makespan <= 0:
+            return 0.0
+        return self.total_requests() / makespan
+
+    def reset_metrics(self) -> None:
+        """Zero every server's accounting."""
+        for server in self.servers:
+            server.reset_metrics()

@@ -1,0 +1,103 @@
+"""A single MOIST front-end server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.moist import MoistIndexer
+from repro.core.nn_search import NNQueryStats
+from repro.errors import ConfigurationError
+from repro.core.update import UpdateResult
+from repro.geometry.point import Point
+from repro.model import NeighborResult, UpdateMessage
+
+
+@dataclass
+class FrontendServer:
+    """One front-end process handling update and query RPCs.
+
+    Servers in a cluster share the same :class:`MoistIndexer` (and therefore
+    the same BigTable emulator); each server accounts the simulated time of
+    the requests *it* handled so the cluster can compute per-server load and
+    the overall makespan.
+    """
+
+    server_id: int
+    indexer: MoistIndexer
+    #: Fixed per-request CPU/RPC overhead on the server itself, on top of
+    #: storage time (request parsing, response serialisation).
+    request_overhead_s: float = 12e-6
+    #: Multiplier applied to storage time to model contention on the shared
+    #: BigTable; set by the cluster based on its size.
+    storage_contention_factor: float = 1.0
+
+    busy_seconds: float = field(default=0.0, init=False)
+    updates_handled: int = field(default=0, init=False)
+    queries_handled: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.request_overhead_s < 0:
+            raise ConfigurationError("request_overhead_s must be non-negative")
+        if self.storage_contention_factor < 1.0:
+            raise ConfigurationError("storage_contention_factor must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    def handle_update(self, message: UpdateMessage) -> UpdateResult:
+        """Process one location update and account its service time."""
+        before = self.indexer.emulator.counter.simulated_seconds
+        result = self.indexer.update(message)
+        storage = self.indexer.emulator.counter.simulated_seconds - before
+        self.busy_seconds += (
+            self.request_overhead_s + storage * self.storage_contention_factor
+        )
+        self.updates_handled += 1
+        return result
+
+    def handle_nn_query(
+        self,
+        location: Point,
+        k: int,
+        range_limit: Optional[float] = None,
+        nn_level: Optional[int] = None,
+        use_flag: bool = True,
+        stats: Optional[NNQueryStats] = None,
+    ) -> List[NeighborResult]:
+        """Process one nearest-neighbour query and account its service time."""
+        before = self.indexer.emulator.counter.simulated_seconds
+        results = self.indexer.nearest_neighbors(
+            location,
+            k,
+            range_limit=range_limit,
+            nn_level=nn_level,
+            use_flag=use_flag,
+            stats=stats,
+        )
+        storage = self.indexer.emulator.counter.simulated_seconds - before
+        self.busy_seconds += (
+            self.request_overhead_s + storage * self.storage_contention_factor
+        )
+        self.queries_handled += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def requests_handled(self) -> int:
+        """Total requests (updates + queries) handled so far."""
+        return self.updates_handled + self.queries_handled
+
+    def mean_service_time(self) -> float:
+        """Average simulated service time per request."""
+        if self.requests_handled == 0:
+            return 0.0
+        return self.busy_seconds / self.requests_handled
+
+    def reset_metrics(self) -> None:
+        """Zero the per-server accounting (between experiment intervals)."""
+        self.busy_seconds = 0.0
+        self.updates_handled = 0
+        self.queries_handled = 0

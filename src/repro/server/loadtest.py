@@ -1,0 +1,182 @@
+"""Load tests producing the QPS figures of Section 4.3."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.model import UpdateMessage
+from repro.server.client import ClientSimulator, build_client_fleet
+from repro.server.cluster import ServerCluster
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One point of a QPS-over-time plot (Figures 13b/13c)."""
+
+    time_s: float
+    qps: float
+    failed_qps: float
+
+
+@dataclass
+class LoadTestResult:
+    """Outcome of one load test."""
+
+    total_requests: int
+    failed_requests: int
+    simulated_seconds: float
+    qps: float
+    per_server_qps: List[float] = field(default_factory=list)
+    timeline: List[TimelinePoint] = field(default_factory=list)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean simulated service time per request."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.simulated_seconds / self.total_requests
+
+
+class LoadTest:
+    """Drives a server cluster with client-simulator traffic."""
+
+    def __init__(
+        self,
+        cluster: ServerCluster,
+        clients: Optional[Sequence[ClientSimulator]] = None,
+        failure_probability: float = 0.002,
+        seed: int = 404,
+    ) -> None:
+        if not 0.0 <= failure_probability < 1.0:
+            raise ConfigurationError("failure_probability must be in [0, 1)")
+        self.cluster = cluster
+        self.clients = list(clients) if clients is not None else []
+        self.failure_probability = failure_probability
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Update load tests
+    # ------------------------------------------------------------------
+    def run_updates(
+        self,
+        messages: Sequence[UpdateMessage],
+        bucket_requests: int = 1000,
+    ) -> LoadTestResult:
+        """Feed a fixed update stream through the cluster.
+
+        ``bucket_requests`` controls the resolution of the QPS timeline: one
+        timeline point is emitted per that many requests, using the
+        simulated makespan growth within the bucket.
+        """
+        if bucket_requests <= 0:
+            raise ConfigurationError("bucket_requests must be positive")
+        self.cluster.reset_metrics()
+        timeline: List[TimelinePoint] = []
+        failed = 0
+        completed = 0
+        bucket_start_makespan = 0.0
+        bucket_completed = 0
+        bucket_failed = 0
+        for message in messages:
+            if self.failure_probability and self.rng.random() < self.failure_probability:
+                # The RPC failed before reaching a server (overload/timeouts
+                # in the paper's plots); it consumes no simulated time and is
+                # excluded from the QPS numerator, matching the dashed series
+                # of Figures 13b/13c.
+                failed += 1
+                bucket_failed += 1
+                continue
+            self.cluster.submit_update(message)
+            completed += 1
+            bucket_completed += 1
+            if bucket_completed >= bucket_requests:
+                makespan = self.cluster.makespan_seconds()
+                elapsed = max(makespan - bucket_start_makespan, 1e-12)
+                timeline.append(
+                    TimelinePoint(
+                        time_s=makespan,
+                        qps=bucket_completed / elapsed,
+                        failed_qps=bucket_failed / elapsed,
+                    )
+                )
+                bucket_start_makespan = makespan
+                bucket_completed = 0
+                bucket_failed = 0
+        makespan = self.cluster.makespan_seconds()
+        if bucket_completed > 0:
+            elapsed = max(makespan - bucket_start_makespan, 1e-12)
+            timeline.append(
+                TimelinePoint(
+                    time_s=makespan,
+                    qps=bucket_completed / elapsed,
+                    failed_qps=bucket_failed / elapsed,
+                )
+            )
+        per_server = [
+            (server.requests_handled / server.busy_seconds)
+            if server.busy_seconds > 0
+            else 0.0
+            for server in self.cluster.servers
+        ]
+        return LoadTestResult(
+            total_requests=completed,
+            failed_requests=failed,
+            simulated_seconds=makespan,
+            qps=completed / makespan if makespan > 0 else 0.0,
+            per_server_qps=per_server,
+            timeline=timeline,
+        )
+
+    def run_client_bursts(
+        self,
+        duration_s: float,
+        requests_per_burst: int = 100,
+        burst_interval_s: float = 1.0,
+    ) -> LoadTestResult:
+        """Drive the cluster with bursts from every client simulator.
+
+        Each burst models the client's concurrent in-flight RPCs (the
+        paper's "100 concurrent RPC for each client").
+        """
+        if not self.clients:
+            raise ConfigurationError("run_client_bursts needs client simulators")
+        if duration_s <= 0 or burst_interval_s <= 0:
+            raise ConfigurationError("duration and burst interval must be positive")
+        messages: List[UpdateMessage] = []
+        now = 0.0
+        while now < duration_s:
+            for client in self.clients:
+                messages.extend(client.burst(now, requests_per_burst))
+            now += burst_interval_s
+        return self.run_updates(messages)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_fleet(
+        cls,
+        cluster: ServerCluster,
+        num_clients: int,
+        total_objects: int,
+        threads: int = 100,
+        failure_probability: float = 0.002,
+        seed: int = 404,
+    ) -> "LoadTest":
+        """Build a load test with an evenly partitioned client fleet."""
+        clients = build_client_fleet(
+            num_clients=num_clients,
+            total_objects=total_objects,
+            region=cluster.indexer.config.world,
+            threads=threads,
+            seed=seed,
+        )
+        return cls(
+            cluster,
+            clients=clients,
+            failure_probability=failure_probability,
+            seed=seed,
+        )

@@ -1,0 +1,37 @@
+"""Hierarchical spatial indexer (the paper's S2Cell substitute).
+
+The indexer recursively decomposes a square world into ``2^l x 2^l`` grids
+and keys each grid cell by its position along a Hilbert space-filling curve
+(Section 3.2.1).  The resulting integer keys have the property the paper
+relies on throughout:
+
+* cells that are geographically close tend to have close keys (locality), and
+* all descendants of a cell occupy one *contiguous* key range, so a
+  coarse-level cell can be fetched from the Spatial Index Table with a single
+  range scan (Section 3.4.1).
+
+``CellId`` is the public handle; ``hilbert`` and ``zcurve`` expose the raw
+curve encodings (the Z-curve exists for the locality ablation benchmark);
+``covering`` approximates arbitrary rectangles by cell unions; ``cube``
+provides the 6-face wrapper used when indexing the surface of the Earth.
+"""
+
+from repro.spatial.hilbert import hilbert_index, hilbert_point
+from repro.spatial.zcurve import z_index, z_point
+from repro.spatial.cell import CellId, MAX_LEVEL, WORLD_UNIT_BOX
+from repro.spatial.covering import cover_box, cover_circle
+from repro.spatial.cube import FaceCellId, face_for_lat_lng
+
+__all__ = [
+    "hilbert_index",
+    "hilbert_point",
+    "z_index",
+    "z_point",
+    "CellId",
+    "MAX_LEVEL",
+    "WORLD_UNIT_BOX",
+    "cover_box",
+    "cover_circle",
+    "FaceCellId",
+    "face_for_lat_lng",
+]

@@ -1,0 +1,250 @@
+"""Hierarchical Hilbert-curve cells.
+
+A :class:`CellId` identifies one square cell of the recursive decomposition
+described in Section 3.2.1: at level ``l`` the world square is divided into a
+``2^l x 2^l`` grid and each cell is numbered by its position along the
+Hilbert curve of order ``l``.
+
+Two properties of this numbering drive the whole design:
+
+* **Locality** — nearby cells get nearby curve positions, so the Spatial
+  Index Table (keyed by curve position) keeps nearby objects in nearby rows.
+* **Prefix ranges** — all level-``MAX_LEVEL`` descendants of a level-``l``
+  cell form one contiguous interval of curve positions.  A cell's *key
+  range* is that interval, which is exactly the contiguous row range the
+  nearest-neighbour search scans per NN cell (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import SpatialError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.spatial.hilbert import hilbert_index, hilbert_point
+
+#: Finest decomposition level supported.  2^24 cells per side is ~6 cm
+#: resolution on a 1,000 km world edge, far finer than any experiment needs.
+MAX_LEVEL = 24
+
+#: The canonical normalised world of the paper's formalisation (Section
+#: 3.2.1 maps locations into [0, 1]^2).
+WORLD_UNIT_BOX = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+#: Width of the zero-padded hexadecimal row-key token.  4^24 fits in 48 bits,
+#: i.e. 12 hex digits.
+_KEY_WIDTH = (2 * MAX_LEVEL + 3) // 4
+
+
+@dataclass(frozen=True, order=True)
+class CellId:
+    """One cell of the hierarchical decomposition.
+
+    The sort order is ``(level, pos)`` which keeps same-level cells in curve
+    order; cross-level comparisons are only used for deterministic tie
+    breaking inside priority queues.
+    """
+
+    level: int
+    pos: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.level <= MAX_LEVEL:
+            raise SpatialError(
+                f"cell level {self.level} outside [0, {MAX_LEVEL}]"
+            )
+        if not 0 <= self.pos < (1 << (2 * self.level)):
+            raise SpatialError(
+                f"cell position {self.pos} out of range for level {self.level}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(
+        cls, point: Point, level: int, world: BoundingBox = WORLD_UNIT_BOX
+    ) -> "CellId":
+        """Cell at ``level`` containing ``point`` (points outside the world
+        are clamped onto its border, mirroring how a GPS fix just outside the
+        indexed region would be snapped to the nearest indexed cell)."""
+        if not 0 <= level <= MAX_LEVEL:
+            raise SpatialError(f"cell level {level} outside [0, {MAX_LEVEL}]")
+        if level == 0:
+            return cls(0, 0)
+        clamped = world.clamp_point(point)
+        side = 1 << level
+        gx = _grid_coordinate(clamped.x, world.min_x, world.width, side)
+        gy = _grid_coordinate(clamped.y, world.min_y, world.height, side)
+        return cls(level, hilbert_index(level, gx, gy))
+
+    @classmethod
+    def from_token(cls, token: str, level: int) -> "CellId":
+        """Reconstruct a cell from a row-key token produced by :meth:`key`."""
+        min_pos = int(token, 16)
+        shift = 2 * (MAX_LEVEL - level)
+        if min_pos % (1 << shift):
+            raise SpatialError(
+                f"token {token!r} is not aligned to a level-{level} cell"
+            )
+        return cls(level, min_pos >> shift)
+
+    # ------------------------------------------------------------------
+    # Hierarchy
+    # ------------------------------------------------------------------
+    def parent(self, level: Optional[int] = None) -> "CellId":
+        """Ancestor at ``level`` (default: the immediate parent)."""
+        target = self.level - 1 if level is None else level
+        if target < 0 or target > self.level:
+            raise SpatialError(
+                f"invalid parent level {target} for a level-{self.level} cell"
+            )
+        return CellId(target, self.pos >> (2 * (self.level - target)))
+
+    def children(self) -> List["CellId"]:
+        """The four level ``level+1`` cells contained in this cell."""
+        if self.level >= MAX_LEVEL:
+            raise SpatialError("cannot subdivide a cell at MAX_LEVEL")
+        base = self.pos << 2
+        return [CellId(self.level + 1, base + i) for i in range(4)]
+
+    def contains(self, other: "CellId") -> bool:
+        """True when ``other`` is this cell or one of its descendants."""
+        if other.level < self.level:
+            return False
+        return (other.pos >> (2 * (other.level - self.level))) == self.pos
+
+    # ------------------------------------------------------------------
+    # Row keys
+    # ------------------------------------------------------------------
+    def range_min(self) -> int:
+        """Smallest MAX_LEVEL curve position contained in this cell."""
+        return self.pos << (2 * (MAX_LEVEL - self.level))
+
+    def range_max(self) -> int:
+        """Largest MAX_LEVEL curve position contained in this cell."""
+        shift = 2 * (MAX_LEVEL - self.level)
+        return ((self.pos + 1) << shift) - 1
+
+    def key(self) -> str:
+        """Fixed-width hexadecimal row-key token.
+
+        Lexicographic order of tokens equals numeric order of curve
+        positions, so a BigTable range scan over ``[key(), key_range()[1])``
+        returns exactly the rows of this cell's descendants.
+        """
+        return format(self.range_min(), f"0{_KEY_WIDTH}x")
+
+    def key_range(self) -> Tuple[str, str]:
+        """Half-open row-key interval ``[start, end)`` covering this cell."""
+        start = format(self.range_min(), f"0{_KEY_WIDTH}x")
+        end_pos = self.range_max() + 1
+        if end_pos >= (1 << (2 * MAX_LEVEL)):
+            # The last cell of the curve: use a sentinel that sorts after
+            # every valid fixed-width hexadecimal key.
+            end = "g" * _KEY_WIDTH
+        else:
+            end = format(end_pos, f"0{_KEY_WIDTH}x")
+        return start, end
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def grid_coordinates(self) -> Tuple[int, int]:
+        """Grid coordinate ``(x, y)`` of this cell at its own level."""
+        if self.level == 0:
+            return (0, 0)
+        return hilbert_point(self.level, self.pos)
+
+    def to_box(self, world: BoundingBox = WORLD_UNIT_BOX) -> BoundingBox:
+        """The rectangle this cell occupies in world coordinates."""
+        side = 1 << self.level
+        gx, gy = self.grid_coordinates()
+        cell_w = world.width / side
+        cell_h = world.height / side
+        return BoundingBox(
+            world.min_x + gx * cell_w,
+            world.min_y + gy * cell_h,
+            world.min_x + (gx + 1) * cell_w,
+            world.min_y + (gy + 1) * cell_h,
+        )
+
+    def center(self, world: BoundingBox = WORLD_UNIT_BOX) -> Point:
+        """Centre point of the cell in world coordinates."""
+        return self.to_box(world).center()
+
+    def distance_to_point(
+        self, point: Point, world: BoundingBox = WORLD_UNIT_BOX
+    ) -> float:
+        """Shortest distance from any point of the cell to ``point``.
+
+        Lower-bounds the distance of every object indexed under this cell,
+        which is the pruning rule of the NN search (Algorithm 2, line 7).
+        """
+        return self.to_box(world).distance_to_point(point)
+
+    def edge_neighbors(self) -> List["CellId"]:
+        """Same-level cells sharing an edge with this cell.
+
+        Cells on the world border have fewer than four neighbours; the NN
+        search pushes whatever neighbours exist (Algorithm 2, line 19).
+        """
+        if self.level == 0:
+            return []
+        side = 1 << self.level
+        gx, gy = self.grid_coordinates()
+        neighbors = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx = gx + dx
+            ny = gy + dy
+            if 0 <= nx < side and 0 <= ny < side:
+                neighbors.append(CellId(self.level, hilbert_index(self.level, nx, ny)))
+        return neighbors
+
+    def all_neighbors(self) -> List["CellId"]:
+        """Same-level cells sharing an edge or a corner (8-neighbourhood)."""
+        if self.level == 0:
+            return []
+        side = 1 << self.level
+        gx, gy = self.grid_coordinates()
+        neighbors = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                nx = gx + dx
+                ny = gy + dy
+                if 0 <= nx < side and 0 <= ny < side:
+                    neighbors.append(
+                        CellId(self.level, hilbert_index(self.level, nx, ny))
+                    )
+        return neighbors
+
+    def descendants_at(self, level: int) -> Iterator["CellId"]:
+        """Yield every descendant of this cell at the given finer ``level``."""
+        if level < self.level or level > MAX_LEVEL:
+            raise SpatialError(
+                f"invalid descendant level {level} for a level-{self.level} cell"
+            )
+        shift = 2 * (level - self.level)
+        base = self.pos << shift
+        for offset in range(1 << shift):
+            yield CellId(level, base + offset)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellId(level={self.level}, pos={self.pos})"
+
+
+def _grid_coordinate(value: float, origin: float, extent: float, side: int) -> int:
+    """Map a world coordinate onto a grid index in ``[0, side)``."""
+    if extent <= 0:
+        raise SpatialError("world box has zero extent")
+    fraction = (value - origin) / extent
+    index = int(fraction * side)
+    if index >= side:
+        index = side - 1
+    if index < 0:
+        index = 0
+    return index

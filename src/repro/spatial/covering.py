@@ -1,0 +1,117 @@
+"""Approximate regions by unions of same-level cells.
+
+Section 3.2.1 notes that "an arbitrary region can be approximated by a
+collection of cells".  The covering helpers below are used by range queries
+(realtime-coupon example), by the clustering pass (enumerating the spatial
+cells inside a clustering cell) and by history queries over a region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import SpatialError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.spatial.cell import CellId, MAX_LEVEL, WORLD_UNIT_BOX
+from repro.spatial.hilbert import hilbert_index
+
+
+def cover_box(
+    region: BoundingBox,
+    level: int,
+    world: BoundingBox = WORLD_UNIT_BOX,
+) -> List[CellId]:
+    """All level-``level`` cells that intersect ``region``.
+
+    The result is sorted by curve position so consecutive cells can be
+    coalesced into range scans by the caller.
+    """
+    if not 0 <= level <= MAX_LEVEL:
+        raise SpatialError(f"cover level {level} outside [0, {MAX_LEVEL}]")
+    clipped_min = world.clamp_point(Point(region.min_x, region.min_y))
+    clipped_max = world.clamp_point(Point(region.max_x, region.max_y))
+    side = 1 << level
+    cell_w = world.width / side
+    cell_h = world.height / side
+    gx_min = _clamp_index((clipped_min.x - world.min_x) / cell_w, side)
+    gx_max = _clamp_index((clipped_max.x - world.min_x) / cell_w, side)
+    gy_min = _clamp_index((clipped_min.y - world.min_y) / cell_h, side)
+    gy_max = _clamp_index((clipped_max.y - world.min_y) / cell_h, side)
+    cells = []
+    for gx in range(gx_min, gx_max + 1):
+        for gy in range(gy_min, gy_max + 1):
+            cells.append(CellId(level, hilbert_index(level, gx, gy)))
+    cells.sort(key=lambda cell: cell.pos)
+    return cells
+
+
+def cover_circle(
+    center: Point,
+    radius: float,
+    level: int,
+    world: BoundingBox = WORLD_UNIT_BOX,
+) -> List[CellId]:
+    """Level-``level`` cells intersecting the disc around ``center``.
+
+    The covering first takes the bounding-box cells then discards cells whose
+    minimum distance to the centre exceeds the radius.
+    """
+    if radius < 0:
+        raise SpatialError(f"radius must be non-negative, got {radius}")
+    box = BoundingBox.from_center(center, radius, radius)
+    candidates = cover_box(box, level, world)
+    return [
+        cell
+        for cell in candidates
+        if cell.distance_to_point(center, world) <= radius
+    ]
+
+
+def coalesce_ranges(cells: List[CellId]) -> List[tuple]:
+    """Merge curve-adjacent same-level cells into ``(start_key, end_key)`` scans.
+
+    BigTable range scans are far cheaper than repeated point reads (Section
+    3.1), so callers that fetch many cells first coalesce adjacent ones.
+    """
+    if not cells:
+        return []
+    levels = {cell.level for cell in cells}
+    if len(levels) != 1:
+        raise SpatialError("coalesce_ranges requires cells of a single level")
+    ordered = sorted(cells, key=lambda cell: cell.pos)
+    ranges = []
+    run_start = ordered[0]
+    previous = ordered[0]
+    for cell in ordered[1:]:
+        if cell.pos == previous.pos + 1:
+            previous = cell
+            continue
+        ranges.append((run_start.key_range()[0], previous.key_range()[1]))
+        run_start = cell
+        previous = cell
+    ranges.append((run_start.key_range()[0], previous.key_range()[1]))
+    return ranges
+
+
+def level_for_resolution(
+    resolution: float, world: BoundingBox = WORLD_UNIT_BOX
+) -> int:
+    """Coarsest level whose cells are no wider than ``resolution`` world units."""
+    if resolution <= 0:
+        raise SpatialError("resolution must be positive")
+    extent = max(world.width, world.height)
+    if resolution >= extent:
+        return 0
+    level = int(math.ceil(math.log2(extent / resolution)))
+    return min(max(level, 0), MAX_LEVEL)
+
+
+def _clamp_index(value: float, side: int) -> int:
+    index = int(value)
+    if index < 0:
+        return 0
+    if index >= side:
+        return side - 1
+    return index

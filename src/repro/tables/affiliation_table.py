@@ -1,0 +1,235 @@
+"""The Affiliation Table (Section 3.1.1).
+
+Row key: object id.  Two column families:
+
+* ``lf`` — the L/F record.  A leader stores ``("L", chosen_timestamp)``;
+  a follower stores ``("F", leader_id, displacement)`` where the displacement
+  is the vector from the leader to the follower at the time it joined the
+  school.  Fresh L/F records live in memory; an aged disk family exists for
+  completeness.
+* ``followers`` — present only on leader rows: one column per follower id
+  whose value is the leader->follower displacement ("Follower Info").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.table import ColumnFamily
+from repro.errors import RowNotFoundError, SchemaError
+from repro.geometry.vector import Vector
+from repro.model import ObjectId
+
+LF_FAMILY = "lf"
+LF_AGED_FAMILY = "lf-aged"
+FOLLOWERS_FAMILY = "followers"
+LF_QUALIFIER = "record"
+
+
+class Role(enum.Enum):
+    """Whether an object currently leads or follows a school."""
+
+    LEADER = "leader"
+    FOLLOWER = "follower"
+
+
+@dataclass(frozen=True)
+class LFRecord:
+    """Decoded L/F record of one object."""
+
+    role: Role
+    timestamp: float
+    leader_id: Optional[ObjectId] = None
+    displacement: Optional[Vector] = None
+
+    def __post_init__(self) -> None:
+        if self.role is Role.FOLLOWER:
+            if self.leader_id is None or self.displacement is None:
+                raise SchemaError("follower L/F records need a leader and displacement")
+        elif self.leader_id is not None or self.displacement is not None:
+            raise SchemaError("leader L/F records must not carry follower fields")
+
+
+class AffiliationTable:
+    """Wrapper around the BigTable table that tracks schools."""
+
+    def __init__(self, emulator: BigtableEmulator, name: str = "affiliation") -> None:
+        families = [
+            ColumnFamily(LF_FAMILY, in_memory=True, max_versions=1),
+            ColumnFamily(LF_AGED_FAMILY, in_memory=False, max_versions=16),
+            ColumnFamily(FOLLOWERS_FAMILY, in_memory=True, max_versions=1),
+        ]
+        self._table = emulator.create_table(name, families)
+
+    # ------------------------------------------------------------------
+    # L/F records
+    # ------------------------------------------------------------------
+    def set_leader(self, object_id: ObjectId, timestamp: float) -> None:
+        """Label ``object_id`` as a leader (Algorithm 1, line 11)."""
+        record = LFRecord(role=Role.LEADER, timestamp=timestamp)
+        self._table.write(object_id, LF_FAMILY, LF_QUALIFIER, record, timestamp)
+
+    def set_follower(
+        self,
+        object_id: ObjectId,
+        leader_id: ObjectId,
+        displacement: Vector,
+        timestamp: float,
+    ) -> None:
+        """Label ``object_id`` as a follower of ``leader_id``."""
+        if object_id == leader_id:
+            raise SchemaError(f"object {object_id!r} cannot follow itself")
+        record = LFRecord(
+            role=Role.FOLLOWER,
+            timestamp=timestamp,
+            leader_id=leader_id,
+            displacement=displacement,
+        )
+        self._table.write(object_id, LF_FAMILY, LF_QUALIFIER, record, timestamp)
+
+    def role_of(self, object_id: ObjectId) -> Optional[LFRecord]:
+        """L/F record of an object, or ``None`` for never-seen objects.
+
+        This is the first storage access of every update (Algorithm 1,
+        line 1).
+        """
+        cell = self._table.read_latest(object_id, LF_FAMILY, LF_QUALIFIER)
+        if cell is None:
+            return None
+        return cell.value
+
+    def batch_roles(self, object_ids: Sequence[ObjectId]) -> Dict[ObjectId, LFRecord]:
+        """L/F records of several objects in one batch read."""
+        rows = self._table.batch_read(list(object_ids))
+        results: Dict[ObjectId, LFRecord] = {}
+        for object_id, families in rows.items():
+            cells = families.get(LF_FAMILY, {}).get(LF_QUALIFIER, [])
+            if cells:
+                results[object_id] = cells[0].value
+        return results
+
+    def age_lf_records(self, cutoff_timestamp: float) -> int:
+        """Move aged L/F records from the in-memory family to the disk family."""
+        return self._table.age_out(LF_FAMILY, LF_AGED_FAMILY, cutoff_timestamp)
+
+    # ------------------------------------------------------------------
+    # Follower Info
+    # ------------------------------------------------------------------
+    def add_follower(
+        self,
+        leader_id: ObjectId,
+        follower_id: ObjectId,
+        displacement: Vector,
+        timestamp: float,
+    ) -> None:
+        """Record ``follower_id`` (with its displacement) under ``leader_id``."""
+        if leader_id == follower_id:
+            raise SchemaError(f"object {leader_id!r} cannot follow itself")
+        self._table.write(
+            leader_id, FOLLOWERS_FAMILY, follower_id, displacement, timestamp
+        )
+
+    def remove_follower(self, leader_id: ObjectId, follower_id: ObjectId) -> bool:
+        """Drop ``follower_id`` from the leader's Follower Info (line 10)."""
+        return self._table.delete_cell(leader_id, FOLLOWERS_FAMILY, follower_id)
+
+    def followers_of(self, leader_id: ObjectId) -> Dict[ObjectId, Vector]:
+        """Follower id -> displacement map of one leader.
+
+        Leaders with no followers (and unknown objects) return an empty map.
+        """
+        try:
+            row = self._table.read_row(leader_id)
+        except RowNotFoundError:
+            return {}
+        followers = row.get(FOLLOWERS_FAMILY, {})
+        return {
+            follower_id: cells[0].value
+            for follower_id, cells in followers.items()
+            if cells
+        }
+
+    def batch_followers(
+        self, leader_ids: Sequence[ObjectId]
+    ) -> Dict[ObjectId, Dict[ObjectId, Vector]]:
+        """Follower Info of several leaders in one batch read."""
+        rows = self._table.batch_read(list(leader_ids))
+        results: Dict[ObjectId, Dict[ObjectId, Vector]] = {}
+        for leader_id, families in rows.items():
+            followers = families.get(FOLLOWERS_FAMILY, {})
+            results[leader_id] = {
+                follower_id: cells[0].value
+                for follower_id, cells in followers.items()
+                if cells
+            }
+        return results
+
+    def clear_followers(self, leader_id: ObjectId) -> int:
+        """Remove every Follower Info column of a leader.
+
+        Used when a leader is merged into another school and stops being a
+        leader itself (Section 3.3.2).  Returns the number of followers
+        removed; charged as one batch write.
+        """
+        followers = self.followers_of(leader_id)
+        if not followers:
+            return 0
+        deletes = [
+            (leader_id, FOLLOWERS_FAMILY, follower_id) for follower_id in followers
+        ]
+        self._table.batch_delete(deletes)
+        return len(deletes)
+
+    # ------------------------------------------------------------------
+    # Batch rewrites used by the clustering pass
+    # ------------------------------------------------------------------
+    def batch_apply(
+        self,
+        lf_updates: Sequence[Tuple[ObjectId, LFRecord]],
+        follower_updates: Sequence[Tuple[ObjectId, ObjectId, Vector]],
+        follower_deletes: Sequence[Tuple[ObjectId, ObjectId]],
+        timestamp: float,
+    ) -> None:
+        """Apply the clustering pass's affiliation rewrites in batched RPCs.
+
+        ``lf_updates`` rewrites L/F records, ``follower_updates`` adds
+        ``(leader, follower, displacement)`` columns and ``follower_deletes``
+        drops ``(leader, follower)`` columns.
+        """
+        mutations = [
+            (object_id, LF_FAMILY, LF_QUALIFIER, record, timestamp)
+            for object_id, record in lf_updates
+        ]
+        mutations.extend(
+            (leader_id, FOLLOWERS_FAMILY, follower_id, displacement, timestamp)
+            for leader_id, follower_id, displacement in follower_updates
+        )
+        if mutations:
+            self._table.batch_write(mutations)
+        deletes = [
+            (leader_id, FOLLOWERS_FAMILY, follower_id)
+            for leader_id, follower_id in follower_deletes
+        ]
+        if deletes:
+            self._table.batch_delete(deletes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leader_ids(self) -> List[ObjectId]:
+        """Ids of every object currently labelled a leader (test helper)."""
+        leaders = []
+        for object_id in self._table.all_keys():
+            cell = self._table.read_latest(
+                object_id, LF_FAMILY, LF_QUALIFIER, _charge=False
+            )
+            if cell is not None and cell.value.role is Role.LEADER:
+                leaders.append(object_id)
+        return leaders
+
+    def object_count(self) -> int:
+        """Number of objects with an affiliation row."""
+        return self._table.row_count()

@@ -1,0 +1,213 @@
+"""The Location Table (Section 3.1.2).
+
+Row key: object id.  One in-memory column family holds the ``m`` most recent
+location records; aged records are periodically compressed into a chain of
+disk column families (``aged-0``, ``aged-1``, ...) by :meth:`age_out`, and the
+oldest disk column is drained to the PPP archiver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bigtable.cost import OpKind
+from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.table import ColumnFamily
+from repro.errors import RowNotFoundError, SchemaError
+from repro.model import LocationRecord, ObjectId
+
+#: Column family holding fresh (in-memory) location records.
+FRESH_FAMILY = "loc"
+#: Qualifier under which the record versions are stored.
+RECORD_QUALIFIER = "record"
+
+
+class LocationTable:
+    """Wrapper around the BigTable table that stores location records."""
+
+    def __init__(
+        self,
+        emulator: BigtableEmulator,
+        name: str = "location",
+        memory_records: int = 8,
+        disk_columns: int = 2,
+        disk_column_versions: int = 64,
+    ) -> None:
+        if memory_records <= 0:
+            raise SchemaError("memory_records must be positive")
+        if disk_columns < 1:
+            raise SchemaError("the Location Table needs at least one disk column")
+        self.memory_records = memory_records
+        self.disk_columns = disk_columns
+        families = [
+            ColumnFamily(FRESH_FAMILY, in_memory=True, max_versions=memory_records)
+        ]
+        for index in range(disk_columns):
+            families.append(
+                ColumnFamily(
+                    self.disk_family(index),
+                    in_memory=False,
+                    max_versions=disk_column_versions,
+                )
+            )
+        self._table = emulator.create_table(name, families)
+
+    @staticmethod
+    def disk_family(index: int) -> str:
+        """Name of the ``index``-th aged disk column family."""
+        return f"aged-{index}"
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add_record(self, object_id: ObjectId, record: LocationRecord) -> None:
+        """Append a location record for ``object_id`` (Algorithm 1, line 2)."""
+        self._table.write(
+            object_id, FRESH_FAMILY, RECORD_QUALIFIER, record, record.timestamp
+        )
+
+    def batch_add(self, entries: Sequence[tuple]) -> None:
+        """Batch-append ``(object_id, record)`` pairs in one RPC."""
+        mutations = [
+            (object_id, FRESH_FAMILY, RECORD_QUALIFIER, record, record.timestamp)
+            for object_id, record in entries
+        ]
+        if mutations:
+            self._table.batch_write(mutations)
+
+    def delete_object(self, object_id: ObjectId) -> bool:
+        """Remove every record of an object."""
+        return self._table.delete_row(object_id)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def latest(self, object_id: ObjectId) -> Optional[LocationRecord]:
+        """Most recent record of ``object_id`` or ``None`` when unknown."""
+        cell = self._table.read_latest(object_id, FRESH_FAMILY, RECORD_QUALIFIER)
+        if cell is None:
+            return None
+        return cell.value
+
+    def recent_history(self, object_id: ObjectId) -> List[LocationRecord]:
+        """All in-memory records of ``object_id``, newest first."""
+        cells = self._table.read_versions(object_id, FRESH_FAMILY, RECORD_QUALIFIER)
+        return [cell.value for cell in cells]
+
+    def batch_latest(
+        self, object_ids: Sequence[ObjectId]
+    ) -> Dict[ObjectId, LocationRecord]:
+        """Latest records of several objects in one batch read."""
+        rows = self._table.batch_read(list(object_ids))
+        results: Dict[ObjectId, LocationRecord] = {}
+        for object_id, families in rows.items():
+            cells = families.get(FRESH_FAMILY, {}).get(RECORD_QUALIFIER, [])
+            if cells:
+                results[object_id] = cells[0].value
+        return results
+
+    def aged_history(self, object_id: ObjectId) -> List[LocationRecord]:
+        """Records of ``object_id`` living in the disk columns, newest first."""
+        records: List[LocationRecord] = []
+        try:
+            row = self._table.read_row(object_id)
+        except RowNotFoundError:
+            return records
+        for index in range(self.disk_columns):
+            cells = row.get(self.disk_family(index), {}).get(RECORD_QUALIFIER, [])
+            records.extend(cell.value for cell in cells)
+        records.sort(key=lambda record: record.timestamp, reverse=True)
+        return records
+
+    def full_history(self, object_id: ObjectId) -> List[LocationRecord]:
+        """In-memory plus on-disk records of ``object_id``, newest first."""
+        records = self.recent_history(object_id) + self.aged_history(object_id)
+        records.sort(key=lambda record: record.timestamp, reverse=True)
+        return records
+
+    # ------------------------------------------------------------------
+    # Aging
+    # ------------------------------------------------------------------
+    def age_out(self, cutoff_timestamp: float) -> int:
+        """Move fresh records older than the cutoff into the first disk column.
+
+        Returns the number of records moved.  The PPP archiver drains disk
+        columns separately (Section 3.5).
+        """
+        return self._table.age_out(
+            FRESH_FAMILY, self.disk_family(0), cutoff_timestamp
+        )
+
+    def drain_aged(
+        self, disk_index: int, cutoff_timestamp: float
+    ) -> List[tuple]:
+        """Remove records older than the cutoff from a disk column and return
+        them as ``(object_id, record)`` pairs.
+
+        This is the hand-off point to the PPP archiver: once a record leaves
+        the last disk column it only exists in the archive (Section 3.5).
+        Charged as one scan plus one batch write over the affected rows.
+        """
+        family = self.disk_family(disk_index)
+        drained: List[tuple] = []
+        rewrites: List[tuple] = []
+        for object_id, families in self._table.scan(None, None):
+            cells = families.get(family, {}).get(RECORD_QUALIFIER, [])
+            aged = [cell for cell in cells if cell.timestamp < cutoff_timestamp]
+            if not aged:
+                continue
+            for cell in aged:
+                drained.append((object_id, cell.value))
+            rewrites.append((object_id, cutoff_timestamp))
+        for object_id, cutoff in rewrites:
+            kept = [
+                cell
+                for cell in self._table.read_versions(
+                    object_id, family, RECORD_QUALIFIER, _charge=False
+                )
+                if cell.timestamp >= cutoff
+            ]
+            self._table.delete_cell(object_id, family, RECORD_QUALIFIER, _charge=False)
+            for cell in reversed(kept):
+                self._table.write(
+                    object_id,
+                    family,
+                    RECORD_QUALIFIER,
+                    cell.value,
+                    cell.timestamp,
+                    _charge=False,
+                )
+        if rewrites:
+            self._table.counter.record(OpKind.BATCH_WRITE, rows=len(rewrites))
+        return drained
+
+    def demote_disk_column(self, index: int, cutoff_timestamp: float) -> int:
+        """Move records older than the cutoff from disk column ``index`` to
+        ``index + 1`` (the chain of progressively older disk columns in
+        Figure 3)."""
+        if index < 0 or index + 1 >= self.disk_columns:
+            raise SchemaError(
+                f"cannot demote from disk column {index}: only {self.disk_columns} exist"
+            )
+        return self._table.age_out(
+            self.disk_family(index), self.disk_family(index + 1), cutoff_timestamp
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def object_count(self) -> int:
+        """Number of objects with at least one record."""
+        return self._table.row_count()
+
+    def memory_record_count(self) -> int:
+        """Number of records currently held in the in-memory column."""
+        return self._table.memory_cell_count()
+
+    def disk_record_count(self) -> int:
+        """Number of records currently held in disk columns."""
+        return self._table.disk_cell_count()
+
+    def all_object_ids(self) -> List[ObjectId]:
+        """Every object id present (test helper)."""
+        return self._table.all_keys()

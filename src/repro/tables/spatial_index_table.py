@@ -1,0 +1,168 @@
+"""The Spatial Index Table (Section 3.2.1).
+
+Row key: the Hilbert-curve key of the storage-level cell containing an
+object.  Columns: one qualifier per object id stored under a category family
+(the paper's Figure 5 shows "Bus" and "User" columns; we default everything
+to the ``id`` family but allow a category).  Only *leaders* are stored here
+once object schools are active (Section 3.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.table import ColumnFamily
+from repro.errors import SchemaError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.model import ObjectId
+from repro.spatial.cell import CellId, WORLD_UNIT_BOX
+
+#: Default column family for object-id columns.
+ID_FAMILY = "id"
+
+
+class SpatialIndexTable:
+    """Wrapper around the BigTable table keyed by spatial index."""
+
+    def __init__(
+        self,
+        emulator: BigtableEmulator,
+        name: str = "spatial_index",
+        storage_level: int = 16,
+        world: BoundingBox = WORLD_UNIT_BOX,
+        extra_families: Sequence[str] = (),
+    ) -> None:
+        if storage_level <= 0:
+            raise SchemaError("storage_level must be positive")
+        self.storage_level = storage_level
+        self.world = world
+        families = [ColumnFamily(ID_FAMILY, in_memory=True, max_versions=1)]
+        families.extend(
+            ColumnFamily(extra, in_memory=True, max_versions=1)
+            for extra in extra_families
+        )
+        self._table = emulator.create_table(name, families)
+
+    # ------------------------------------------------------------------
+    # Key helpers
+    # ------------------------------------------------------------------
+    def cell_for(self, location: Point) -> CellId:
+        """Storage-level cell containing ``location``."""
+        return CellId.from_point(location, self.storage_level, self.world)
+
+    def row_key_for(self, location: Point) -> str:
+        """Row key of the storage-level cell containing ``location``."""
+        return self.cell_for(location).key()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        object_id: ObjectId,
+        location: Point,
+        timestamp: float,
+        family: str = ID_FAMILY,
+    ) -> CellId:
+        """Insert (or move within the same cell) an object at ``location``."""
+        cell = self.cell_for(location)
+        self._table.write(cell.key(), family, object_id, location, timestamp)
+        return cell
+
+    def remove(
+        self, object_id: ObjectId, location: Point, family: str = ID_FAMILY
+    ) -> bool:
+        """Remove an object from the cell containing ``location``."""
+        cell = self.cell_for(location)
+        return self._table.delete_cell(cell.key(), family, object_id)
+
+    def remove_from_cell(
+        self, object_id: ObjectId, cell: CellId, family: str = ID_FAMILY
+    ) -> bool:
+        """Remove an object from an explicitly known cell."""
+        return self._table.delete_cell(cell.key(), family, object_id)
+
+    def move(
+        self,
+        object_id: ObjectId,
+        old_location: Optional[Point],
+        new_location: Point,
+        timestamp: float,
+        family: str = ID_FAMILY,
+    ) -> Tuple[Optional[CellId], CellId]:
+        """Algorithm 1 line 3: delete the old spatial-index entry, add the new.
+
+        When the object stays inside the same storage cell the delete is
+        skipped and the existing column value is simply overwritten.
+        Returns ``(old_cell, new_cell)``.
+        """
+        new_cell = self.cell_for(new_location)
+        old_cell = None
+        if old_location is not None:
+            old_cell = self.cell_for(old_location)
+            if old_cell != new_cell:
+                self._table.delete_cell(old_cell.key(), family, object_id)
+        self._table.write(new_cell.key(), family, object_id, new_location, timestamp)
+        return old_cell, new_cell
+
+    def batch_remove(
+        self, entries: Sequence[Tuple[ObjectId, Point]], family: str = ID_FAMILY
+    ) -> None:
+        """Batch-delete several objects (used by the clustering pass)."""
+        deletes = [
+            (self.cell_for(location).key(), family, object_id)
+            for object_id, location in entries
+        ]
+        if deletes:
+            self._table.batch_delete(deletes)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def objects_in_cell(
+        self, cell: CellId, family: str = ID_FAMILY
+    ) -> Dict[ObjectId, Point]:
+        """Objects stored under any storage-level row inside ``cell``.
+
+        ``cell`` may be at the storage level (single row) or coarser (range
+        scan over the cell's contiguous key range) — the access path behind
+        both NN cells (Section 3.4.1) and clustering cells (Section 3.3.2).
+        """
+        start, end = cell.key_range()
+        rows = self._table.scan(start, end)
+        results: Dict[ObjectId, Point] = {}
+        for _, families in rows:
+            for object_id, cells in families.get(family, {}).items():
+                if cells:
+                    results[object_id] = cells[0].value
+        return results
+
+    def count_in_cell(self, cell: CellId, family: str = ID_FAMILY) -> int:
+        """Number of objects indexed inside ``cell``.
+
+        Used by FLAG to probe local density (Algorithm 3, line 6).  Counts
+        rows' columns via a metadata-priced scan.
+        """
+        start, end = cell.key_range()
+        rows = self._table.scan(start, end)
+        return sum(len(families.get(family, {})) for _, families in rows)
+
+    def approximate_count_in_cell(self, cell: CellId) -> int:
+        """Cheap density probe: number of non-empty storage rows in ``cell``.
+
+        FLAG only needs an order-of-magnitude estimate; counting rows avoids
+        streaming the row contents.
+        """
+        start, end = cell.key_range()
+        return self._table.count_range(start, end)
+
+    def total_objects(self, family: str = ID_FAMILY) -> int:
+        """Total number of indexed objects (administrative helper)."""
+        rows = self._table.scan(None, None)
+        return sum(len(families.get(family, {})) for _, families in rows)
+
+    def row_count(self) -> int:
+        """Number of non-empty storage cells."""
+        return self._table.row_count()

@@ -1,0 +1,37 @@
+"""Synthetic workloads matching the paper's experimental setup (Section 4.1).
+
+Two families:
+
+* the **road-network workload** — a square map with rectangular buildings
+  surrounded by roads; pedestrians (0-1 units/s) and cars (1-2 units/s) move
+  along roads, turn at crossroads with equal probability, and pedestrians
+  occasionally enter/leave buildings.  Update messages are perturbed with
+  noise and each object updates at a random interval between 0 and 5 s.
+  This is the workload behind the school-effectiveness experiments
+  (Figures 9-11).
+* the **uniform workload** — objects placed uniformly at random with random
+  velocities inside a region, used for the BigTable stress experiments
+  (Figures 12-13).
+
+Plus query generators (NN and history) and a trace recorder/replayer.
+"""
+
+from repro.workload.roadnetwork import RoadNetwork
+from repro.workload.objects import MovingObject, ObjectKind
+from repro.workload.generator import RoadNetworkWorkload, WorkloadConfig
+from repro.workload.uniform import UniformWorkload
+from repro.workload.queries import NNQueryWorkload, HistoryQueryWorkload
+from repro.workload.trace import Trace, record_trace
+
+__all__ = [
+    "RoadNetwork",
+    "MovingObject",
+    "ObjectKind",
+    "RoadNetworkWorkload",
+    "WorkloadConfig",
+    "UniformWorkload",
+    "NNQueryWorkload",
+    "HistoryQueryWorkload",
+    "Trace",
+    "record_trace",
+]

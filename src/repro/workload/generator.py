@@ -1,0 +1,148 @@
+"""Road-network update-stream generator (Section 4.1)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import WorkloadError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+from repro.workload.objects import MovingObject, ObjectKind
+from repro.workload.roadnetwork import RoadNetwork
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the road-network workload.
+
+    Defaults mirror Section 4.1: a 1,000 x 1,000-unit map, a mix of
+    pedestrians and cars, noisy observations, and per-object update intervals
+    drawn uniformly from (0, 5] seconds.  Experiments that need a fixed
+    update frequency (e.g. the one-update-per-second default of Figure 9)
+    override ``min_update_interval_s``/``max_update_interval_s``.
+    """
+
+    num_objects: int = 100
+    map_size: float = 1000.0
+    block_size: float = 50.0
+    pedestrian_fraction: float = 0.5
+    noise_std: float = 0.1
+    min_update_interval_s: float = 0.5
+    max_update_interval_s: float = 5.0
+    building_probability: float = 0.05
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_objects <= 0:
+            raise WorkloadError("num_objects must be positive")
+        if not 0.0 <= self.pedestrian_fraction <= 1.0:
+            raise WorkloadError("pedestrian_fraction must be in [0, 1]")
+        if self.noise_std < 0:
+            raise WorkloadError("noise_std must be non-negative")
+        if self.min_update_interval_s <= 0:
+            raise WorkloadError("min_update_interval_s must be positive")
+        if self.max_update_interval_s < self.min_update_interval_s:
+            raise WorkloadError(
+                "max_update_interval_s must be >= min_update_interval_s"
+            )
+
+
+class RoadNetworkWorkload:
+    """Drives a population of moving objects and emits their updates."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config or WorkloadConfig()
+        self.rng = random.Random(self.config.seed)
+        self.network = RoadNetwork(
+            size=self.config.map_size, block_size=self.config.block_size
+        )
+        self.objects: List[MovingObject] = []
+        num_pedestrians = int(round(self.config.num_objects * self.config.pedestrian_fraction))
+        for index in range(self.config.num_objects):
+            kind = (
+                ObjectKind.PEDESTRIAN if index < num_pedestrians else ObjectKind.CAR
+            )
+            self.objects.append(
+                MovingObject(
+                    object_id=format_object_id(index),
+                    kind=kind,
+                    network=self.network,
+                    rng=random.Random(self.rng.randrange(2**32)),
+                    building_probability=self.config.building_probability,
+                )
+            )
+        #: Next update time of each object, staggered so updates do not all
+        #: arrive in lockstep.
+        self._next_update = [
+            self.rng.uniform(0.0, self.config.max_update_interval_s)
+            for _ in self.objects
+        ]
+        self._last_step_time = 0.0
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def advance_to(self, time_s: float) -> List[UpdateMessage]:
+        """Advance the simulation to ``time_s`` and return due updates.
+
+        Updates are emitted in timestamp order; each carries the noisy
+        location/velocity the paper's clients would have reported.
+        """
+        if time_s < self.now:
+            raise WorkloadError("time cannot move backwards")
+        messages: List[UpdateMessage] = []
+        dt = time_s - self._last_step_time
+        if dt > 0:
+            for moving_object in self.objects:
+                moving_object.step(dt)
+            self._last_step_time = time_s
+        for index, moving_object in enumerate(self.objects):
+            while self._next_update[index] <= time_s:
+                timestamp = self._next_update[index]
+                messages.append(self._observe(moving_object, timestamp))
+                interval = self.rng.uniform(
+                    self.config.min_update_interval_s,
+                    self.config.max_update_interval_s,
+                )
+                self._next_update[index] = timestamp + interval
+        self.now = time_s
+        messages.sort(key=lambda message: (message.timestamp, message.object_id))
+        return messages
+
+    def run(self, duration_s: float, step_s: float = 1.0) -> Iterator[List[UpdateMessage]]:
+        """Yield batches of updates every ``step_s`` seconds for ``duration_s``."""
+        if duration_s <= 0 or step_s <= 0:
+            raise WorkloadError("duration and step must be positive")
+        steps = int(round(duration_s / step_s))
+        for step_index in range(1, steps + 1):
+            yield self.advance_to(self.now + step_s)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _observe(self, moving_object: MovingObject, timestamp: float) -> UpdateMessage:
+        """Noisy observation of one object (the update message payload)."""
+        position = moving_object.position()
+        velocity = moving_object.velocity()
+        noise = self.config.noise_std
+        if noise > 0:
+            position = Point(
+                position.x + self.rng.gauss(0.0, noise),
+                position.y + self.rng.gauss(0.0, noise),
+            )
+            velocity = Vector(
+                velocity.dx + self.rng.gauss(0.0, noise * 0.1),
+                velocity.dy + self.rng.gauss(0.0, noise * 0.1),
+            )
+        bounds = self.network.bounds
+        position = bounds.clamp_point(position)
+        return UpdateMessage(
+            object_id=moving_object.object_id,
+            location=position,
+            velocity=velocity,
+            timestamp=timestamp,
+        )

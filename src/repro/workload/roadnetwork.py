@@ -1,0 +1,137 @@
+"""The road-network map of Section 4.1.
+
+"We used a road-networked map that had rectangular buildings surrounded by
+roads.  Each building was given an entrance."  The map here is a uniform
+grid: roads run along the grid lines every ``block_size`` units, the interior
+of each block is a building, and each building's entrance sits at the
+midpoint of one of its sides (chosen deterministically from the block
+coordinates so the map itself needs no random state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Building:
+    """One rectangular building with a single entrance on its boundary."""
+
+    block: Tuple[int, int]
+    footprint: BoundingBox
+    entrance: Point
+
+
+class RoadNetwork:
+    """A square map with a grid of roads and one building per block."""
+
+    def __init__(
+        self,
+        size: float = 1000.0,
+        block_size: float = 50.0,
+        building_margin: float = 5.0,
+    ) -> None:
+        if size <= 0 or block_size <= 0:
+            raise WorkloadError("map size and block size must be positive")
+        if block_size > size:
+            raise WorkloadError("block size cannot exceed the map size")
+        if building_margin < 0 or 2 * building_margin >= block_size:
+            raise WorkloadError(
+                "building margin must be non-negative and leave room for a building"
+            )
+        self.size = size
+        self.block_size = block_size
+        self.building_margin = building_margin
+        #: Number of intersections per side (road lines at multiples of
+        #: ``block_size`` from 0 to ``size`` inclusive).
+        self.intersections_per_side = int(size // block_size) + 1
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> BoundingBox:
+        """The map rectangle."""
+        return BoundingBox(0.0, 0.0, self.size, self.size)
+
+    def intersection_point(self, i: int, j: int) -> Point:
+        """World coordinates of intersection ``(i, j)``."""
+        self._validate_intersection(i, j)
+        return Point(i * self.block_size, j * self.block_size)
+
+    def is_valid_intersection(self, i: int, j: int) -> bool:
+        """True when ``(i, j)`` is a crossroad on the map."""
+        n = self.intersections_per_side
+        return 0 <= i < n and 0 <= j < n
+
+    def neighbors_of(self, i: int, j: int) -> List[Tuple[int, int]]:
+        """Intersections reachable from ``(i, j)`` along one road segment."""
+        self._validate_intersection(i, j)
+        candidates = [(i + 1, j), (i - 1, j), (i, j + 1), (i, j - 1)]
+        return [
+            (ni, nj) for ni, nj in candidates if self.is_valid_intersection(ni, nj)
+        ]
+
+    def nearest_intersection(self, point: Point) -> Tuple[int, int]:
+        """Grid coordinates of the crossroad closest to ``point``."""
+        i = int(round(point.x / self.block_size))
+        j = int(round(point.y / self.block_size))
+        n = self.intersections_per_side
+        return (min(max(i, 0), n - 1), min(max(j, 0), n - 1))
+
+    # ------------------------------------------------------------------
+    # Buildings
+    # ------------------------------------------------------------------
+    @property
+    def blocks_per_side(self) -> int:
+        """Number of building blocks per side."""
+        return self.intersections_per_side - 1
+
+    def building(self, bi: int, bj: int) -> Building:
+        """Building occupying block ``(bi, bj)``."""
+        if not (0 <= bi < self.blocks_per_side and 0 <= bj < self.blocks_per_side):
+            raise WorkloadError(f"block ({bi}, {bj}) outside the map")
+        min_x = bi * self.block_size + self.building_margin
+        min_y = bj * self.block_size + self.building_margin
+        max_x = (bi + 1) * self.block_size - self.building_margin
+        max_y = (bj + 1) * self.block_size - self.building_margin
+        footprint = BoundingBox(min_x, min_y, max_x, max_y)
+        # The entrance side rotates with the block coordinates so entrances
+        # are spread over all four sides without needing random state.
+        side = (bi + bj) % 4
+        center = footprint.center()
+        if side == 0:
+            entrance = Point(center.x, min_y)
+        elif side == 1:
+            entrance = Point(max_x, center.y)
+        elif side == 2:
+            entrance = Point(center.x, max_y)
+        else:
+            entrance = Point(min_x, center.y)
+        return Building(block=(bi, bj), footprint=footprint, entrance=entrance)
+
+    def building_near_intersection(self, i: int, j: int) -> Building:
+        """The building whose block has intersection ``(i, j)`` as a corner.
+
+        Pedestrians arriving at a crossroad consider entering this building
+        (Section 4.1: "When a pedestrian was near an entrance to a building,
+        they chose to enter it with 5% probability").
+        """
+        self._validate_intersection(i, j)
+        bi = min(i, self.blocks_per_side - 1)
+        bj = min(j, self.blocks_per_side - 1)
+        return self.building(bi, bj)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_intersection(self, i: int, j: int) -> None:
+        if not self.is_valid_intersection(i, j):
+            raise WorkloadError(
+                f"intersection ({i}, {j}) outside a {self.intersections_per_side}^2 grid"
+            )

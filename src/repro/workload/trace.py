@@ -1,0 +1,112 @@
+"""Recording and replaying update traces.
+
+Experiments that compare several configurations (MOIST with/without schools,
+different ε, the baselines) must replay the *same* update stream to be fair.
+A :class:`Trace` is an immutable, replayable list of update messages with
+save/load helpers (JSON lines), so traces can also be shared between the test
+suite and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import WorkloadError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered, replayable sequence of update messages."""
+
+    messages: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.messages, tuple):
+            raise WorkloadError("Trace messages must be a tuple; use Trace.from_messages")
+
+    @classmethod
+    def from_messages(cls, messages: Iterable[UpdateMessage]) -> "Trace":
+        """Build a trace from any iterable of update messages."""
+        ordered = tuple(
+            sorted(messages, key=lambda message: (message.timestamp, message.object_id))
+        )
+        return cls(messages=ordered)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[UpdateMessage]:
+        return iter(self.messages)
+
+    def object_ids(self) -> List[str]:
+        """Distinct object ids appearing in the trace, in first-seen order."""
+        seen = set()
+        ordered = []
+        for message in self.messages:
+            if message.object_id not in seen:
+                seen.add(message.object_id)
+                ordered.append(message.object_id)
+        return ordered
+
+    def duration(self) -> float:
+        """Time span covered by the trace in seconds."""
+        if not self.messages:
+            return 0.0
+        return self.messages[-1].timestamp - self.messages[0].timestamp
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for message in self.messages:
+                handle.write(
+                    json.dumps(
+                        {
+                            "id": message.object_id,
+                            "x": message.location.x,
+                            "y": message.location.y,
+                            "vx": message.velocity.dx,
+                            "vy": message.velocity.dy,
+                            "t": message.timestamp,
+                        }
+                    )
+                )
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        source = Path(path)
+        messages = []
+        with source.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                messages.append(
+                    UpdateMessage(
+                        object_id=raw["id"],
+                        location=Point(raw["x"], raw["y"]),
+                        velocity=Vector(raw["vx"], raw["vy"]),
+                        timestamp=raw["t"],
+                    )
+                )
+        return cls.from_messages(messages)
+
+
+def record_trace(workload, duration_s: float, step_s: float = 1.0) -> Trace:
+    """Run a road-network workload for ``duration_s`` and capture its updates."""
+    messages: List[UpdateMessage] = []
+    for batch in workload.run(duration_s, step_s):
+        messages.extend(batch)
+    return Trace.from_messages(messages)

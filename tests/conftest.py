@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests from a source checkout that has not been installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bigtable.emulator import BigtableEmulator
+from repro.core.config import MoistConfig
+from repro.core.moist import MoistIndexer
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+
+
+SMALL_WORLD = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture
+def small_config() -> MoistConfig:
+    """A MOIST configuration on a 100x100 world with coarse levels, suited to
+    tests that reason about exact cells and schools."""
+    return MoistConfig(
+        world=SMALL_WORLD,
+        storage_level=8,
+        nn_level_delta=2,
+        clustering_cell_level=2,
+        deviation_threshold=5.0,
+        velocity_threshold=1.0,
+        clustering_interval_s=10.0,
+        sigma=4,
+    )
+
+
+@pytest.fixture
+def indexer(small_config: MoistConfig) -> MoistIndexer:
+    """A fresh MOIST indexer on the small world."""
+    return MoistIndexer(small_config)
+
+
+@pytest.fixture
+def emulator() -> BigtableEmulator:
+    """A fresh BigTable emulator."""
+    return BigtableEmulator()
+
+
+def make_update(
+    index: int,
+    x: float,
+    y: float,
+    vx: float = 1.0,
+    vy: float = 0.0,
+    t: float = 0.0,
+) -> UpdateMessage:
+    """Convenience constructor used across many tests."""
+    return UpdateMessage(
+        object_id=format_object_id(index),
+        location=Point(x, y),
+        velocity=Vector(vx, vy),
+        timestamp=t,
+    )
+
+
+@pytest.fixture
+def update_factory():
+    """Expose :func:`make_update` as a fixture."""
+    return make_update

@@ -1,0 +1,80 @@
+"""Tests for the PPP placement hash."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.archive.placement import PlacementHash
+from repro.errors import ArchiveError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+WORLD = BoundingBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_disk(self):
+        with pytest.raises(ArchiveError):
+            PlacementHash(num_disks=0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ArchiveError):
+            PlacementHash(num_disks=4, locality_level=-1)
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        placement = PlacementHash(num_disks=8, world=WORLD)
+        point = Point(123.0, 456.0)
+        assert placement.disk_for("obj1", point) == placement.disk_for("obj1", point)
+
+    def test_disk_in_range(self):
+        placement = PlacementHash(num_disks=5, world=WORLD)
+        rng = random.Random(3)
+        for index in range(100):
+            point = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            disk = placement.disk_for(f"obj{index}", point)
+            assert 0 <= disk < 5
+
+    def test_single_disk_everything_on_disk_zero(self):
+        placement = PlacementHash(num_disks=1, world=WORLD)
+        assert placement.disk_for("anything", Point(1.0, 1.0)) == 0
+
+    def test_nearby_objects_concentrate_on_few_disks(self):
+        """The initial-location component keeps a neighbourhood's objects on
+        a small window of disks (spatial locality of the placement)."""
+        placement = PlacementHash(num_disks=16, world=WORLD)
+        rng = random.Random(5)
+        nearby_disks = {
+            placement.disk_for(
+                f"obj{i}", Point(100.0 + rng.uniform(-5, 5), 100.0 + rng.uniform(-5, 5))
+            )
+            for i in range(50)
+        }
+        object_only = PlacementHash(num_disks=16, world=WORLD, use_initial_location=False)
+        spread_disks = {
+            object_only.disk_for(
+                f"obj{i}", Point(100.0 + rng.uniform(-5, 5), 100.0 + rng.uniform(-5, 5))
+            )
+            for i in range(50)
+        }
+        assert len(nearby_disks) < len(spread_disks)
+
+    def test_object_only_hash_balances_load(self):
+        placement = PlacementHash(num_disks=4, world=WORLD, use_initial_location=False)
+        counts = [0, 0, 0, 0]
+        for index in range(400):
+            counts[placement.disk_for(f"obj{index}", Point(0.0, 0.0))] += 1
+        assert min(counts) > 50
+
+    @given(st.integers(min_value=1, max_value=32), st.text(min_size=1, max_size=12))
+    def test_disk_always_in_range_property(self, num_disks, object_id):
+        placement = PlacementHash(num_disks=num_disks, world=WORLD)
+        disk = placement.disk_for(object_id, Point(500.0, 500.0))
+        assert 0 <= disk < num_disks
+
+    def test_stable_hash_is_process_independent(self):
+        # blake2b of a fixed string must not change between runs.
+        assert PlacementHash._stable_hash("obj1") == PlacementHash._stable_hash("obj1")
+        assert PlacementHash._stable_hash("obj1") != PlacementHash._stable_hash("obj2")

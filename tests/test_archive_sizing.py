@@ -1,0 +1,74 @@
+"""Tests for the disk-count optimisation (Section 3.6.2)."""
+
+import pytest
+
+from repro.archive.sizing import optimise_disk_count
+from repro.disk.model import DiskModel
+from repro.errors import ConfigurationError
+
+
+MODEL = DiskModel(
+    rotational_delay_s=0.004, seek_time_s=0.008, transfer_rate_bytes_per_s=100e6
+)
+
+
+class TestValidation:
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimise_disk_count(MODEL, 0.0, 1000, 10.0)
+        with pytest.raises(ConfigurationError):
+            optimise_disk_count(MODEL, 1e6, 0, 10.0)
+        with pytest.raises(ConfigurationError):
+            optimise_disk_count(MODEL, 1e6, 1000, 0.0)
+        with pytest.raises(ConfigurationError):
+            optimise_disk_count(MODEL, 1e6, 1000, 1.0, max_disks=0)
+
+
+class TestOptimisation:
+    def test_result_respects_max_disks(self):
+        result = optimise_disk_count(MODEL, 1e8, 10000, fill_time_s=60.0, max_disks=16)
+        assert 1 <= result.num_disks <= 16
+
+    def test_crossover_found_when_constraint_slack(self):
+        # Ud = 0.833/nd and Rd = 0.001*nd cross near nd = 29, well inside the
+        # 64-disk budget, and the huge fill time keeps the constraint slack.
+        result = optimise_disk_count(
+            MODEL, 1e6, 1000, fill_time_s=1e6, k=1.0, max_disks=64
+        )
+        assert result.binding == "crossover"
+        assert result.constraint_satisfied
+        # At the crossover the two objectives are close to each other.
+        ratio = result.write_utilisation / result.read_resolution
+        assert 0.1 <= ratio <= 10.0
+
+    def test_more_objects_need_more_disks_for_resolution(self):
+        few = optimise_disk_count(MODEL, 1e8, 1000, fill_time_s=1e6, k=1.0, max_disks=256)
+        many = optimise_disk_count(MODEL, 1e8, 100000, fill_time_s=1e6, k=1.0, max_disks=256)
+        assert many.num_disks >= few.num_disks
+
+    def test_tight_fill_time_limits_disks(self):
+        # With an extremely tight fill time even one disk may violate the
+        # constraint; the result reports that explicitly.
+        result = optimise_disk_count(MODEL, 1e9, 1000, fill_time_s=1e-6, max_disks=8)
+        assert not result.constraint_satisfied
+        assert result.num_disks == 1
+
+    def test_constraint_binding_reported(self):
+        # Moderate fill time: the crossover (which wants many disks for this
+        # many objects) is reachable only if Td stays below Tm.
+        result = optimise_disk_count(MODEL, 1e8, 10**6, fill_time_s=2.0, k=1.0, max_disks=64)
+        assert result.binding in ("crossover", "constraint")
+        if result.binding == "constraint":
+            assert result.constraint_satisfied
+
+    def test_objective_is_min_of_both(self):
+        result = optimise_disk_count(MODEL, 1e8, 10000, fill_time_s=60.0, max_disks=32)
+        assert result.objective == pytest.approx(
+            min(result.write_utilisation, result.read_resolution)
+        )
+
+    def test_flush_time_matches_model(self):
+        result = optimise_disk_count(MODEL, 1e8, 10000, fill_time_s=60.0, max_disks=32)
+        assert result.flush_time == pytest.approx(
+            MODEL.flush_time(1e8, result.num_disks)
+        )

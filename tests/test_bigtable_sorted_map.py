@@ -1,0 +1,138 @@
+"""Tests for the sorted map underlying the BigTable emulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bigtable.sorted_map import SortedMap
+
+keys = st.text(alphabet="abcdef0123456789", min_size=1, max_size=8)
+
+
+class TestBasicOperations:
+    def test_set_and_get(self):
+        m = SortedMap()
+        m.set("b", 2)
+        assert m.get("b") == 2
+        assert m.get("missing") is None
+        assert m.get("missing", 7) == 7
+
+    def test_overwrite_keeps_single_key(self):
+        m = SortedMap()
+        m.set("a", 1)
+        m.set("a", 2)
+        assert len(m) == 1
+        assert m.get("a") == 2
+
+    def test_delete(self):
+        m = SortedMap()
+        m.set("a", 1)
+        assert m.delete("a")
+        assert not m.delete("a")
+        assert len(m) == 0
+
+    def test_contains_and_len(self):
+        m = SortedMap()
+        assert "x" not in m
+        m.set("x", 1)
+        assert "x" in m
+        assert len(m) == 1
+
+    def test_clear(self):
+        m = SortedMap()
+        m.set("a", 1)
+        m.set("b", 2)
+        m.clear()
+        assert len(m) == 0
+        assert m.keys() == []
+
+    def test_keys_are_sorted(self):
+        m = SortedMap()
+        for key in ["d", "a", "c", "b"]:
+            m.set(key, key)
+        assert m.keys() == ["a", "b", "c", "d"]
+
+    def test_items_in_key_order(self):
+        m = SortedMap()
+        m.set("b", 2)
+        m.set("a", 1)
+        assert list(m.items()) == [("a", 1), ("b", 2)]
+
+
+class TestScans:
+    def _populated(self):
+        m = SortedMap()
+        for key in ["a", "b", "c", "d", "e"]:
+            m.set(key, key.upper())
+        return m
+
+    def test_scan_full(self):
+        m = self._populated()
+        assert [k for k, _ in m.scan()] == ["a", "b", "c", "d", "e"]
+
+    def test_scan_range_is_half_open(self):
+        m = self._populated()
+        assert [k for k, _ in m.scan("b", "d")] == ["b", "c"]
+
+    def test_scan_with_limit(self):
+        m = self._populated()
+        assert [k for k, _ in m.scan(limit=2)] == ["a", "b"]
+
+    def test_scan_start_between_keys(self):
+        m = self._populated()
+        assert [k for k, _ in m.scan("bb", "dd")] == ["c", "d"]
+
+    def test_count_range(self):
+        m = self._populated()
+        assert m.count_range("b", "e") == 3
+        assert m.count_range() == 5
+        assert m.count_range("x", "z") == 0
+
+    def test_first_last(self):
+        m = self._populated()
+        assert m.first_key() == "a"
+        assert m.last_key() == "e"
+        assert SortedMap().first_key() is None
+        assert SortedMap().last_key() is None
+
+    def test_floor_and_ceiling(self):
+        m = self._populated()
+        assert m.floor_key("c") == "c"
+        assert m.floor_key("cz") == "c"
+        assert m.floor_key("0") is None
+        assert m.ceiling_key("c") == "c"
+        assert m.ceiling_key("cz") == "d"
+        assert m.ceiling_key("z") is None
+
+
+class TestProperties:
+    @given(st.dictionaries(keys, st.integers(), max_size=40))
+    def test_matches_reference_dict(self, reference):
+        m = SortedMap()
+        for key, value in reference.items():
+            m.set(key, value)
+        assert m.keys() == sorted(reference)
+        for key, value in reference.items():
+            assert m.get(key) == value
+
+    @given(st.lists(keys, max_size=40), st.lists(keys, max_size=20))
+    def test_delete_matches_reference(self, inserts, deletes):
+        m = SortedMap()
+        reference = {}
+        for key in inserts:
+            m.set(key, key)
+            reference[key] = key
+        for key in deletes:
+            assert m.delete(key) == (key in reference)
+            reference.pop(key, None)
+        assert m.keys() == sorted(reference)
+
+    @given(st.dictionaries(keys, st.integers(), max_size=40), keys, keys)
+    def test_scan_matches_reference(self, reference, low, high):
+        if low > high:
+            low, high = high, low
+        m = SortedMap()
+        for key, value in reference.items():
+            m.set(key, value)
+        expected = sorted(k for k in reference if low <= k < high)
+        assert [k for k, _ in m.scan(low, high)] == expected
+        assert m.count_range(low, high) == len(expected)

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.objects == 200
+        assert args.duration == 60.0
+
+    def test_figures_accepts_names(self):
+        args = build_parser().parse_args(["figures", "fig12", "headline"])
+        assert args.names == ["fig12", "headline"]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "MoistConfig" in output
+        assert "storage_level" in output
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--objects", "30", "--duration", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "object schools" in output
+        assert "shed ratio" in output
+
+    def test_figures_rejects_unknown_name(self, capsys):
+        assert main(["figures", "not-a-figure"]) == 1
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_figures_runs_one_figure(self, capsys):
+        assert main(["figures", "fig10"]) == 0
+        output = capsys.readouterr().out
+        assert "fig10a" in output
+        assert "read time" in output

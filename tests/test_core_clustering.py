@@ -1,0 +1,161 @@
+"""Tests for school clustering (Section 3.3.2)."""
+
+import pytest
+
+from repro.core.clustering import ClusteringReport
+from repro.errors import ClusteringError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage
+from repro.spatial.cell import CellId
+from repro.tables.affiliation_table import Role
+
+from conftest import make_update
+
+
+def load_colocated_leaders(indexer, count, base=(10.0, 10.0), velocity=(1.0, 0.0), spacing=1.0):
+    """Insert ``count`` leaders near each other with identical velocities."""
+    for index in range(count):
+        indexer.update(
+            make_update(
+                index,
+                base[0] + spacing * (index % 5),
+                base[1] + spacing * (index // 5),
+                vx=velocity[0],
+                vy=velocity[1],
+            )
+        )
+
+
+class TestClusterCell:
+    def test_similar_leaders_merge_into_one_school(self, indexer):
+        load_colocated_leaders(indexer, 4)
+        report = indexer.run_clustering(now=1.0)
+        assert report.leaders_before == 4
+        assert report.leaders_after == 1
+        assert indexer.school_count == 1
+
+    def test_merged_leaders_become_followers_with_displacements(self, indexer):
+        load_colocated_leaders(indexer, 3)
+        indexer.run_clustering(now=1.0)
+        roles = [
+            indexer.affiliation_table.role_of(f"obj{i:010d}") for i in range(3)
+        ]
+        leaders = [r for r in roles if r.role is Role.LEADER]
+        followers = [r for r in roles if r.role is Role.FOLLOWER]
+        assert len(leaders) == 1
+        assert len(followers) == 2
+        for follower in followers:
+            assert follower.displacement is not None
+
+    def test_absorbed_leaders_removed_from_spatial_index(self, indexer):
+        load_colocated_leaders(indexer, 3)
+        indexer.run_clustering(now=1.0)
+        assert indexer.spatial_table.total_objects() == 1
+
+    def test_displacement_consistency_after_merge(self, indexer):
+        """Follower location estimated from the leader's record plus the
+        stored displacement matches the follower's actual position."""
+        positions = {0: Point(10.0, 10.0), 1: Point(13.0, 10.0), 2: Point(10.0, 13.0)}
+        for index, position in positions.items():
+            indexer.update(
+                UpdateMessage(f"obj{index:010d}", position, Vector(1.0, 0.0), 0.0)
+            )
+        indexer.run_clustering(now=0.0)
+        for index, position in positions.items():
+            estimated = indexer.location_of(f"obj{index:010d}", at_time=0.0)
+            assert estimated.distance_to(position) < 1e-6
+
+    def test_different_velocities_not_merged(self, indexer):
+        indexer.update(make_update(1, 10.0, 10.0, vx=1.0, vy=0.0))
+        indexer.update(make_update(2, 12.0, 10.0, vx=-1.0, vy=0.0))
+        report = indexer.run_clustering(now=1.0)
+        assert report.merges == 0
+        assert indexer.school_count == 2
+
+    def test_distant_leaders_in_different_clustering_cells_not_merged(self, indexer):
+        indexer.update(make_update(1, 5.0, 5.0, vx=1.0, vy=0.0))
+        indexer.update(make_update(2, 95.0, 95.0, vx=1.0, vy=0.0))
+        indexer.run_clustering(now=1.0)
+        assert indexer.school_count == 2
+
+    def test_wrong_cell_level_rejected(self, indexer):
+        with pytest.raises(ClusteringError):
+            indexer.clusterer.cluster_cell(CellId(5, 0), now=0.0)
+
+    def test_single_leader_cell_is_noop(self, indexer):
+        indexer.update(make_update(1, 10.0, 10.0))
+        cell = CellId.from_point(Point(10.0, 10.0), indexer.config.clustering_cell_level, indexer.config.world)
+        report = indexer.clusterer.cluster_cell(cell, now=1.0)
+        assert report.leaders_before == 1
+        assert report.leaders_after == 1
+        assert report.write_seconds == 0.0
+
+
+class TestSecondLevelMerging:
+    def test_followers_transfer_when_their_leader_is_absorbed(self, indexer):
+        # Round 1: objects 0 and 1 form a school (leader + follower).
+        indexer.update(make_update(0, 10.0, 10.0, vx=1.0, vy=0.0))
+        indexer.update(make_update(1, 12.0, 10.0, vx=1.0, vy=0.0))
+        indexer.run_clustering(now=1.0)
+        # Round 2: a bigger school appears nearby and absorbs the leader.
+        for index in range(2, 6):
+            indexer.update(make_update(index, 10.0 + index, 11.0, vx=1.0, vy=0.0))
+        indexer.run_clustering(now=2.0)
+        assert indexer.school_count == 1
+        # Every object now points (directly) at the single surviving leader.
+        leader_ids = {
+            indexer.affiliation_table.role_of(f"obj{i:010d}").leader_id
+            for i in range(6)
+            if indexer.affiliation_table.role_of(f"obj{i:010d}").role is Role.FOLLOWER
+        }
+        assert len(leader_ids) == 1
+
+
+class TestScheduling:
+    def test_due_cells_respects_interval(self, indexer):
+        load_colocated_leaders(indexer, 3)
+        assert len(indexer.clusterer.due_cells(now=0.0)) == 1
+        indexer.run_due_clustering(now=0.0)
+        # Immediately afterwards the cell is not due again.
+        assert indexer.clusterer.due_cells(now=1.0) == []
+        # After the interval Tc it becomes due again.
+        assert len(indexer.clusterer.due_cells(now=20.0)) == 1
+
+    def test_occupied_clustering_cells(self, indexer):
+        indexer.update(make_update(1, 5.0, 5.0))
+        indexer.update(make_update(2, 95.0, 95.0))
+        cells = indexer.clusterer.occupied_clustering_cells()
+        assert len(cells) == 2
+        assert all(cell.level == indexer.config.clustering_cell_level for cell in cells)
+
+
+class TestReport:
+    def test_report_phases_sum_to_total(self, indexer):
+        load_colocated_leaders(indexer, 5)
+        report = indexer.run_clustering(now=1.0)
+        assert report.total_seconds == pytest.approx(
+            report.read_seconds + report.compute_seconds + report.write_seconds
+        )
+        assert report.read_seconds > 0
+        assert report.write_seconds > 0
+
+    def test_report_merge_in(self):
+        a = ClusteringReport(cells_processed=1, leaders_before=5, leaders_after=2, read_seconds=1.0)
+        b = ClusteringReport(cells_processed=2, leaders_before=3, leaders_after=3, write_seconds=0.5)
+        a.merge_in(b)
+        assert a.cells_processed == 3
+        assert a.leaders_before == 8
+        assert a.merges == 3
+        assert a.total_seconds == pytest.approx(1.5)
+
+    def test_more_leaders_cost_more_read_time(self, indexer, small_config):
+        from repro.core.moist import MoistIndexer
+
+        small = MoistIndexer(small_config)
+        load_colocated_leaders(small, 3)
+        small_report = small.run_clustering(now=1.0)
+        big = MoistIndexer(small_config)
+        load_colocated_leaders(big, 20)
+        big_report = big.run_clustering(now=1.0)
+        assert big_report.read_seconds > small_report.read_seconds

@@ -1,0 +1,71 @@
+"""Tests for MoistConfig validation."""
+
+import pytest
+
+from repro.core.config import MoistConfig
+from repro.errors import ConfigurationError
+from repro.geometry.bbox import BoundingBox
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = MoistConfig()
+        assert config.storage_level > config.clustering_cell_level
+        assert config.default_nn_level == config.storage_level - config.nn_level_delta
+
+    def test_invalid_storage_level(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(storage_level=0)
+        with pytest.raises(ConfigurationError):
+            MoistConfig(storage_level=99)
+
+    def test_nn_level_delta_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(storage_level=5, nn_level_delta=5)
+        with pytest.raises(ConfigurationError):
+            MoistConfig(nn_level_delta=-1)
+
+    def test_clustering_level_must_be_coarser_than_storage(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(storage_level=8, clustering_cell_level=8)
+        with pytest.raises(ConfigurationError):
+            MoistConfig(clustering_cell_level=0)
+
+    def test_negative_deviation_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(deviation_threshold=-1.0)
+
+    def test_zero_deviation_threshold_allowed(self):
+        # The paper's worst-case experiments set the error bound to zero.
+        assert MoistConfig(deviation_threshold=0.0).deviation_threshold == 0.0
+
+    def test_velocity_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(velocity_threshold=0.0)
+
+    def test_intervals_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(clustering_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MoistConfig(aging_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MoistConfig(flag_cache_ttl_s=0.0)
+
+    def test_sigma_and_memory_records_positive(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(sigma=0)
+        with pytest.raises(ConfigurationError):
+            MoistConfig(memory_records=0)
+
+    def test_world_must_have_area(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(world=BoundingBox(0.0, 0.0, 0.0, 10.0))
+
+    def test_max_nn_cells_positive(self):
+        with pytest.raises(ConfigurationError):
+            MoistConfig(max_nn_cells_per_query=0)
+
+    def test_config_is_frozen(self):
+        config = MoistConfig()
+        with pytest.raises(Exception):
+            config.storage_level = 3

@@ -1,0 +1,123 @@
+"""Tests for FLAG (Algorithms 3 and 4)."""
+
+import random
+
+import pytest
+
+from repro.core.flag import FlagTuner, LevelCacheRecord
+from repro.core.moist import MoistIndexer
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+
+
+def load_cluster(indexer, count, center, spread, seed=3, id_offset=0):
+    rng = random.Random(seed)
+    for index in range(count):
+        point = Point(
+            min(max(center[0] + rng.uniform(-spread, spread), 0.0), 100.0),
+            min(max(center[1] + rng.uniform(-spread, spread), 0.0), 100.0),
+        )
+        indexer.update(
+            UpdateMessage(format_object_id(id_offset + index), point, Vector(0.0, 0.0), 0.0)
+        )
+
+
+class TestLevelComputation:
+    def test_dense_area_gets_finer_level_than_sparse(self, indexer):
+        load_cluster(indexer, 200, center=(20.0, 20.0), spread=5.0)
+        load_cluster(indexer, 5, center=(80.0, 80.0), spread=5.0, id_offset=1000)
+        tuner = indexer.flag
+        dense_level = tuner.compute_level(Point(20.0, 20.0))
+        sparse_level = tuner.compute_level(Point(80.0, 80.0))
+        assert dense_level > sparse_level
+
+    def test_level_clamped_to_valid_range(self, indexer):
+        load_cluster(indexer, 3, center=(50.0, 50.0), spread=40.0)
+        level = indexer.flag.compute_level(Point(50.0, 50.0))
+        assert 1 <= level <= indexer.config.storage_level
+
+    def test_empty_index_returns_valid_level(self, indexer):
+        level = indexer.flag.compute_level(Point(50.0, 50.0))
+        assert 1 <= level <= indexer.config.storage_level
+
+    def test_total_objects_hint_tracks_updates(self, indexer):
+        load_cluster(indexer, 10, center=(50.0, 50.0), spread=10.0)
+        assert indexer.flag.total_objects_hint == 10
+
+    def test_probe_reads_counted(self, indexer):
+        load_cluster(indexer, 50, center=(50.0, 50.0), spread=20.0)
+        before = indexer.flag.stats.probe_reads
+        indexer.flag.compute_level(Point(50.0, 50.0))
+        assert indexer.flag.stats.probe_reads > before
+
+
+class TestLevelCache:
+    def test_cache_record_covers(self):
+        record = LevelCacheRecord(level=5, left_key="aaa", right_key="ccc", created_time=0.0)
+        assert record.covers("bbb")
+        assert record.covers("aaa")
+        assert not record.covers("ddd")
+
+    def test_repeated_lookup_hits_cache(self, indexer):
+        load_cluster(indexer, 50, center=(50.0, 50.0), spread=20.0)
+        location = Point(50.0, 50.0)
+        first = indexer.flag.best_level(location, now=0.0)
+        second = indexer.flag.best_level(location, now=1.0)
+        assert first == second
+        assert indexer.flag.stats.cache_hits == 1
+        assert indexer.flag.stats.recomputations == 1
+
+    def test_nearby_location_reuses_cached_range(self, indexer):
+        load_cluster(indexer, 50, center=(50.0, 50.0), spread=20.0)
+        indexer.flag.best_level(Point(50.0, 50.0), now=0.0)
+        # A location in the same chosen cell should hit the cached range.
+        indexer.flag.best_level(Point(50.5, 50.5), now=1.0)
+        assert indexer.flag.stats.cache_hits >= 1
+
+    def test_stale_entries_recomputed(self, indexer):
+        load_cluster(indexer, 50, center=(50.0, 50.0), spread=20.0)
+        location = Point(50.0, 50.0)
+        indexer.flag.best_level(location, now=0.0)
+        ttl = indexer.config.flag_cache_ttl_s
+        indexer.flag.best_level(location, now=ttl + 1.0)
+        assert indexer.flag.stats.recomputations == 2
+
+    def test_invalidate_clears_cache(self, indexer):
+        load_cluster(indexer, 50, center=(50.0, 50.0), spread=20.0)
+        indexer.flag.best_level(Point(50.0, 50.0), now=0.0)
+        assert indexer.flag.cache_size() == 1
+        indexer.flag.invalidate()
+        assert indexer.flag.cache_size() == 0
+
+    def test_clustering_invalidates_cache(self, indexer):
+        # Two co-moving leaders that will merge.
+        indexer.update(UpdateMessage("a", Point(10.0, 10.0), Vector(1.0, 0.0), 0.0))
+        indexer.update(UpdateMessage("b", Point(12.0, 10.0), Vector(1.0, 0.0), 0.0))
+        indexer.flag.best_level(Point(10.0, 10.0), now=0.0)
+        assert indexer.flag.cache_size() == 1
+        indexer.run_clustering(now=1.0)
+        assert indexer.flag.cache_size() == 0
+
+    def test_hit_ratio(self, indexer):
+        load_cluster(indexer, 30, center=(50.0, 50.0), spread=10.0)
+        for query in range(4):
+            indexer.flag.best_level(Point(50.0, 50.0), now=float(query))
+        assert indexer.flag.stats.hit_ratio == pytest.approx(0.75)
+
+
+class TestStandaloneTuner:
+    def test_explicit_hint_used(self, indexer):
+        tuner = FlagTuner(indexer.config, indexer.spatial_table, total_objects_hint=4096)
+        # With n=4096 and sigma=4 the uniform guess is 1/2*log2(1024) = 5.
+        assert tuner._initial_level(4096, 4) == 5
+
+    def test_initial_level_small_population(self, indexer):
+        tuner = FlagTuner(indexer.config, indexer.spatial_table)
+        assert tuner._initial_level(3, 8) == 1
+
+    def test_level_delta_signs(self):
+        assert FlagTuner._level_delta(1000, 8) > 0
+        assert FlagTuner._level_delta(1, 64) < 0
+        assert FlagTuner._level_delta(8, 8) == 0
+        assert FlagTuner._level_delta(0, 8) == -1

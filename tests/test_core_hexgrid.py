@@ -1,0 +1,73 @@
+"""Tests for the hexagonal velocity partition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hexgrid import HexGrid
+from repro.errors import ClusteringError
+from repro.geometry.vector import Vector
+
+velocities = st.builds(
+    Vector,
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+)
+
+
+class TestConstruction:
+    def test_positive_deviation_required(self):
+        with pytest.raises(ClusteringError):
+            HexGrid(max_deviation=0.0)
+        with pytest.raises(ClusteringError):
+            HexGrid(max_deviation=-1.0)
+
+    def test_circumradius_is_half_deviation(self):
+        assert HexGrid(max_deviation=1.0).circumradius == pytest.approx(0.5)
+
+
+class TestBinning:
+    def test_identical_velocities_share_a_bin(self):
+        grid = HexGrid(max_deviation=1.0)
+        assert grid.same_bin(Vector(1.0, 1.0), Vector(1.0, 1.0))
+
+    def test_very_different_velocities_are_separated(self):
+        grid = HexGrid(max_deviation=1.0)
+        assert not grid.same_bin(Vector(0.0, 0.0), Vector(3.0, 3.0))
+
+    def test_opposite_directions_never_share_a_bin(self):
+        grid = HexGrid(max_deviation=1.0)
+        assert not grid.same_bin(Vector(1.5, 0.0), Vector(-1.5, 0.0))
+
+    def test_bin_center_round_trips(self):
+        grid = HexGrid(max_deviation=1.0)
+        for axial in [(0, 0), (1, 0), (0, 1), (-2, 3)]:
+            center = grid.bin_center(axial)
+            assert grid.bin_of(center) == axial
+
+    @given(velocities, velocities)
+    def test_same_bin_implies_deviation_below_threshold(self, a, b):
+        """The property the hexagon size guarantees: two velocities in one
+        bin differ by at most Δm (the intra-school velocity bound)."""
+        grid = HexGrid(max_deviation=1.0)
+        if grid.bin_of(a) == grid.bin_of(b):
+            assert a.distance_to(b) <= 1.0 + 1e-9
+
+    @given(velocities)
+    def test_velocity_close_to_its_bin_center(self, velocity):
+        """Every velocity is within the circumradius of its bin centre."""
+        grid = HexGrid(max_deviation=1.0)
+        center = grid.bin_center(grid.bin_of(velocity))
+        assert velocity.distance_to(center) <= grid.circumradius + 1e-9
+
+    @given(velocities)
+    def test_binning_is_deterministic(self, velocity):
+        grid = HexGrid(max_deviation=1.0)
+        assert grid.bin_of(velocity) == grid.bin_of(velocity)
+
+    def test_smaller_deviation_gives_finer_bins(self):
+        coarse = HexGrid(max_deviation=2.0)
+        fine = HexGrid(max_deviation=0.2)
+        a = Vector(0.0, 0.0)
+        b = Vector(0.5, 0.0)
+        assert coarse.same_bin(a, b)
+        assert not fine.same_bin(a, b)

@@ -1,0 +1,126 @@
+"""Tests for region (range) queries."""
+
+import random
+
+import pytest
+
+from repro.core.region import RegionQueryStats
+from repro.errors import QueryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+
+from conftest import make_update
+
+
+def load_uniform(indexer, count, seed=7):
+    rng = random.Random(seed)
+    positions = {}
+    for index in range(count):
+        point = Point(rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0))
+        positions[format_object_id(index)] = point
+        indexer.update(
+            UpdateMessage(format_object_id(index), point, Vector(0.0, 0.0), 0.0)
+        )
+    return positions
+
+
+class TestBoxQueries:
+    def test_empty_index(self, indexer):
+        region = BoundingBox(10.0, 10.0, 30.0, 30.0)
+        assert indexer.objects_in_region(region) == []
+
+    def test_matches_brute_force(self, indexer):
+        positions = load_uniform(indexer, 80)
+        region = BoundingBox(20.0, 20.0, 60.0, 70.0)
+        expected = {
+            object_id
+            for object_id, point in positions.items()
+            if region.contains_point(point)
+        }
+        results = indexer.objects_in_region(region)
+        assert {r.object_id for r in results} == expected
+
+    def test_results_sorted_by_distance_to_center(self, indexer):
+        load_uniform(indexer, 50)
+        region = BoundingBox(10.0, 10.0, 90.0, 90.0)
+        results = indexer.objects_in_region(region)
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_followers_included_and_deduplicated(self, indexer):
+        indexer.update(make_update(1, 40.0, 40.0, vx=1.0, vy=0.0))
+        indexer.update(make_update(2, 42.0, 40.0, vx=1.0, vy=0.0))
+        indexer.run_clustering(now=0.5)
+        region = BoundingBox(30.0, 30.0, 50.0, 50.0)
+        results = indexer.objects_in_region(region)
+        ids = [r.object_id for r in results]
+        assert sorted(ids) == ["obj0000000001", "obj0000000002"]
+        assert len(ids) == len(set(ids))
+
+    def test_followers_can_be_excluded(self, indexer):
+        indexer.update(make_update(1, 40.0, 40.0, vx=1.0, vy=0.0))
+        indexer.update(make_update(2, 42.0, 40.0, vx=1.0, vy=0.0))
+        indexer.run_clustering(now=0.5)
+        region = BoundingBox(30.0, 30.0, 50.0, 50.0)
+        results = indexer.objects_in_region(region, include_followers=False)
+        assert len(results) == 1
+        assert results[0].is_leader
+
+    def test_stats_populated(self, indexer):
+        load_uniform(indexer, 40)
+        stats = RegionQueryStats()
+        results = indexer.objects_in_region(
+            BoundingBox(0.0, 0.0, 50.0, 50.0), stats=stats
+        )
+        assert stats.cells_covered >= 1
+        assert stats.leaders_scanned >= len(results)
+        assert stats.results == len(results)
+
+    def test_explicit_cover_level_validated(self, indexer):
+        load_uniform(indexer, 10)
+        with pytest.raises(QueryError):
+            indexer.region_searcher.objects_in_box(
+                BoundingBox(0.0, 0.0, 10.0, 10.0), cover_level=99
+            )
+
+    def test_predictive_region_query(self, indexer):
+        # The object sits just outside the region but inside a covered cell;
+        # dead-reckoning to t=2 moves it inside.
+        indexer.update(make_update(1, 52.0, 50.0, vx=5.0, vy=0.0, t=0.0))
+        region = BoundingBox(55.0, 45.0, 65.0, 55.0)
+        assert indexer.objects_in_region(region, at_time=0.0) == []
+        results = indexer.objects_in_region(region, at_time=2.0)
+        assert [r.object_id for r in results] == ["obj0000000001"]
+
+
+class TestCircleQueries:
+    def test_radius_must_be_positive(self, indexer):
+        with pytest.raises(QueryError):
+            indexer.objects_near(Point(10.0, 10.0), 0.0)
+
+    def test_matches_brute_force(self, indexer):
+        positions = load_uniform(indexer, 80)
+        center = Point(50.0, 50.0)
+        radius = 25.0
+        expected = {
+            object_id
+            for object_id, point in positions.items()
+            if point.distance_to(center) <= radius
+        }
+        results = indexer.objects_near(center, radius)
+        assert {r.object_id for r in results} == expected
+
+    def test_all_results_within_radius(self, indexer):
+        load_uniform(indexer, 60)
+        center = Point(30.0, 70.0)
+        for result in indexer.objects_near(center, 20.0):
+            assert result.location.distance_to(center) <= 20.0 + 1e-9
+
+    def test_growing_radius_returns_supersets(self, indexer):
+        load_uniform(indexer, 60)
+        center = Point(50.0, 50.0)
+        small = {r.object_id for r in indexer.objects_near(center, 10.0)}
+        large = {r.object_id for r in indexer.objects_near(center, 40.0)}
+        assert small <= large

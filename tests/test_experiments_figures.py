@@ -1,0 +1,200 @@
+"""Small-scale integration runs of every figure harness.
+
+These are scaled-down versions of the benchmark configurations: they verify
+that each experiment produces the series the corresponding paper figure
+plots and that the qualitative shape (who wins, what grows, what shrinks)
+matches the paper's claims.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_curve_ablation,
+    run_flag_cache_ablation,
+    run_placement_ablation,
+    run_velocity_partition_ablation,
+)
+from repro.experiments.common import mean, uniform_leader_indexer
+from repro.experiments.fig09_schools import average_school_count, run_fig09a, run_fig09c
+from repro.experiments.fig10_clustering import measure_clustering_latency, run_fig10a, run_fig10b
+from repro.experiments.fig11_cluster_frequency import (
+    measure_nn_cost_per_leader_count,
+    run_fig11,
+    simulate_nn_qps,
+)
+from repro.experiments.fig12_flag import (
+    fixed_level_for_cell_size,
+    run_fig12_density,
+    run_fig12_range,
+)
+from repro.experiments.fig13_qps import measure_update_qps, run_fig13a, run_fig13_multiserver
+from repro.experiments.headline import measure_bxtree_update_qps
+
+
+class TestCommonHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+
+    def test_uniform_leader_indexer_preloads_objects(self):
+        indexer = uniform_leader_indexer(100)
+        assert indexer.object_count == 100
+        assert indexer.school_count == 100
+        # Preload work is excluded from the measured ledger.
+        assert indexer.simulated_seconds == 0.0
+
+
+class TestFig09:
+    def test_more_tolerance_means_fewer_schools(self):
+        tight = average_school_count(60, deviation_threshold=1.0, duration_s=25.0)
+        loose = average_school_count(60, deviation_threshold=40.0, duration_s=25.0)
+        assert loose < tight
+
+    def test_fig09a_series_structure(self):
+        result = run_fig09a(epsilons=(1.0, 20.0), num_objects=40, duration_s=20.0)
+        assert len(result.series) == 3
+        for series in result.series:
+            assert len(series.ys) == 2
+            assert all(value > 0 for value in series.ys)
+
+    def test_fig09c_variance_stays_bounded(self):
+        result = run_fig09c(duration_s=40.0, num_objects=40)
+        counts = result.get_series("#OS").ys
+        settled = counts[len(counts) // 3:]
+        assert max(settled) - min(settled) <= 20
+
+
+class TestFig10:
+    def test_latency_grows_with_pre_leaders(self):
+        small = measure_clustering_latency(100, 20)
+        large = measure_clustering_latency(400, 20)
+        assert large.total_seconds > small.total_seconds
+        assert large.read_seconds > small.read_seconds
+
+    def test_read_time_dominates_writes_for_heavy_merges(self):
+        report = measure_clustering_latency(400, 20)
+        assert report.read_seconds > report.write_seconds
+
+    def test_fig10a_and_b_structure(self):
+        a = run_fig10a(pre_leader_counts=(100, 200), post_leaders=20)
+        b = run_fig10b(post_leader_counts=(10, 50), pre_leaders=200)
+        for figure in (a, b):
+            labels = {series.label for series in figure.series}
+            assert {"read time", "compute time", "write time", "total"} <= labels
+
+
+class TestFig11:
+    def test_nn_cost_grows_with_leaders(self):
+        costs = measure_nn_cost_per_leader_count([200, 2000], queries=5)
+        assert costs[2000] > costs[200]
+
+    def test_clustering_beats_no_clustering(self):
+        costs = {500: 5e-4, 5000: 5e-3}
+        with_clustering = simulate_nn_qps(
+            0.1, 30.0, costs, clustering_seconds=0.05,
+            initial_leaders=500, total_objects=5000, horizon_s=30.0,
+        )
+        without = simulate_nn_qps(
+            0.0, 30.0, costs, clustering_seconds=0.05,
+            initial_leaders=5000, total_objects=5000, horizon_s=30.0,
+        )
+        assert with_clustering > without
+
+    def test_run_fig11_has_optimum_above_baseline(self):
+        result = run_fig11(
+            frequencies_hz=(0.0, 0.1, 1.0),
+            initial_leaders=100,
+            total_objects=1000,
+        )
+        setting_a = result.get_series("setting A (30s growth)")
+        baseline = result.get_series("no clustering")
+        assert max(setting_a.ys) > baseline.ys[0]
+
+
+class TestFig12:
+    def test_fixed_level_helper(self):
+        assert fixed_level_for_cell_size(8.0, 12) == 7
+        assert fixed_level_for_cell_size(4.0, 12) == 8
+
+    def test_flag_beats_fixed_fine_level_across_range(self):
+        result = run_fig12_range(range_limits=(20.0, 80.0), num_objects=2000)
+        flag = result.get_series("FLAG QPS")
+        fine = result.get_series("fixed level 8 (4m cells) QPS")
+        assert all(f >= x for f, x in zip(flag.ys, fine.ys))
+
+    def test_fixed_level_degrades_with_range_flag_stays_flat(self):
+        result = run_fig12_range(range_limits=(20.0, 100.0), num_objects=2000)
+        fine = result.get_series("fixed level 8 (4m cells) QPS")
+        flag = result.get_series("FLAG QPS")
+        assert fine.ys[-1] < fine.ys[0]  # fixed fine level drops with range
+        # FLAG degrades far more gracefully than the fixed fine level.
+        flag_drop = flag.ys[0] / flag.ys[-1]
+        fine_drop = fine.ys[0] / fine.ys[-1]
+        assert flag_drop < fine_drop
+        assert flag.ys[-1] >= 0.5 * flag.ys[0]
+
+    def test_flag_adapts_to_density(self):
+        result = run_fig12_density(object_counts=(1000, 20000))
+        flag = result.get_series("FLAG QPS")
+        fine = result.get_series("fixed level 8 (4m cells) QPS")
+        assert all(f > x for f, x in zip(flag.ys, fine.ys))
+
+
+class TestFig13:
+    def test_single_server_qps_near_paper_anchor(self):
+        outcome = measure_update_qps(2000, num_servers=1, num_updates=1500)
+        assert 6000 < outcome.qps < 10000
+
+    def test_qps_flat_in_population(self):
+        result = run_fig13a(object_counts=(1000, 5000), num_updates=1500)
+        qps = result.get_series("update QPS").ys
+        assert qps[1] == pytest.approx(qps[0], rel=0.2)
+
+    def test_multi_server_speedup(self):
+        single = measure_update_qps(2000, num_servers=1, num_updates=1500)
+        five = measure_update_qps(2000, num_servers=5, num_updates=1500)
+        speedup = five.qps / single.qps
+        assert 3.5 < speedup <= 5.0
+
+    def test_timeline_figure_structure(self):
+        result = run_fig13_multiserver(5, num_objects=2000, num_updates=4000, num_clients=10)
+        labels = {series.label for series in result.series}
+        assert {"QPS", "failed QPS", "average QPS"} <= labels
+        assert len(result.get_series("QPS").xs) > 1
+
+
+class TestHeadline:
+    def test_bxtree_near_paper_number(self):
+        qps = measure_bxtree_update_qps(num_objects=3000, num_updates=1500)
+        assert 2000 < qps < 4500
+
+    def test_moist_beats_bxtree_on_updates(self):
+        bx = measure_bxtree_update_qps(num_objects=3000, num_updates=1500)
+        moist = measure_update_qps(3000, num_servers=1, num_updates=1500).qps
+        assert moist > 1.5 * bx
+
+
+class TestAblations:
+    def test_curve_ablation_prefers_hilbert(self):
+        result = run_curve_ablation(levels=(6, 8))
+        hilbert = result.get_series("Hilbert")
+        z_order = result.get_series("Z-order")
+        assert all(h < z for h, z in zip(hilbert.ys, z_order.ys))
+
+    def test_velocity_partition_hexagons_respect_bound(self):
+        result = run_velocity_partition_ablation(max_deviation=1.0, samples=400)
+        hexagon = result.get_series("hexagon")
+        assert hexagon.ys[0] <= 1.0 + 1e-9  # worst intra-bin deviation
+
+    def test_flag_cache_reduces_probe_reads(self):
+        result = run_flag_cache_ablation(num_objects=2000, queries=40)
+        cached = result.get_series("with cache")
+        uncached = result.get_series("without cache")
+        assert cached.ys[0] <= uncached.ys[0]
+
+    def test_placement_ablation_structure(self):
+        result = run_placement_ablation(num_objects=40, records_per_object=10, queries=10)
+        labels = {series.label for series in result.series}
+        assert labels == {"object+location hash", "object-only hash"}
+        for series in result.series:
+            assert all(value > 0 for value in series.ys)

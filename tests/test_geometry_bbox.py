@@ -1,0 +1,120 @@
+"""Tests for repro.geometry.bbox."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpatialError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+coordinate = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    x1 = draw(coordinate)
+    x2 = draw(coordinate)
+    y1 = draw(coordinate)
+    y2 = draw(coordinate)
+    return BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+class TestConstruction:
+    def test_invalid_box_raises(self):
+        with pytest.raises(SpatialError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_zero_area_box_is_allowed(self):
+        box = BoundingBox(1.0, 2.0, 1.0, 2.0)
+        assert box.area == 0.0
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1.0, 5.0), Point(3.0, 2.0)])
+        assert box == BoundingBox(1.0, 2.0, 3.0, 5.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(SpatialError):
+            BoundingBox.from_points([])
+
+    def test_from_center(self):
+        box = BoundingBox.from_center(Point(5.0, 5.0), 2.0, 3.0)
+        assert box == BoundingBox(3.0, 2.0, 7.0, 8.0)
+
+    def test_dimensions(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.area == 8.0
+        assert box.center() == Point(2.0, 1.0)
+
+    def test_corners(self):
+        corners = list(BoundingBox(0.0, 0.0, 1.0, 1.0).corners())
+        assert len(corners) == 4
+        assert Point(0.0, 0.0) in corners
+        assert Point(1.0, 1.0) in corners
+
+
+class TestContainment:
+    def test_contains_point_inside_and_on_border(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.contains_point(Point(5.0, 5.0))
+        assert box.contains_point(Point(0.0, 10.0))
+        assert not box.contains_point(Point(10.1, 5.0))
+
+    def test_contains_box(self):
+        outer = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        inner = BoundingBox(2.0, 2.0, 8.0, 8.0)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    @given(boxes())
+    def test_box_contains_its_center(self, box):
+        assert box.contains_point(box.center())
+
+
+class TestIntersection:
+    def test_intersects_overlapping(self):
+        a = BoundingBox(0.0, 0.0, 5.0, 5.0)
+        b = BoundingBox(4.0, 4.0, 10.0, 10.0)
+        assert a.intersects(b)
+        assert a.intersection(b) == BoundingBox(4.0, 4.0, 5.0, 5.0)
+
+    def test_disjoint_boxes_do_not_intersect(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert not a.intersects(b)
+        with pytest.raises(SpatialError):
+            a.intersection(b)
+
+    def test_union_covers_both(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        union = a.union(b)
+        assert union.contains_box(a)
+        assert union.contains_box(b)
+
+    def test_expanded(self):
+        box = BoundingBox(1.0, 1.0, 2.0, 2.0).expanded(1.0)
+        assert box == BoundingBox(0.0, 0.0, 3.0, 3.0)
+
+
+class TestDistance:
+    def test_distance_zero_inside(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.distance_to_point(Point(5.0, 5.0)) == 0.0
+
+    def test_distance_to_side(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.distance_to_point(Point(15.0, 5.0)) == pytest.approx(5.0)
+
+    def test_distance_to_corner(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.distance_to_point(Point(13.0, 14.0)) == pytest.approx(5.0)
+
+    @given(boxes(), coordinate, coordinate)
+    def test_distance_lower_bounds_contained_points(self, box, x, y):
+        """The box-to-point distance never exceeds the distance to any point
+        inside the box — the invariant the NN search pruning relies on."""
+        point = Point(x, y)
+        inner = box.clamp_point(Point((box.min_x + box.max_x) / 2, (box.min_y + box.max_y) / 2))
+        assert box.distance_to_point(point) <= inner.distance_to(point) + 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the shared domain records."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import (
+    HistoryRecord,
+    LocationRecord,
+    NeighborResult,
+    UpdateMessage,
+    format_object_id,
+)
+
+
+class TestObjectIds:
+    def test_format_is_zero_padded(self):
+        assert format_object_id(7) == "obj0000000007"
+
+    def test_formatted_ids_sort_numerically(self):
+        ids = [format_object_id(n) for n in (2, 10, 1, 100)]
+        assert sorted(ids) == [format_object_id(n) for n in (1, 2, 10, 100)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            format_object_id(-1)
+
+
+class TestLocationRecord:
+    def test_requires_finite_coordinates(self):
+        with pytest.raises(SchemaError):
+            LocationRecord(Point(float("nan"), 0.0), Vector(0.0, 0.0), 0.0)
+        with pytest.raises(SchemaError):
+            LocationRecord(Point(0.0, 0.0), Vector(float("inf"), 0.0), 0.0)
+
+    def test_extrapolation_moves_with_velocity(self):
+        record = LocationRecord(Point(10.0, 10.0), Vector(1.0, -2.0), timestamp=5.0)
+        extrapolated = record.extrapolated(8.0)
+        assert extrapolated == Point(13.0, 4.0)
+
+    def test_extrapolation_at_record_time_is_identity(self):
+        record = LocationRecord(Point(10.0, 10.0), Vector(1.0, -2.0), timestamp=5.0)
+        assert record.extrapolated(5.0) == record.location
+
+    def test_extrapolation_backwards(self):
+        record = LocationRecord(Point(10.0, 10.0), Vector(2.0, 0.0), timestamp=5.0)
+        assert record.extrapolated(4.0) == Point(8.0, 10.0)
+
+
+class TestUpdateMessage:
+    def test_requires_object_id(self):
+        with pytest.raises(SchemaError):
+            UpdateMessage("", Point(0.0, 0.0), Vector(0.0, 0.0), 0.0)
+
+    def test_requires_finite_values(self):
+        with pytest.raises(SchemaError):
+            UpdateMessage("x", Point(float("nan"), 0.0), Vector(0.0, 0.0), 0.0)
+
+    def test_as_record_copies_fields(self):
+        message = UpdateMessage("x", Point(1.0, 2.0), Vector(3.0, 4.0), 5.0)
+        record = message.as_record()
+        assert record.location == message.location
+        assert record.velocity == message.velocity
+        assert record.timestamp == message.timestamp
+
+    def test_messages_are_hashable(self):
+        a = UpdateMessage("x", Point(1.0, 2.0), Vector(0.0, 0.0), 0.0)
+        b = UpdateMessage("x", Point(1.0, 2.0), Vector(0.0, 0.0), 0.0)
+        assert len({a, b}) == 1
+
+
+class TestResultRecords:
+    def test_neighbor_result_fields(self):
+        result = NeighborResult(
+            object_id="a", location=Point(1.0, 1.0), distance=2.0, is_leader=False,
+            leader_id="b",
+        )
+        assert result.leader_id == "b"
+        assert not result.is_leader
+
+    def test_history_record_fields(self):
+        record = HistoryRecord(
+            object_id="a", location=Point(1.0, 1.0), velocity=Vector(0.5, 0.5),
+            timestamp=3.0,
+        )
+        assert record.timestamp == 3.0

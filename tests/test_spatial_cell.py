@@ -1,0 +1,186 @@
+"""Tests for repro.spatial.cell."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpatialError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.spatial.cell import CellId, MAX_LEVEL, WORLD_UNIT_BOX
+
+WORLD = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+levels = st.integers(min_value=1, max_value=10)
+unit_coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_invalid_level_rejected(self):
+        with pytest.raises(SpatialError):
+            CellId(MAX_LEVEL + 1, 0)
+        with pytest.raises(SpatialError):
+            CellId(-1, 0)
+
+    def test_invalid_position_rejected(self):
+        with pytest.raises(SpatialError):
+            CellId(1, 4)
+        with pytest.raises(SpatialError):
+            CellId(2, -1)
+
+    def test_from_point_level_zero_is_root(self):
+        assert CellId.from_point(Point(0.3, 0.7), 0) == CellId(0, 0)
+
+    def test_from_point_clamps_outside_points(self):
+        outside = CellId.from_point(Point(150.0, -10.0), 4, WORLD)
+        inside = CellId.from_point(Point(100.0, 0.0), 4, WORLD)
+        assert outside == inside
+
+    def test_from_token_round_trip(self):
+        cell = CellId.from_point(Point(42.0, 17.0), 6, WORLD)
+        assert CellId.from_token(cell.key(), 6) == cell
+
+    def test_from_token_misaligned_rejected(self):
+        cell = CellId.from_point(Point(42.0, 17.0), 6, WORLD)
+        child = cell.children()[1]
+        with pytest.raises(SpatialError):
+            CellId.from_token(child.key(), 5)
+
+
+class TestHierarchy:
+    def test_parent_contains_child(self):
+        cell = CellId.from_point(Point(10.0, 20.0), 6, WORLD)
+        assert cell.parent().contains(cell)
+        assert cell.parent(2).contains(cell)
+
+    def test_children_are_contained_and_distinct(self):
+        cell = CellId.from_point(Point(10.0, 20.0), 4, WORLD)
+        children = cell.children()
+        assert len(set(children)) == 4
+        for child in children:
+            assert cell.contains(child)
+            assert child.parent() == cell
+
+    def test_contains_self(self):
+        cell = CellId(3, 5)
+        assert cell.contains(cell)
+
+    def test_does_not_contain_coarser(self):
+        cell = CellId(3, 5)
+        assert not cell.contains(cell.parent())
+
+    def test_parent_invalid_level(self):
+        with pytest.raises(SpatialError):
+            CellId(3, 5).parent(4)
+
+    def test_children_at_max_level_rejected(self):
+        with pytest.raises(SpatialError):
+            CellId(MAX_LEVEL, 0).children()
+
+    def test_descendants_at(self):
+        cell = CellId(2, 3)
+        descendants = list(cell.descendants_at(4))
+        assert len(descendants) == 16
+        assert all(cell.contains(d) for d in descendants)
+
+    @given(levels, unit_coords, unit_coords)
+    def test_from_point_consistent_across_levels(self, level, x, y):
+        """The cell at level l containing a point is the parent of the cell
+        at level l+1 containing the same point."""
+        point = Point(x, y)
+        coarse = CellId.from_point(point, level)
+        fine = CellId.from_point(point, level + 1)
+        assert fine.parent() == coarse
+
+
+class TestKeys:
+    def test_key_is_fixed_width_hex(self):
+        key = CellId(4, 7).key()
+        assert len(key) == 12
+        int(key, 16)  # must parse as hexadecimal
+
+    def test_key_range_covers_descendants(self):
+        cell = CellId.from_point(Point(50.0, 50.0), 4, WORLD)
+        start, end = cell.key_range()
+        for child in cell.children():
+            assert start <= child.key() < end
+
+    def test_key_range_excludes_siblings(self):
+        cell = CellId(4, 7)
+        sibling = CellId(4, 8)
+        start, end = cell.key_range()
+        assert not (start <= sibling.key() < end)
+
+    def test_last_cell_key_range_uses_sentinel(self):
+        last = CellId(1, 3)
+        start, end = last.key_range()
+        assert start < end
+        # Every key of its descendants still sorts below the end bound.
+        deepest = list(last.descendants_at(3))[-1]
+        assert deepest.key() < end
+
+    def test_same_level_keys_are_ordered_by_position(self):
+        keys = [CellId(5, pos).key() for pos in range(32)]
+        assert keys == sorted(keys)
+
+    @given(levels, st.data())
+    def test_range_min_max_consistency(self, level, data):
+        pos = data.draw(st.integers(min_value=0, max_value=(1 << (2 * level)) - 1))
+        cell = CellId(level, pos)
+        assert cell.range_min() <= cell.range_max()
+        width = cell.range_max() - cell.range_min() + 1
+        assert width == 4 ** (MAX_LEVEL - level)
+
+
+class TestGeometry:
+    def test_to_box_tiles_the_world(self):
+        level = 3
+        boxes = [CellId(level, pos).to_box(WORLD) for pos in range(4**level)]
+        total_area = sum(box.area for box in boxes)
+        assert total_area == pytest.approx(WORLD.area)
+
+    def test_center_is_inside_cell_box(self):
+        cell = CellId.from_point(Point(33.0, 66.0), 5, WORLD)
+        assert cell.to_box(WORLD).contains_point(cell.center(WORLD))
+
+    def test_from_point_box_contains_point(self):
+        point = Point(12.3, 45.6)
+        cell = CellId.from_point(point, 7, WORLD)
+        assert cell.to_box(WORLD).contains_point(point)
+
+    def test_distance_to_contained_point_is_zero(self):
+        point = Point(12.3, 45.6)
+        cell = CellId.from_point(point, 7, WORLD)
+        assert cell.distance_to_point(point, WORLD) == 0.0
+
+    def test_distance_to_far_point_positive(self):
+        cell = CellId.from_point(Point(10.0, 10.0), 5, WORLD)
+        assert cell.distance_to_point(Point(90.0, 90.0), WORLD) > 0.0
+
+
+class TestNeighbors:
+    def test_interior_cell_has_four_edge_neighbors(self):
+        cell = CellId.from_point(Point(50.0, 50.0), 5, WORLD)
+        assert len(cell.edge_neighbors()) == 4
+
+    def test_corner_cell_has_two_edge_neighbors(self):
+        corner = CellId.from_point(Point(0.0, 0.0), 5, WORLD)
+        assert len(corner.edge_neighbors()) == 2
+
+    def test_edge_neighbors_share_an_edge(self):
+        cell = CellId.from_point(Point(50.0, 50.0), 5, WORLD)
+        gx, gy = cell.grid_coordinates()
+        for neighbor in cell.edge_neighbors():
+            nx, ny = neighbor.grid_coordinates()
+            assert abs(gx - nx) + abs(gy - ny) == 1
+
+    def test_all_neighbors_includes_diagonals(self):
+        cell = CellId.from_point(Point(50.0, 50.0), 5, WORLD)
+        assert len(cell.all_neighbors()) == 8
+
+    def test_root_cell_has_no_neighbors(self):
+        assert CellId(0, 0).edge_neighbors() == []
+
+    def test_neighbor_relation_is_symmetric(self):
+        cell = CellId.from_point(Point(23.0, 71.0), 6, WORLD)
+        for neighbor in cell.edge_neighbors():
+            assert cell in neighbor.edge_neighbors()

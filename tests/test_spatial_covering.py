@@ -1,0 +1,117 @@
+"""Tests for repro.spatial.covering."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.spatial.cell import CellId
+from repro.spatial.covering import (
+    coalesce_ranges,
+    cover_box,
+    cover_circle,
+    level_for_resolution,
+)
+
+WORLD = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+class TestCoverBox:
+    def test_whole_world_cover_at_level_one(self):
+        cells = cover_box(WORLD, 1, WORLD)
+        assert len(cells) == 4
+
+    def test_small_region_covered_by_one_cell(self):
+        region = BoundingBox(10.0, 10.0, 11.0, 11.0)
+        cells = cover_box(region, 3, WORLD)
+        assert len(cells) == 1
+        assert cells[0].to_box(WORLD).contains_box(region)
+
+    def test_cover_contains_every_region_corner(self):
+        region = BoundingBox(20.0, 30.0, 55.0, 70.0)
+        cells = cover_box(region, 4, WORLD)
+        for corner in region.corners():
+            assert any(cell.to_box(WORLD).contains_point(corner) for cell in cells)
+
+    def test_cover_cells_all_intersect_region(self):
+        region = BoundingBox(20.0, 30.0, 55.0, 70.0)
+        for cell in cover_box(region, 4, WORLD):
+            assert cell.to_box(WORLD).intersects(region)
+
+    def test_cells_sorted_by_position(self):
+        region = BoundingBox(0.0, 0.0, 60.0, 60.0)
+        cells = cover_box(region, 3, WORLD)
+        positions = [cell.pos for cell in cells]
+        assert positions == sorted(positions)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(SpatialError):
+            cover_box(WORLD, -1, WORLD)
+
+
+class TestCoverCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(SpatialError):
+            cover_circle(Point(50.0, 50.0), -1.0, 3, WORLD)
+
+    def test_circle_cover_subset_of_box_cover(self):
+        center = Point(50.0, 50.0)
+        radius = 20.0
+        circle_cells = set(cover_circle(center, radius, 4, WORLD))
+        box_cells = set(
+            cover_box(BoundingBox.from_center(center, radius, radius), 4, WORLD)
+        )
+        assert circle_cells <= box_cells
+
+    def test_circle_cover_contains_center_cell(self):
+        center = Point(42.0, 17.0)
+        cells = cover_circle(center, 5.0, 5, WORLD)
+        assert CellId.from_point(center, 5, WORLD) in cells
+
+    def test_all_cells_within_radius(self):
+        center = Point(50.0, 50.0)
+        radius = 15.0
+        for cell in cover_circle(center, radius, 5, WORLD):
+            assert cell.distance_to_point(center, WORLD) <= radius
+
+
+class TestCoalesceRanges:
+    def test_empty_input(self):
+        assert coalesce_ranges([]) == []
+
+    def test_adjacent_cells_merge_into_one_range(self):
+        cells = [CellId(4, pos) for pos in range(4, 9)]
+        ranges = coalesce_ranges(cells)
+        assert len(ranges) == 1
+        start, end = ranges[0]
+        assert start == CellId(4, 4).key_range()[0]
+        assert end == CellId(4, 8).key_range()[1]
+
+    def test_gap_produces_two_ranges(self):
+        cells = [CellId(4, 1), CellId(4, 2), CellId(4, 9)]
+        assert len(coalesce_ranges(cells)) == 2
+
+    def test_mixed_levels_rejected(self):
+        with pytest.raises(SpatialError):
+            coalesce_ranges([CellId(3, 0), CellId(4, 0)])
+
+
+class TestLevelForResolution:
+    def test_coarse_resolution_gives_level_zero(self):
+        assert level_for_resolution(1000.0, WORLD) == 0
+
+    def test_resolution_maps_to_expected_level(self):
+        # 100-unit world, 25-unit resolution -> 2^2 cells per side.
+        assert level_for_resolution(25.0, WORLD) == 2
+
+    def test_finer_resolution_gives_deeper_level(self):
+        assert level_for_resolution(1.0, WORLD) > level_for_resolution(10.0, WORLD)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(SpatialError):
+            level_for_resolution(0.0, WORLD)
+
+    def test_cells_at_chosen_level_are_fine_enough(self):
+        resolution = 7.0
+        level = level_for_resolution(resolution, WORLD)
+        assert WORLD.width / (1 << level) <= resolution

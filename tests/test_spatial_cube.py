@@ -1,0 +1,83 @@
+"""Tests for the six-face cube wrapper."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.cube import FaceCellId, NUM_FACES, face_for_lat_lng
+
+
+class TestFaceSelection:
+    def test_equator_prime_meridian_is_face_zero(self):
+        assert face_for_lat_lng(0.0, 0.0) == 0
+
+    def test_antipode_is_opposite_face(self):
+        assert face_for_lat_lng(0.0, 180.0) == 3
+
+    def test_north_pole(self):
+        assert face_for_lat_lng(90.0, 0.0) == 2
+
+    def test_south_pole(self):
+        assert face_for_lat_lng(-90.0, 0.0) == 5
+
+    def test_east_and_west(self):
+        assert face_for_lat_lng(0.0, 90.0) == 1
+        assert face_for_lat_lng(0.0, -90.0) == 4
+
+    def test_invalid_latitude_rejected(self):
+        with pytest.raises(SpatialError):
+            face_for_lat_lng(95.0, 0.0)
+
+    def test_all_faces_reachable(self):
+        samples = [
+            (0.0, 0.0),
+            (0.0, 90.0),
+            (89.0, 10.0),
+            (0.0, 180.0),
+            (0.0, -90.0),
+            (-89.0, 10.0),
+        ]
+        faces = {face_for_lat_lng(lat, lng) for lat, lng in samples}
+        assert faces == set(range(NUM_FACES))
+
+
+class TestFaceCellId:
+    def test_from_lat_lng_builds_valid_cell(self):
+        cell = FaceCellId.from_lat_lng(37.4, -122.1, level=10)
+        assert 0 <= cell.face < NUM_FACES
+        assert cell.cell.level == 10
+
+    def test_nearby_points_share_coarse_cell(self):
+        a = FaceCellId.from_lat_lng(37.4000, -122.1000, level=8)
+        b = FaceCellId.from_lat_lng(37.4001, -122.1001, level=8)
+        assert a == b
+
+    def test_far_points_differ(self):
+        a = FaceCellId.from_lat_lng(37.4, -122.1, level=8)
+        b = FaceCellId.from_lat_lng(-33.9, 151.2, level=8)
+        assert a != b
+
+    def test_key_prefixed_by_face(self):
+        cell = FaceCellId.from_lat_lng(10.0, 20.0, level=6)
+        assert cell.key().startswith(str(cell.face))
+
+    def test_keys_of_different_faces_do_not_interleave(self):
+        a = FaceCellId.from_lat_lng(0.0, 10.0, level=6)   # face 0
+        b = FaceCellId.from_lat_lng(0.0, 100.0, level=6)  # face 1
+        assert a.face < b.face
+        assert a.key() < b.key()
+
+    def test_parent_keeps_face(self):
+        cell = FaceCellId.from_lat_lng(10.0, 20.0, level=6)
+        parent = cell.parent(3)
+        assert parent.face == cell.face
+        assert parent.cell.contains(cell.cell)
+
+    def test_invalid_face_rejected(self):
+        from repro.spatial.cell import CellId
+
+        with pytest.raises(SpatialError):
+            FaceCellId(6, CellId(1, 0))
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(SpatialError):
+            FaceCellId.from_lat_lng(0.0, 0.0, level=99)

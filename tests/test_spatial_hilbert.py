@@ -1,0 +1,121 @@
+"""Tests for the Hilbert and Z-order curve encodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial.hilbert import hilbert_index, hilbert_point
+from repro.spatial.zcurve import z_index, z_point
+
+
+class TestHilbertSmall:
+    def test_order_one_enumerates_four_cells(self):
+        positions = {hilbert_index(1, x, y) for x in range(2) for y in range(2)}
+        assert positions == {0, 1, 2, 3}
+
+    def test_order_zero_is_single_cell(self):
+        assert hilbert_index(0, 0, 0) == 0
+
+    def test_known_order_one_layout(self):
+        # The classic order-1 Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+        assert hilbert_index(1, 0, 0) == 0
+        assert hilbert_index(1, 0, 1) == 1
+        assert hilbert_index(1, 1, 1) == 2
+        assert hilbert_index(1, 1, 0) == 3
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(SpatialError):
+            hilbert_index(2, 4, 0)
+        with pytest.raises(SpatialError):
+            hilbert_index(2, 0, -1)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(SpatialError):
+            hilbert_index(-1, 0, 0)
+        with pytest.raises(SpatialError):
+            hilbert_point(-1, 0)
+
+    def test_decode_out_of_range_rejected(self):
+        with pytest.raises(SpatialError):
+            hilbert_point(2, 16)
+
+
+class TestHilbertProperties:
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_round_trip(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(min_value=0, max_value=side - 1))
+        y = data.draw(st.integers(min_value=0, max_value=side - 1))
+        assert hilbert_point(order, hilbert_index(order, x, y)) == (x, y)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_bijection_over_whole_grid(self, order):
+        side = 1 << order
+        indexes = {
+            hilbert_index(order, x, y) for x in range(side) for y in range(side)
+        }
+        assert indexes == set(range(side * side))
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_curve_is_continuous(self, order):
+        """Consecutive curve positions are always grid neighbours — the
+        locality property that keeps nearby cells in nearby rows."""
+        side = 1 << order
+        for d in range(side * side - 1):
+            x1, y1 = hilbert_point(order, d)
+            x2, y2 = hilbert_point(order, d + 1)
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+class TestZCurve:
+    def test_order_one_layout(self):
+        assert z_index(1, 0, 0) == 0
+        assert z_index(1, 1, 0) == 1
+        assert z_index(1, 0, 1) == 2
+        assert z_index(1, 1, 1) == 3
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_round_trip(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(min_value=0, max_value=side - 1))
+        y = data.draw(st.integers(min_value=0, max_value=side - 1))
+        assert z_point(order, z_index(order, x, y)) == (x, y)
+
+    def test_bijection_small_grid(self):
+        codes = {z_index(3, x, y) for x in range(8) for y in range(8)}
+        assert codes == set(range(64))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SpatialError):
+            z_index(2, 4, 0)
+        with pytest.raises(SpatialError):
+            z_point(2, 100)
+
+    def test_hilbert_needs_fewer_scan_runs_than_z(self):
+        """Covering a small square block of cells needs fewer contiguous key
+        runs (i.e. fewer range scans) under the Hilbert curve than under the
+        Z-curve — the paper's reason for choosing Hilbert."""
+        order = 5
+        side = 1 << order
+        block = 4
+
+        def mean_runs(encoder):
+            total = 0
+            count = 0
+            for x0 in range(0, side - block, 3):
+                for y0 in range(0, side - block, 3):
+                    keys = sorted(
+                        encoder(order, x, y)
+                        for x in range(x0, x0 + block)
+                        for y in range(y0, y0 + block)
+                    )
+                    runs = 1 + sum(
+                        1 for a, b in zip(keys, keys[1:]) if b != a + 1
+                    )
+                    total += runs
+                    count += 1
+            return total / count
+
+        assert mean_runs(hilbert_index) < mean_runs(z_index)

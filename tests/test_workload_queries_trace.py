@@ -1,0 +1,107 @@
+"""Tests for the query workloads and trace record/replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry.bbox import BoundingBox
+from repro.workload.generator import RoadNetworkWorkload, WorkloadConfig
+from repro.workload.queries import HistoryQueryWorkload, NNQueryWorkload
+from repro.workload.trace import Trace, record_trace
+
+REGION = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+class TestNNQueryWorkload:
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            NNQueryWorkload(REGION, k=0)
+        with pytest.raises(WorkloadError):
+            NNQueryWorkload(REGION, range_limit=0.0)
+
+    def test_queries_inside_region(self):
+        workload = NNQueryWorkload(REGION, k=5, seed=1)
+        for query in workload.batch(50):
+            assert REGION.contains_point(query.location)
+            assert query.k == 5
+
+    def test_batch_size_validated(self):
+        with pytest.raises(WorkloadError):
+            NNQueryWorkload(REGION).batch(0)
+
+    def test_range_limit_propagated(self):
+        workload = NNQueryWorkload(REGION, k=3, range_limit=25.0)
+        assert workload.next_query().range_limit == 25.0
+
+
+class TestHistoryQueryWorkload:
+    def test_needs_object_ids(self):
+        with pytest.raises(WorkloadError):
+            HistoryQueryWorkload([], REGION)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(WorkloadError):
+            HistoryQueryWorkload(["a"], REGION, region_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            HistoryQueryWorkload(["a"], REGION, object_query_probability=2.0)
+
+    def test_object_queries_only(self):
+        workload = HistoryQueryWorkload(["a", "b"], REGION, object_query_probability=1.0)
+        for query in workload.batch(20):
+            assert query.object_id in ("a", "b")
+            assert query.region is None
+
+    def test_region_queries_only(self):
+        workload = HistoryQueryWorkload(["a"], REGION, object_query_probability=0.0)
+        for query in workload.batch(20):
+            assert query.object_id is None
+            assert REGION.contains_box(query.region)
+
+    def test_time_window_propagated(self):
+        workload = HistoryQueryWorkload(["a"], REGION, object_query_probability=1.0)
+        query = workload.next_query(start_time=1.0, end_time=5.0)
+        assert query.start_time == 1.0
+        assert query.end_time == 5.0
+
+
+class TestTrace:
+    def _small_workload(self):
+        return RoadNetworkWorkload(
+            WorkloadConfig(
+                num_objects=10,
+                map_size=100.0,
+                block_size=25.0,
+                min_update_interval_s=1.0,
+                max_update_interval_s=1.0,
+                seed=4,
+            )
+        )
+
+    def test_record_trace_orders_messages(self):
+        trace = record_trace(self._small_workload(), duration_s=5.0)
+        assert len(trace) > 0
+        timestamps = [m.timestamp for m in trace]
+        assert timestamps == sorted(timestamps)
+
+    def test_trace_requires_tuple(self):
+        with pytest.raises(WorkloadError):
+            Trace(messages=["not", "a", "tuple"])
+
+    def test_object_ids_and_duration(self):
+        trace = record_trace(self._small_workload(), duration_s=5.0)
+        assert len(trace.object_ids()) == 10
+        assert trace.duration() >= 0.0
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        trace = record_trace(self._small_workload(), duration_s=5.0)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(trace)
+        assert loaded.messages[0] == trace.messages[0]
+        assert loaded.messages[-1] == trace.messages[-1]
+
+    def test_empty_trace(self):
+        trace = Trace.from_messages([])
+        assert len(trace) == 0
+        assert trace.duration() == 0.0
+        assert trace.object_ids() == []

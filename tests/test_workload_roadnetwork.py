@@ -1,0 +1,95 @@
+"""Tests for the road-network map."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry.point import Point
+from repro.workload.roadnetwork import RoadNetwork
+
+
+class TestConstruction:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            RoadNetwork(size=0.0)
+        with pytest.raises(WorkloadError):
+            RoadNetwork(size=100.0, block_size=0.0)
+        with pytest.raises(WorkloadError):
+            RoadNetwork(size=100.0, block_size=200.0)
+        with pytest.raises(WorkloadError):
+            RoadNetwork(size=100.0, block_size=10.0, building_margin=6.0)
+
+    def test_grid_dimensions(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        assert network.intersections_per_side == 5
+        assert network.blocks_per_side == 4
+        assert network.bounds.width == 100.0
+
+
+class TestIntersections:
+    def test_intersection_points_on_grid(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        assert network.intersection_point(0, 0) == Point(0.0, 0.0)
+        assert network.intersection_point(2, 3) == Point(50.0, 75.0)
+
+    def test_invalid_intersection_rejected(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        with pytest.raises(WorkloadError):
+            network.intersection_point(9, 0)
+
+    def test_corner_has_two_neighbors(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        assert len(network.neighbors_of(0, 0)) == 2
+
+    def test_interior_has_four_neighbors(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        assert len(network.neighbors_of(2, 2)) == 4
+
+    def test_neighbors_are_valid_intersections(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        for neighbor in network.neighbors_of(1, 4):
+            assert network.is_valid_intersection(*neighbor)
+
+    def test_nearest_intersection(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        assert network.nearest_intersection(Point(26.0, 49.0)) == (1, 2)
+        assert network.nearest_intersection(Point(999.0, -5.0)) == (4, 0)
+
+
+class TestBuildings:
+    def test_building_inside_its_block(self):
+        network = RoadNetwork(size=100.0, block_size=25.0, building_margin=5.0)
+        building = network.building(1, 2)
+        footprint = building.footprint
+        assert footprint.min_x == 30.0
+        assert footprint.max_x == 45.0
+        assert footprint.min_y == 55.0
+        assert footprint.max_y == 70.0
+
+    def test_entrance_on_footprint_border(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        for bi in range(network.blocks_per_side):
+            for bj in range(network.blocks_per_side):
+                building = network.building(bi, bj)
+                footprint = building.footprint
+                entrance = building.entrance
+                on_border = (
+                    entrance.x in (footprint.min_x, footprint.max_x)
+                    or entrance.y in (footprint.min_y, footprint.max_y)
+                )
+                assert on_border
+                assert footprint.contains_point(entrance)
+
+    def test_entrance_sides_rotate(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        entrances = {network.building(bi, 0).entrance.as_tuple() for bi in range(4)}
+        assert len(entrances) == 4
+
+    def test_invalid_block_rejected(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        with pytest.raises(WorkloadError):
+            network.building(4, 0)
+
+    def test_building_near_intersection(self):
+        network = RoadNetwork(size=100.0, block_size=25.0)
+        building = network.building_near_intersection(4, 4)
+        assert building.block == (3, 3)
