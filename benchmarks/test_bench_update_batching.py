@@ -1,0 +1,93 @@
+"""Micro-benchmark guard for the batched group-commit update path.
+
+``MoistIndexer.update_many`` must not be slower per update than feeding the
+same stream through ``update`` one message at a time: the batch amortises
+counter bookkeeping and tablet split/merge checks, so any regression here
+means the group-commit buffering started costing more than it saves.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.config import MoistConfig
+from repro.core.moist import MoistIndexer
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+
+from conftest import run_once
+
+NUM_OBJECTS = 2000
+NUM_UPDATES = 6000
+REPEATS = 3
+
+
+def _config() -> MoistConfig:
+    return MoistConfig(
+        world=BoundingBox(0.0, 0.0, 1000.0, 1000.0), storage_level=12
+    )
+
+
+def _messages(seed: int = 11):
+    rng = random.Random(seed)
+    messages = []
+    for index in range(NUM_UPDATES):
+        messages.append(
+            UpdateMessage(
+                object_id=format_object_id(index % NUM_OBJECTS),
+                location=Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                velocity=Vector(rng.uniform(-2, 2), rng.uniform(-2, 2)),
+                timestamp=float(index) / NUM_OBJECTS,
+            )
+        )
+    return messages
+
+
+def _time_sequential(messages) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        indexer = MoistIndexer(_config())
+        start = time.perf_counter()
+        for message in messages:
+            indexer.update(message)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_batched(messages, batch_size: int = 512) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        indexer = MoistIndexer(_config())
+        start = time.perf_counter()
+        for offset in range(0, len(messages), batch_size):
+            indexer.update_many(messages[offset : offset + batch_size])
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _compare():
+    messages = _messages()
+    sequential = _time_sequential(messages)
+    batched = _time_batched(messages)
+    return {
+        "sequential_s": sequential,
+        "batched_s": batched,
+        "sequential_us_per_update": sequential / NUM_UPDATES * 1e6,
+        "batched_us_per_update": batched / NUM_UPDATES * 1e6,
+        "speedup": sequential / batched if batched > 0 else float("inf"),
+    }
+
+
+def test_bench_batched_not_slower_than_sequential(benchmark):
+    outcome = run_once(benchmark, _compare)
+    print(
+        f"\nsequential: {outcome['sequential_us_per_update']:.2f} us/update, "
+        f"batched: {outcome['batched_us_per_update']:.2f} us/update, "
+        f"speedup {outcome['speedup']:.2f}x"
+    )
+    # Guard: the batched path must not regress below the sequential path.
+    # A 10% tolerance absorbs wall-clock noise on loaded CI machines.
+    assert outcome["batched_s"] <= outcome["sequential_s"] * 1.10

@@ -12,17 +12,19 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
+from repro.bigtable.backend import StorageBackend
 from repro.bigtable.cost import CostModel
-from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.tablet import TabletOptions
 from repro.core.config import MoistConfig
 from repro.core.moist import MoistIndexer
 
 
 def build_no_school_indexer(
     config: Optional[MoistConfig] = None,
-    emulator: Optional[BigtableEmulator] = None,
+    emulator: Optional[StorageBackend] = None,
     cost_model: Optional[CostModel] = None,
     enable_flag: bool = True,
+    tablet_options: Optional[TabletOptions] = None,
 ) -> MoistIndexer:
     """A MOIST indexer with schooling turned off (every object is a leader)."""
     base = config or MoistConfig()
@@ -32,4 +34,5 @@ def build_no_school_indexer(
         emulator=emulator,
         cost_model=cost_model,
         enable_flag=enable_flag,
+        tablet_options=tablet_options,
     )

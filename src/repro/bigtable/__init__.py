@@ -20,7 +20,9 @@ interpreter speed.  See DESIGN.md Section 6.
 
 from repro.bigtable.sorted_map import SortedMap
 from repro.bigtable.cost import CostModel, OpCounter, OpKind
+from repro.bigtable.tablet import Tablet, TabletLocator, TabletOptions, TabletStats
 from repro.bigtable.table import ColumnFamily, Cell, Table
+from repro.bigtable.backend import ShardedBackend, StorageBackend
 from repro.bigtable.emulator import BigtableEmulator
 
 __all__ = [
@@ -31,5 +33,11 @@ __all__ = [
     "ColumnFamily",
     "Cell",
     "Table",
+    "Tablet",
+    "TabletLocator",
+    "TabletOptions",
+    "TabletStats",
+    "StorageBackend",
+    "ShardedBackend",
     "BigtableEmulator",
 ]

@@ -1,0 +1,82 @@
+"""The pluggable storage-backend contract.
+
+MOIST's algorithms only need the handful of table-management operations
+below plus the :class:`~repro.bigtable.table.Table` data plane; everything
+else (tablet sharding, cost accounting, persistence) is the backend's
+business.  :class:`~repro.bigtable.emulator.BigtableEmulator` is the bundled
+in-process implementation; alternative backends (an RPC-backed client, a
+disk-persistent store) only have to satisfy this protocol to slot under the
+MOIST tables unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+from repro.bigtable.cost import OpCounter
+from repro.bigtable.table import ColumnFamily, Table
+from repro.bigtable.tablet import TabletStats
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Structural interface every MOIST storage backend provides.
+
+    The protocol is ``runtime_checkable`` so factories can assert
+    ``isinstance(backend, StorageBackend)`` on injected implementations.
+    """
+
+    #: Shared operation ledger: every table of the backend reports here, so
+    #: experiments get one consolidated view of storage work.
+    counter: OpCounter
+
+    def create_table(self, name: str, families: Sequence[ColumnFamily]) -> Table:
+        """Create a table; fails if the name is already taken."""
+        ...
+
+    def table(self, name: str) -> Table:
+        """Look up an existing table."""
+        ...
+
+    def has_table(self, name: str) -> bool:
+        """True when a table with that name exists."""
+        ...
+
+    def drop_table(self, name: str) -> None:
+        """Delete a table and its contents."""
+        ...
+
+    def table_names(self) -> List[str]:
+        """Names of every table, sorted."""
+        ...
+
+    def reset_counters(self) -> None:
+        """Zero every operation ledger (shared and per-tablet)."""
+        ...
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated storage time accumulated so far."""
+        ...
+
+
+@runtime_checkable
+class ShardedBackend(StorageBackend, Protocol):
+    """A backend whose tables shard into tablets with per-tablet accounting.
+
+    The server layer uses these hooks for tablet-aware request routing and
+    contention modelling; backends without sharding can still satisfy the
+    plain :class:`StorageBackend` protocol.
+    """
+
+    def tablet_stats(self) -> List[TabletStats]:
+        """Per-tablet accounting across every table, in key order."""
+        ...
+
+    def tablet_count(self) -> int:
+        """Total number of tablets across every table."""
+        ...
+
+    def hot_tablet_share(self) -> float:
+        """Fraction of total storage time served by the hottest tablet."""
+        ...

@@ -109,15 +109,42 @@ class OpCounter:
 
     def record(self, kind: OpKind, rows: int = 1) -> float:
         """Record one operation and return its simulated cost."""
-        cost = self.model.cost_of(kind, rows=rows)
-        self.counts[kind] = self.counts.get(kind, 0) + 1
-        self.rows[kind] = self.rows.get(kind, 0) + rows
+        return self.record_many(kind, 1, rows_per_call=rows)
+
+    def record_many(self, kind: OpKind, calls: int, rows_per_call: int = 1) -> float:
+        """Record ``calls`` identical operations in one bookkeeping step.
+
+        This is the group-commit fast path: a flushed commit buffer charges
+        all of its point writes at once instead of paying the per-call
+        dictionary and attribute work ``calls`` times.  The simulated cost is
+        identical to ``calls`` individual :meth:`record` invocations (up to
+        floating-point association).
+        """
+        if calls <= 0:
+            return 0.0
+        cost = self.model.cost_of(kind, rows=rows_per_call) * calls
+        self.counts[kind] = self.counts.get(kind, 0) + calls
+        self.rows[kind] = self.rows.get(kind, 0) + rows_per_call * calls
         self.simulated_seconds += cost
         if kind in (OpKind.READ, OpKind.SCAN, OpKind.BATCH_READ):
             self.read_seconds += cost
         else:
             self.write_seconds += cost
         return cost
+
+    def absorb(self, other: "OpCounter") -> None:
+        """Fold another counter's totals into this one.
+
+        Used when two tablets merge: the surviving tablet keeps the combined
+        load history so cluster-level skew reports stay consistent.
+        """
+        for kind, count in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+        for kind, rows in other.rows.items():
+            self.rows[kind] = self.rows.get(kind, 0) + rows
+        self.simulated_seconds += other.simulated_seconds
+        self.read_seconds += other.read_seconds
+        self.write_seconds += other.write_seconds
 
     def count(self, kind: OpKind) -> int:
         """Number of calls of the given kind recorded so far."""

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bigtable.cost import CostModel, OpCounter
 from repro.bigtable.table import ColumnFamily, Table
+from repro.bigtable.tablet import TabletOptions, TabletStats
 from repro.errors import StorageError, TableNotFoundError
 
 
@@ -13,21 +14,29 @@ class BigtableEmulator:
     """A named collection of :class:`~repro.bigtable.table.Table` objects.
 
     One emulator instance plays the role of the single BigTable cluster that
-    all of MOIST's front-end servers share (Section 4.3.3).  Every table
-    created through the emulator shares the emulator's :class:`OpCounter`,
-    so experiments get one consolidated view of storage work regardless of
-    which table it hit.
+    all of MOIST's front-end servers share (Section 4.3.3); it implements the
+    :class:`~repro.bigtable.backend.StorageBackend` protocol (and its
+    ``ShardedBackend`` extension).  Every table created through the emulator
+    shares the emulator's :class:`OpCounter`, so experiments get one
+    consolidated view of storage work regardless of which table it hit;
+    additionally each table shards into row-range tablets whose private
+    counters expose where that work concentrated.
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        tablet_options: Optional[TabletOptions] = None,
+    ) -> None:
         self.counter = OpCounter(model=cost_model or CostModel())
+        self.tablet_options = tablet_options or TabletOptions()
         self._tables: Dict[str, Table] = {}
 
     def create_table(self, name: str, families: Sequence[ColumnFamily]) -> Table:
         """Create a table; fails if the name is already taken."""
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
-        table = Table(name, families, counter=self.counter)
+        table = Table(name, families, counter=self.counter, options=self.tablet_options)
         self._tables[name] = table
         return table
 
@@ -53,10 +62,45 @@ class BigtableEmulator:
         return sorted(self._tables)
 
     def reset_counters(self) -> None:
-        """Zero the shared operation counter."""
+        """Zero the shared operation counter and every tablet ledger."""
         self.counter.reset()
+        for table in self._tables.values():
+            table.reset_tablet_counters()
 
     @property
     def simulated_seconds(self) -> float:
         """Total simulated storage time accumulated so far."""
         return self.counter.simulated_seconds
+
+    # ------------------------------------------------------------------
+    # Cluster-level tablet accounting
+    # ------------------------------------------------------------------
+    def tablet_stats(self) -> List[TabletStats]:
+        """Per-tablet accounting across every table, in table/key order."""
+        stats: List[TabletStats] = []
+        for name in sorted(self._tables):
+            stats.extend(self._tables[name].tablet_stats())
+        return stats
+
+    def tablet_count(self) -> int:
+        """Total number of tablets across every table."""
+        return sum(table.tablet_count() for table in self._tables.values())
+
+    def hot_tablet_share(self) -> float:
+        """Fraction of total storage time served by the hottest tablet.
+
+        1.0 means all load landed on a single tablet (the monolithic
+        worst case — also the conservative answer before any operation has
+        been recorded); ``1 / tablet_count`` is the perfectly balanced floor.
+        """
+        hottest = 0.0
+        total = 0.0
+        for table in self._tables.values():
+            for tablet in table.tablets():
+                seconds = tablet.counter.simulated_seconds
+                total += seconds
+                if seconds > hottest:
+                    hottest = seconds
+        if total <= 0.0:
+            return 1.0
+        return hottest / total

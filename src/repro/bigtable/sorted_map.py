@@ -109,6 +109,28 @@ class SortedMap:
             return None
         return self._keys[index]
 
+    def split_off(self, key: str) -> "SortedMap":
+        """Remove every entry with a key ``>= key`` and return them as a new map.
+
+        This is the primitive behind tablet splits: the upper half of a
+        tablet's rows moves wholesale into the new tablet in O(n).
+        """
+        index = bisect_left(self._keys, key)
+        upper = SortedMap()
+        upper._keys = self._keys[index:]
+        upper._data = {moved: self._data.pop(moved) for moved in upper._keys}
+        del self._keys[index:]
+        return upper
+
+    def absorb_after(self, other: "SortedMap") -> None:
+        """Append every entry of ``other``, whose keys must all be greater
+        than ours (the tablet-merge primitive; ``other`` is emptied)."""
+        if self._keys and other._keys and other._keys[0] <= self._keys[-1]:
+            raise ValueError("absorb_after requires strictly greater keys")
+        self._keys.extend(other._keys)
+        self._data.update(other._data)
+        other.clear()
+
     def clear(self) -> None:
         """Remove every entry."""
         self._data.clear()

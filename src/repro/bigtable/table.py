@@ -1,12 +1,28 @@
-"""A single emulated BigTable table: sorted rows, column families, versions."""
+"""A single emulated BigTable table: sorted rows, column families, versions.
+
+Rows live in row-range *tablets* (see :mod:`repro.bigtable.tablet`): every
+operation is routed through a :class:`~repro.bigtable.tablet.TabletLocator`
+and accounted twice — once on the table-wide shared counter (the cluster
+ledger every experiment already reads) and once on the owning tablet's
+counter, which is what makes hot-tablet skew observable.
+
+The write path additionally supports *group commit*: inside a
+:meth:`Table.group_commit` block, point mutations apply to the tablet's
+in-memory rows immediately (so later reads in the same batch observe them,
+exactly like BigTable's memtable) while the per-operation accounting and the
+split/merge checks are buffered per tablet and flushed in bulk when the
+block ends.  The simulated cost of a group-committed batch is identical to
+the same mutations issued one at a time; what is amortised is the
+bookkeeping itself.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigtable.cost import OpCounter, OpKind
-from repro.bigtable.sorted_map import SortedMap
+from repro.bigtable.tablet import Tablet, TabletLocator, TabletOptions, TabletStats
 from repro.errors import ColumnFamilyError, RowNotFoundError
 
 
@@ -47,12 +63,73 @@ class _Row:
         )
 
 
-class Table:
-    """One emulated table.
+class _TabletTally:
+    """Per-tablet row tally of one multi-row operation (scan or batch).
 
-    All mutating / reading methods report themselves to the shared
-    :class:`~repro.bigtable.cost.OpCounter` so the simulated service time of
-    an algorithm is the sum of its storage operations.
+    Rows are accumulated per tablet while the operation runs and charged to
+    the tablet ledgers afterwards.  Charging re-resolves each tablet through
+    the locator: a tablet captured early in a batch may have merged away by
+    the time the batch ends, and recording on its orphaned counter would
+    silently drop the work from ``tablet_stats()`` — the live tablet that
+    absorbed its range gets the charge instead.
+    """
+
+    __slots__ = ("_rows", "_tablets")
+
+    def __init__(self) -> None:
+        self._rows: Dict[str, int] = {}
+        self._tablets: Dict[str, "Tablet"] = {}
+
+    def add(self, tablet: "Tablet", rows: int = 1) -> None:
+        tablet_id = tablet.tablet_id
+        self._rows[tablet_id] = self._rows.get(tablet_id, 0) + rows
+        self._tablets[tablet_id] = tablet
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def charge(self, locator: TabletLocator, kind: OpKind) -> None:
+        for tablet_id, rows in self._rows.items():
+            live = locator.locate(self._tablets[tablet_id].start_key)
+            live.counter.record(kind, rows=rows)
+
+    def tablets(self) -> List["Tablet"]:
+        return list(self._tablets.values())
+
+
+class _GroupCommit:
+    """Pending accounting of one group-commit block.
+
+    Mutations are already applied to the tablet memtables; what is pending is
+    the counter bookkeeping (grouped as ``tablet -> kind -> calls``) and the
+    split/merge checks for the touched tablets.
+    """
+
+    __slots__ = ("pending", "tablets", "dirty", "calls")
+
+    def __init__(self) -> None:
+        self.pending: Dict[Tuple[str, OpKind], int] = {}
+        self.tablets: Dict[str, Tablet] = {}
+        self.dirty: Dict[str, Tablet] = {}
+        self.calls = 0
+
+    def add(self, tablet: Tablet, kind: OpKind, structural: bool) -> None:
+        key = (tablet.tablet_id, kind)
+        self.pending[key] = self.pending.get(key, 0) + 1
+        self.tablets[tablet.tablet_id] = tablet
+        if structural:
+            self.dirty[tablet.tablet_id] = tablet
+        self.calls += 1
+
+
+class Table:
+    """One emulated table, sharded into row-range tablets.
+
+    All mutating / reading methods report themselves both to the shared
+    :class:`~repro.bigtable.cost.OpCounter` (so the simulated service time of
+    an algorithm is the sum of its storage operations, exactly as before the
+    tablet layer existed) and to the owning tablet's counter (so per-tablet
+    load skew is observable).
     """
 
     def __init__(
@@ -60,6 +137,7 @@ class Table:
         name: str,
         families: Sequence[ColumnFamily],
         counter: Optional[OpCounter] = None,
+        options: Optional[TabletOptions] = None,
     ) -> None:
         if not families:
             raise ColumnFamilyError(f"table {name!r} declared without column families")
@@ -71,8 +149,11 @@ class Table:
                     f"duplicate column family {family.name!r} in table {name!r}"
                 )
             self._families[family.name] = family
-        self._rows = SortedMap()
         self.counter = counter if counter is not None else OpCounter()
+        self.options = options or TabletOptions()
+        self._tablets = TabletLocator(name, self.options, model=self.counter.model)
+        self._group: Optional[_GroupCommit] = None
+        self._group_depth = 0
 
     # ------------------------------------------------------------------
     # Schema
@@ -101,8 +182,136 @@ class Table:
         self._families[family.name] = family
 
     # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _charge_read(self, kind: OpKind, tablet: Tablet, rows: int = 1) -> None:
+        """Charge a read-side operation immediately on both ledgers."""
+        self.counter.record(kind, rows=rows)
+        tablet.counter.record(kind, rows=rows)
+
+    def _charge_write(self, kind: OpKind, tablet: Tablet, structural: bool) -> None:
+        """Charge a point mutation, deferring into the group commit if one
+        is active.  ``structural`` marks mutations that can change a
+        tablet's row count (and therefore require a split/merge check)."""
+        group = self._group
+        if group is not None:
+            group.add(tablet, kind, structural)
+            if group.calls >= self.options.group_commit_size:
+                self._flush_group()
+            return
+        self.counter.record(kind)
+        tablet.counter.record(kind)
+        if structural:
+            self._tablets.maybe_split(tablet)
+            self._tablets.maybe_merge(tablet)
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+    def group_commit(self) -> "Table._GroupCommitContext":
+        """Context manager entering group-commit mode (re-entrant).
+
+        Point mutations inside the block apply immediately but their
+        accounting (and the tablet split/merge checks) is flushed in bulk at
+        block exit — BigTable's batched commit-log flush.
+        """
+        return Table._GroupCommitContext(self)
+
+    class _GroupCommitContext:
+        __slots__ = ("_table",)
+
+        def __init__(self, table: "Table") -> None:
+            self._table = table
+
+        def __enter__(self) -> "Table":
+            table = self._table
+            if table._group_depth == 0:
+                table._group = _GroupCommit()
+            table._group_depth += 1
+            return table
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            table = self._table
+            table._group_depth -= 1
+            if table._group_depth == 0:
+                table._flush_group()
+                table._group = None
+
+    def _flush_group(self) -> None:
+        """Charge every pending mutation and run deferred tablet checks."""
+        group = self._group
+        if group is None or (group.calls == 0 and not group.dirty):
+            return
+        kind_totals: Dict[OpKind, int] = {}
+        for (tablet_id, kind), calls in group.pending.items():
+            group.tablets[tablet_id].counter.record_many(kind, calls)
+            kind_totals[kind] = kind_totals.get(kind, 0) + calls
+        for kind, calls in kind_totals.items():
+            self.counter.record_many(kind, calls)
+        for tablet in group.dirty.values():
+            self._tablets.maybe_split(tablet)
+            while self._tablets.maybe_merge(tablet):
+                pass
+        # Re-arm the buffer: the block may still be open (early flush).
+        self._group = _GroupCommit() if self._group_depth > 0 else None
+
+    # ------------------------------------------------------------------
     # Point mutations
     # ------------------------------------------------------------------
+    def _write_into(
+        self,
+        tablet: Tablet,
+        row_key: str,
+        family: str,
+        qualifier: str,
+        value: object,
+        timestamp: float,
+    ) -> bool:
+        """Apply one cell write to an already-located tablet; returns whether
+        the row is new."""
+        declared = self.family(family)
+        row = tablet.rows.get(row_key)
+        added_row = row is None
+        if row is None:
+            row = _Row()
+            tablet.rows.set(row_key, row)
+        qualifiers = row.families.setdefault(family, {})
+        cells = qualifiers.setdefault(qualifier, [])
+        cells.insert(0, Cell(timestamp=timestamp, value=value))
+        cells.sort(key=lambda cell: cell.timestamp, reverse=True)
+        if declared.max_versions > 0 and len(cells) > declared.max_versions:
+            del cells[declared.max_versions:]
+        return added_row
+
+    def _delete_cell_from(
+        self, tablet: Tablet, row_key: str, family: str, qualifier: str
+    ) -> Tuple[bool, bool]:
+        """Apply one cell deletion to an already-located tablet; returns
+        ``(existed, removed_row)``."""
+        self.family(family)
+        existed = False
+        removed_row = False
+        row = tablet.rows.get(row_key)
+        if row is not None:
+            qualifiers = row.families.get(family)
+            if qualifiers and qualifier in qualifiers:
+                del qualifiers[qualifier]
+                existed = True
+                if row.is_empty():
+                    tablet.rows.delete(row_key)
+                    removed_row = True
+        return existed, removed_row
+
+    def _note_uncharged_structural(self, tablet: Tablet, merge: bool) -> None:
+        """Structural bookkeeping for a mutation whose charging the caller
+        owns: defer the split/merge check into an active group commit, or
+        (for deletes) run the merge check now — aging drains delete rows
+        outside any batch, and without this emptied tablets accumulate."""
+        if self._group is not None:
+            self._group.dirty[tablet.tablet_id] = tablet
+        elif merge:
+            self._tablets.maybe_merge(tablet)
+
     def write(
         self,
         row_key: str,
@@ -113,43 +322,40 @@ class Table:
         _charge: bool = True,
     ) -> None:
         """Write one cell (a timestamped value)."""
-        declared = self.family(family)
-        row = self._rows.get(row_key)
-        if row is None:
-            row = _Row()
-            self._rows.set(row_key, row)
-        qualifiers = row.families.setdefault(family, {})
-        cells = qualifiers.setdefault(qualifier, [])
-        cells.insert(0, Cell(timestamp=timestamp, value=value))
-        cells.sort(key=lambda cell: cell.timestamp, reverse=True)
-        if declared.max_versions > 0 and len(cells) > declared.max_versions:
-            del cells[declared.max_versions:]
+        tablet = self._tablets.locate(row_key)
+        added_row = self._write_into(
+            tablet, row_key, family, qualifier, value, timestamp
+        )
         if _charge:
-            self.counter.record(OpKind.WRITE)
+            self._charge_write(OpKind.WRITE, tablet, structural=added_row)
+        elif added_row:
+            # batch_write and the aging rewrites run their own split checks
+            # once per touched tablet; only group mode needs the deferral.
+            self._note_uncharged_structural(tablet, merge=False)
 
     def delete_cell(
         self, row_key: str, family: str, qualifier: str, _charge: bool = True
     ) -> bool:
         """Delete every version of one cell; returns whether anything existed."""
-        self.family(family)
+        tablet = self._tablets.locate(row_key)
+        existed, removed_row = self._delete_cell_from(
+            tablet, row_key, family, qualifier
+        )
         if _charge:
-            self.counter.record(OpKind.DELETE)
-        row = self._rows.get(row_key)
-        if row is None:
-            return False
-        qualifiers = row.families.get(family)
-        if not qualifiers or qualifier not in qualifiers:
-            return False
-        del qualifiers[qualifier]
-        if row.is_empty():
-            self._rows.delete(row_key)
-        return True
+            self._charge_write(OpKind.DELETE, tablet, structural=removed_row)
+        elif removed_row:
+            self._note_uncharged_structural(tablet, merge=True)
+        return existed
 
     def delete_row(self, row_key: str, _charge: bool = True) -> bool:
         """Delete an entire row."""
+        tablet = self._tablets.locate(row_key)
+        removed = tablet.rows.delete(row_key)
         if _charge:
-            self.counter.record(OpKind.DELETE)
-        return self._rows.delete(row_key)
+            self._charge_write(OpKind.DELETE, tablet, structural=removed)
+        elif removed:
+            self._note_uncharged_structural(tablet, merge=True)
+        return removed
 
     # ------------------------------------------------------------------
     # Point reads
@@ -159,9 +365,10 @@ class Table:
     ) -> Optional[Cell]:
         """Newest cell of ``(row, family, qualifier)`` or ``None``."""
         self.family(family)
+        tablet = self._tablets.locate(row_key)
         if _charge:
-            self.counter.record(OpKind.READ)
-        row = self._rows.get(row_key)
+            self._charge_read(OpKind.READ, tablet)
+        row = tablet.rows.get(row_key)
         if row is None:
             return None
         cells = row.families.get(family, {}).get(qualifier)
@@ -174,9 +381,10 @@ class Table:
     ) -> List[Cell]:
         """All versions of one cell, newest first."""
         self.family(family)
+        tablet = self._tablets.locate(row_key)
         if _charge:
-            self.counter.record(OpKind.READ)
-        row = self._rows.get(row_key)
+            self._charge_read(OpKind.READ, tablet)
+        row = tablet.rows.get(row_key)
         if row is None:
             return []
         return list(row.families.get(family, {}).get(qualifier, []))
@@ -188,9 +396,10 @@ class Table:
 
         Raises :class:`RowNotFoundError` when the row does not exist.
         """
+        tablet = self._tablets.locate(row_key)
         if _charge:
-            self.counter.record(OpKind.READ)
-        row = self._rows.get(row_key)
+            self._charge_read(OpKind.READ, tablet)
+        row = tablet.rows.get(row_key)
         if row is None:
             raise RowNotFoundError(f"row {row_key!r} not found in table {self.name!r}")
         return {
@@ -200,9 +409,10 @@ class Table:
 
     def row_exists(self, row_key: str, _charge: bool = True) -> bool:
         """Existence check (charged as a read)."""
+        tablet = self._tablets.locate(row_key)
         if _charge:
-            self.counter.record(OpKind.READ)
-        return row_key in self._rows
+            self._charge_read(OpKind.READ, tablet)
+        return row_key in tablet.rows
 
     # ------------------------------------------------------------------
     # Scans and batches
@@ -215,7 +425,8 @@ class Table:
     ) -> List[Tuple[str, Dict[str, Dict[str, List[Cell]]]]]:
         """Range scan over ``[start_key, end_key)``, charged per row returned."""
         results = []
-        for row_key, row in self._rows.scan(start_key, end_key, limit):
+        tally = _TabletTally()
+        for tablet, row_key, row in self._tablets.scan(start_key, end_key, limit):
             results.append(
                 (
                     row_key,
@@ -228,16 +439,36 @@ class Table:
                     },
                 )
             )
+            tally.add(tablet)
         self.counter.record(OpKind.SCAN, rows=max(len(results), 1))
+        self._attribute_scan(tally, start_key)
         return results
 
     def scan_keys(
         self, start_key: Optional[str] = None, end_key: Optional[str] = None
     ) -> List[str]:
         """Keys-only range scan (still charged per row)."""
-        keys = [row_key for row_key, _ in self._rows.scan(start_key, end_key)]
+        keys = []
+        tally = _TabletTally()
+        for tablet, row_key, _ in self._tablets.scan(start_key, end_key):
+            keys.append(row_key)
+            tally.add(tablet)
         self.counter.record(OpKind.SCAN, rows=max(len(keys), 1))
+        self._attribute_scan(tally, start_key)
         return keys
+
+    def _attribute_scan(self, tally: _TabletTally, start_key: Optional[str]) -> None:
+        """Mirror one scan RPC onto the tablet ledgers.
+
+        Each tablet that contributed rows is charged one tablet-server scan
+        over its share; an empty scan still touches the tablet owning the
+        start of the range.
+        """
+        if tally:
+            tally.charge(self._tablets, OpKind.SCAN)
+            return
+        probe = self._tablets.locate(start_key) if start_key else self._tablets.tablets()[0]
+        probe.counter.record(OpKind.SCAN, rows=1)
 
     def count_range(
         self, start_key: Optional[str] = None, end_key: Optional[str] = None
@@ -248,15 +479,20 @@ class Table:
         metadata without streaming every row back).
         """
         self.counter.record(OpKind.SCAN, rows=1)
-        return self._rows.count_range(start_key, end_key)
+        probe = self._tablets.locate(start_key) if start_key else self._tablets.tablets()[0]
+        probe.counter.record(OpKind.SCAN, rows=1)
+        return self._tablets.count_range(start_key, end_key)
 
     def batch_read(
         self, row_keys: Sequence[str]
     ) -> Dict[str, Dict[str, Dict[str, List[Cell]]]]:
         """Read several rows in one RPC; absent rows are simply missing."""
         results: Dict[str, Dict[str, Dict[str, List[Cell]]]] = {}
+        tally = _TabletTally()
         for row_key in row_keys:
-            row = self._rows.get(row_key)
+            tablet = self._tablets.locate(row_key)
+            tally.add(tablet)
+            row = tablet.rows.get(row_key)
             if row is None:
                 continue
             results[row_key] = {
@@ -264,6 +500,7 @@ class Table:
                 for family, qualifiers in row.families.items()
             }
         self.counter.record(OpKind.BATCH_READ, rows=max(len(row_keys), 1))
+        tally.charge(self._tablets, OpKind.BATCH_READ)
         return results
 
     def batch_write(
@@ -273,15 +510,27 @@ class Table:
 
         Each mutation is ``(row_key, family, qualifier, value, timestamp)``.
         """
+        tally = _TabletTally()
         for row_key, family, qualifier, value, timestamp in mutations:
-            self.write(row_key, family, qualifier, value, timestamp, _charge=False)
+            tablet = self._tablets.locate(row_key)
+            self._write_into(tablet, row_key, family, qualifier, value, timestamp)
+            tally.add(tablet)
         self.counter.record(OpKind.BATCH_WRITE, rows=max(len(mutations), 1))
+        tally.charge(self._tablets, OpKind.BATCH_WRITE)
+        for tablet in tally.tablets():
+            self._tablets.maybe_split(tablet)
 
     def batch_delete(self, deletes: Sequence[Tuple[str, str, str]]) -> None:
         """Apply several cell deletions in one RPC."""
+        tally = _TabletTally()
         for row_key, family, qualifier in deletes:
-            self.delete_cell(row_key, family, qualifier, _charge=False)
+            tablet = self._tablets.locate(row_key)
+            self._delete_cell_from(tablet, row_key, family, qualifier)
+            tally.add(tablet)
         self.counter.record(OpKind.BATCH_WRITE, rows=max(len(deletes), 1))
+        tally.charge(self._tablets, OpKind.BATCH_WRITE)
+        for tablet in tally.tablets():
+            self._tablets.maybe_merge(tablet)
 
     # ------------------------------------------------------------------
     # Aging
@@ -303,7 +552,8 @@ class Table:
         target = self.family(target_family)
         moved = 0
         touched_rows = 0
-        for _, row in self._rows.items():
+        tally = _TabletTally()
+        for tablet, _, row in self._tablets.scan(None, None):
             qualifiers = row.families.get(source_family)
             if not qualifiers:
                 continue
@@ -325,19 +575,55 @@ class Table:
                 moved += len(aged)
             if row_touched:
                 touched_rows += 1
+                tally.add(tablet)
         self.counter.record(OpKind.BATCH_WRITE, rows=max(touched_rows, 1))
+        tally.charge(self._tablets, OpKind.BATCH_WRITE)
         return moved
+
+    # ------------------------------------------------------------------
+    # Tablet introspection (not charged: administrative)
+    # ------------------------------------------------------------------
+    def tablets(self) -> List[Tablet]:
+        """Every tablet in key order."""
+        return self._tablets.tablets()
+
+    def tablet_count(self) -> int:
+        """Number of tablets the table is currently split into."""
+        return len(self._tablets)
+
+    def tablet_for_key(self, row_key: str) -> Tablet:
+        """The tablet whose range contains ``row_key`` (routing helper)."""
+        return self._tablets.locate(row_key)
+
+    def tablet_stats(self) -> List[TabletStats]:
+        """Frozen per-tablet accounting, in key order."""
+        return self._tablets.stats()
+
+    @property
+    def split_count(self) -> int:
+        """Tablet splits performed over this table's lifetime."""
+        return self._tablets.splits
+
+    @property
+    def merge_count(self) -> int:
+        """Tablet merges performed over this table's lifetime."""
+        return self._tablets.merges
+
+    def reset_tablet_counters(self) -> None:
+        """Zero every tablet ledger (the shared counter is managed by the
+        backend)."""
+        self._tablets.reset_counters()
 
     # ------------------------------------------------------------------
     # Introspection (not charged: administrative / test helpers)
     # ------------------------------------------------------------------
     def row_count(self) -> int:
         """Number of rows currently stored."""
-        return len(self._rows)
+        return self._tablets.total_rows()
 
     def all_keys(self) -> List[str]:
         """Every row key in order (test helper, not charged)."""
-        return self._rows.keys()
+        return [key for _, key, _ in self._tablets.scan(None, None)]
 
     def memory_cell_count(self) -> int:
         """Number of cells stored in in-memory families."""
@@ -349,7 +635,7 @@ class Table:
 
     def _count_cells(self, in_memory: bool) -> int:
         total = 0
-        for _, row in self._rows.items():
+        for _, _, row in self._tablets.scan(None, None):
             for family_name, qualifiers in row.families.items():
                 if self._families[family_name].in_memory != in_memory:
                     continue
@@ -359,4 +645,4 @@ class Table:
 
     def clear(self) -> None:
         """Drop every row (test helper, not charged)."""
-        self._rows.clear()
+        self._tablets.clear()

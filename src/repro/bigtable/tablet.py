@@ -1,0 +1,301 @@
+"""Row-range tablets: the sharding unit of the emulated BigTable.
+
+A real BigTable table is partitioned into *tablets* — contiguous row-key
+ranges served by independent tablet servers.  MOIST's central storage claim
+(Section 3.2) is that school-tracked, space-filling-curve-keyed updates stay
+sequential *per tablet*, so the cluster scales out by splitting hot tables
+into more tablets.  The seed emulator collapsed every table into one flat
+sorted map; this module restores the tablet layer:
+
+* :class:`Tablet` — one contiguous key range with its own row store and its
+  own :class:`~repro.bigtable.cost.OpCounter`, so per-tablet load (and
+  therefore hot-tablet skew) is observable;
+* :class:`TabletLocator` — routes row keys and range scans to tablets and
+  performs threshold-driven splits and merges;
+* :class:`TabletOptions` — the split/merge/group-commit knobs;
+* :class:`TabletStats` — the frozen per-tablet accounting row surfaced by
+  cluster reports and the scale-out experiment.
+
+Tablet boundaries are metadata: splitting or merging never changes what a
+scan returns, only how load is attributed and where contention concentrates.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.bigtable.cost import CostModel, OpCounter
+from repro.bigtable.sorted_map import SortedMap
+from repro.errors import ConfigurationError
+
+#: Sentinel start key of the first tablet: compares <= every real row key.
+OPEN_START = ""
+
+
+@dataclass(frozen=True)
+class TabletOptions:
+    """Sharding and group-commit configuration of one table.
+
+    ``split_threshold`` is deliberately small enough that the fig13-scale
+    stress workloads (thousands of location rows) shard into several tablets
+    with the defaults, making per-tablet skew visible without tuning.
+    """
+
+    #: A tablet holding more rows than this is split at its median key.
+    split_threshold: int = 512
+    #: Two adjacent tablets whose combined row count drops to this or below
+    #: are merged back together.
+    merge_threshold: int = 64
+    #: Upper bound on tablets per table (BigTable's METADATA fan-out limit,
+    #: scaled down).
+    max_tablets: int = 128
+    #: A group-commit buffer holding this many pending mutations flushes
+    #: early instead of waiting for the batch to end.
+    group_commit_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.split_threshold <= 1:
+            raise ConfigurationError("split_threshold must be > 1")
+        if self.merge_threshold < 0:
+            raise ConfigurationError("merge_threshold must be >= 0")
+        if self.merge_threshold >= self.split_threshold:
+            raise ConfigurationError(
+                "merge_threshold must be below split_threshold (split/merge "
+                "thrashing otherwise)"
+            )
+        if self.max_tablets < 1:
+            raise ConfigurationError("max_tablets must be >= 1")
+        if self.group_commit_size < 1:
+            raise ConfigurationError("group_commit_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class TabletStats:
+    """Frozen per-tablet accounting row for cluster-level reports."""
+
+    table: str
+    tablet_id: str
+    start_key: str
+    end_key: Optional[str]
+    row_count: int
+    op_calls: int
+    simulated_seconds: float
+    read_seconds: float
+    write_seconds: float
+
+
+class Tablet:
+    """One contiguous row-key range ``[start_key, end_key)`` of a table.
+
+    The end key is owned by the locator (it is simply the next tablet's
+    start); a tablet only knows where it begins, its rows, and the operation
+    counter that accumulates the load it served.
+    """
+
+    __slots__ = ("tablet_id", "start_key", "rows", "counter")
+
+    def __init__(self, tablet_id: str, start_key: str, model: CostModel) -> None:
+        self.tablet_id = tablet_id
+        self.start_key = start_key
+        self.rows = SortedMap()
+        self.counter = OpCounter(model=model)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tablet({self.tablet_id!r}, start={self.start_key!r}, "
+            f"rows={self.row_count})"
+        )
+
+
+class TabletLocator:
+    """Routes row keys to tablets and maintains the split/merge lifecycle.
+
+    The locator plays the role of BigTable's METADATA table: an ordered list
+    of tablet start keys, binary-searched per access.  Every table starts
+    with a single tablet covering the whole keyspace.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        options: Optional[TabletOptions] = None,
+        model: Optional[CostModel] = None,
+    ) -> None:
+        self.table_name = table_name
+        self.options = options or TabletOptions()
+        self._model = model or CostModel()
+        self._next_id = 0
+        self._tablets: List[Tablet] = [self._new_tablet(OPEN_START)]
+        self._starts: List[str] = [OPEN_START]
+        self.splits = 0
+        self.merges = 0
+
+    def _new_tablet(self, start_key: str) -> Tablet:
+        tablet = Tablet(
+            f"{self.table_name}/tablet-{self._next_id:04d}", start_key, self._model
+        )
+        self._next_id += 1
+        return tablet
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tablets)
+
+    def tablets(self) -> List[Tablet]:
+        """Every tablet in key order (copy)."""
+        return list(self._tablets)
+
+    def _index_for(self, key: str) -> int:
+        # bisect_right on the start keys: the owning tablet is the last one
+        # whose start key is <= key.  The first start is "" so index >= 0.
+        return bisect_right(self._starts, key) - 1
+
+    def locate(self, key: str) -> Tablet:
+        """The tablet whose key range contains ``key``."""
+        return self._tablets[self._index_for(key)]
+
+    def end_key_of(self, tablet: Tablet) -> Optional[str]:
+        """Exclusive upper bound of a tablet's range (``None`` = open)."""
+        index = self._index_for(tablet.start_key)
+        if index + 1 < len(self._tablets):
+            return self._tablets[index + 1].start_key
+        return None
+
+    def tablets_in_range(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> List[Tablet]:
+        """Tablets whose ranges intersect ``[start, end)``, in key order."""
+        first = 0 if start is None else self._index_for(start)
+        selected: List[Tablet] = []
+        for index in range(first, len(self._tablets)):
+            tablet = self._tablets[index]
+            if index > first and end is not None and tablet.start_key >= end:
+                break
+            selected.append(tablet)
+        return selected
+
+    def scan(
+        self,
+        start: Optional[str] = None,
+        end: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Tuple[Tablet, str, object]]:
+        """Yield ``(tablet, row_key, row)`` over ``[start, end)`` in global
+        key order, crossing tablet boundaries transparently."""
+        remaining = limit
+        for tablet in self.tablets_in_range(start, end):
+            if remaining is not None and remaining <= 0:
+                return
+            for key, row in tablet.rows.scan(start, end, remaining):
+                yield tablet, key, row
+                if remaining is not None:
+                    remaining -= 1
+
+    def count_range(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> int:
+        """Number of rows in ``[start, end)`` across every tablet."""
+        return sum(
+            tablet.rows.count_range(start, end)
+            for tablet in self.tablets_in_range(start, end)
+        )
+
+    def total_rows(self) -> int:
+        """Rows stored across every tablet."""
+        return sum(tablet.row_count for tablet in self._tablets)
+
+    # ------------------------------------------------------------------
+    # Split / merge lifecycle
+    # ------------------------------------------------------------------
+    def maybe_split(self, tablet: Tablet) -> bool:
+        """Split ``tablet`` at its median key when it outgrew the threshold.
+
+        Returns ``True`` when at least one split happened; oversized halves
+        are split again immediately (a group commit can overshoot the
+        threshold by a whole buffer before the check runs).
+        """
+        split_any = False
+        queue = [tablet]
+        while queue:
+            candidate = queue.pop()
+            if candidate.row_count <= self.options.split_threshold:
+                continue
+            if len(self._tablets) >= self.options.max_tablets:
+                break
+            keys = candidate.rows.keys()
+            mid_key = keys[len(keys) // 2]
+            if mid_key <= candidate.start_key:
+                continue
+            sibling = self._new_tablet(mid_key)
+            sibling.rows = candidate.rows.split_off(mid_key)
+            index = self._index_for(candidate.start_key)
+            self._tablets.insert(index + 1, sibling)
+            self._starts.insert(index + 1, mid_key)
+            self.splits += 1
+            split_any = True
+            queue.extend((candidate, sibling))
+        return split_any
+
+    def maybe_merge(self, tablet: Tablet) -> bool:
+        """Merge ``tablet`` with a neighbour when both shrank enough.
+
+        The right neighbour is preferred (its rows append in O(1) amortised);
+        the survivor absorbs the neighbour's counter so load history is not
+        lost.  Returns ``True`` when a merge happened.
+        """
+        if len(self._tablets) <= 1:
+            return False
+        index = self._index_for(tablet.start_key)
+        for left_index in (index, index - 1):
+            right_index = left_index + 1
+            if left_index < 0 or right_index >= len(self._tablets):
+                continue
+            left = self._tablets[left_index]
+            right = self._tablets[right_index]
+            if left.row_count + right.row_count > self.options.merge_threshold:
+                continue
+            left.rows.absorb_after(right.rows)
+            left.counter.absorb(right.counter)
+            del self._tablets[right_index]
+            del self._starts[right_index]
+            self.merges += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> List[TabletStats]:
+        """Frozen per-tablet accounting, in key order."""
+        return [
+            TabletStats(
+                table=self.table_name,
+                tablet_id=tablet.tablet_id,
+                start_key=tablet.start_key,
+                end_key=self.end_key_of(tablet),
+                row_count=tablet.row_count,
+                op_calls=tablet.counter.total_calls(),
+                simulated_seconds=tablet.counter.simulated_seconds,
+                read_seconds=tablet.counter.read_seconds,
+                write_seconds=tablet.counter.write_seconds,
+            )
+            for tablet in self._tablets
+        ]
+
+    def reset_counters(self) -> None:
+        """Zero every tablet's counter (split/merge tallies survive)."""
+        for tablet in self._tablets:
+            tablet.counter.reset()
+
+    def clear(self) -> None:
+        """Drop every row and collapse back to a single empty tablet."""
+        self._tablets = [self._new_tablet(OPEN_START)]
+        self._starts = [OPEN_START]

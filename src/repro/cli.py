@@ -58,6 +58,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"updates        : {indexer.update_stats.total}")
     print(f"shed ratio     : {indexer.shed_ratio():.1%}")
     print(f"simulated time : {indexer.simulated_seconds * 1e3:.1f} ms of storage work")
+    print(f"tablets        : {indexer.tablet_count()} across the three tables")
+    print(f"hot tablet     : {indexer.hot_tablet_share():.1%} of storage time")
     nearest = indexer.nearest_neighbors(Point(map_size / 2, map_size / 2), k=3)
     print("3 nearest objects to the map centre:")
     for neighbor in nearest:
@@ -73,6 +75,7 @@ def _run_figures_inline(names: List[str]) -> int:
     from repro.experiments.fig12_flag import run_fig12_density, run_fig12_range
     from repro.experiments.fig13_qps import measure_speedup, run_fig13a
     from repro.experiments.headline import run_headline
+    from repro.experiments.scaleout import run_scaleout
 
     catalogue = {
         "fig09": lambda: [
@@ -97,6 +100,9 @@ def _run_figures_inline(names: List[str]) -> int:
         ],
         "headline": lambda: [
             run_headline(num_objects=5000, num_updates=3000, shed_objects=400)
+        ],
+        "scaleout": lambda: [
+            run_scaleout(server_counts=(1, 2, 5), num_objects=5000, num_updates=3000)
         ],
     }
     requested = names or list(catalogue)
@@ -135,7 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "names",
         nargs="*",
-        help="figures to run (fig09 fig10 fig11 fig12 fig13 headline); default: all",
+        help=(
+            "figures to run (fig09 fig10 fig11 fig12 fig13 headline scaleout); "
+            "default: all"
+        ),
     )
     figures.set_defaults(handler=lambda args: _run_figures_inline(args.names))
 

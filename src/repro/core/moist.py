@@ -19,8 +19,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.archive.ppp import PPPArchiver
+from repro.bigtable.backend import ShardedBackend, StorageBackend
 from repro.bigtable.cost import CostModel
 from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.tablet import TabletOptions, TabletStats
 from repro.core.clustering import ClusteringReport, SchoolClusterer
 from repro.core.config import MoistConfig
 from repro.core.flag import FlagTuner
@@ -56,14 +58,17 @@ class MoistIndexer:
     def __init__(
         self,
         config: Optional[MoistConfig] = None,
-        emulator: Optional[BigtableEmulator] = None,
+        emulator: Optional[StorageBackend] = None,
         cost_model: Optional[CostModel] = None,
         archiver: Optional[PPPArchiver] = None,
         table_prefix: str = "",
         enable_flag: bool = True,
+        tablet_options: Optional[TabletOptions] = None,
     ) -> None:
         self.config = config or MoistConfig()
-        self.emulator = emulator or BigtableEmulator(cost_model=cost_model)
+        self.emulator: StorageBackend = emulator or BigtableEmulator(
+            cost_model=cost_model, tablet_options=tablet_options
+        )
         self.location_table = LocationTable(
             self.emulator,
             name=f"{table_prefix}location",
@@ -123,20 +128,38 @@ class MoistIndexer:
     def update(self, message: UpdateMessage) -> UpdateResult:
         """Ingest one location update (Algorithm 1)."""
         result = self._processor.process(message)
+        self._absorb_outcome(message, result)
+        if self.flag is not None:
+            self.flag.total_objects_hint = max(self.counters.known_objects, 1)
+        return result
+
+    def _absorb_outcome(self, message: UpdateMessage, result: UpdateResult) -> None:
+        """Fold one update outcome into the facade's counters and archiver.
+
+        Shared by the single-message and batched paths so their bookkeeping
+        cannot drift (the batched path's state equivalence depends on it).
+        """
         if result.outcome is UpdateOutcome.NEW_LEADER:
             self.counters.known_objects += 1
             self.counters.leaders += 1
             self.archiver.register_object(message.object_id, message.location)
         elif result.outcome is UpdateOutcome.PROMOTED:
             self.counters.leaders += 1
-        if self.flag is not None:
-            self.flag.total_objects_hint = max(self.counters.known_objects, 1)
-        return result
 
     def update_many(self, messages: List[UpdateMessage]) -> UpdateStats:
-        """Ingest a batch of updates; returns the cumulative statistics."""
-        for message in messages:
-            self.update(message)
+        """Ingest a batch of updates; returns the cumulative statistics.
+
+        The batch routes through :meth:`UpdateProcessor.process_batch`, i.e.
+        the per-tablet group-commit write path: the resulting table state and
+        simulated storage cost are identical to calling :meth:`update` per
+        message, but the Python-level accounting work is amortised across
+        the whole batch.
+        """
+        results = self._processor.process_batch(messages)
+        for message, result in zip(messages, results):
+            self._absorb_outcome(message, result)
+        if self.flag is not None and messages:
+            self.flag.total_objects_hint = max(self.counters.known_objects, 1)
         return self.update_stats
 
     # ------------------------------------------------------------------
@@ -352,3 +375,24 @@ class MoistIndexer:
     def shed_ratio(self) -> float:
         """Fraction of updates shed by object schooling so far."""
         return self.update_stats.shed_ratio
+
+    def tablet_stats(self) -> List[TabletStats]:
+        """Per-tablet accounting of the backend (empty for backends that do
+        not shard)."""
+        if isinstance(self.emulator, ShardedBackend):
+            return self.emulator.tablet_stats()
+        return []
+
+    def tablet_count(self) -> int:
+        """Total tablets across the three MOIST tables (0 when the backend
+        does not shard)."""
+        if isinstance(self.emulator, ShardedBackend):
+            return self.emulator.tablet_count()
+        return 0
+
+    def hot_tablet_share(self) -> float:
+        """Fraction of storage time served by the hottest tablet (1.0 for
+        non-sharding backends: all load on one shard by definition)."""
+        if isinstance(self.emulator, ShardedBackend):
+            return self.emulator.hot_tablet_share()
+        return 1.0

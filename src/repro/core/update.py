@@ -15,8 +15,9 @@ An update ``(ID, Loc, V, t)`` is routed to one of four branches:
 from __future__ import annotations
 
 import enum
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.core.config import MoistConfig
 from repro.model import ObjectId, UpdateMessage
@@ -100,15 +101,47 @@ class UpdateProcessor:
 
     def process(self, message: UpdateMessage) -> UpdateResult:
         """Handle one update message and return what happened."""
-        lf_record = self.affiliation_table.role_of(message.object_id)
-        if lf_record is None:
-            result = self._register_new_leader(message)
-        elif lf_record.role is Role.LEADER:
-            result = self._update_leader(message)
-        else:
-            result = self._update_follower(message, lf_record)
+        result = self._dispatch(message)
         self.stats.record(result)
         return result
+
+    def process_batch(self, messages: Sequence[UpdateMessage]) -> List[UpdateResult]:
+        """Handle a batch of update messages through the group-commit path.
+
+        Each message runs the exact same Algorithm 1 branches as
+        :meth:`process` — reads observe every earlier write of the batch and
+        the simulated storage cost is identical to processing the messages
+        one at a time.  What the batch amortises is the Python-level
+        bookkeeping: all three MOIST tables stay in group-commit mode for
+        the whole batch, so per-mutation counter updates and tablet
+        split/merge checks are flushed in bulk instead of paid per message.
+        """
+        results: List[UpdateResult] = []
+        if not messages:
+            return results
+        record = self.stats.record
+        dispatch = self._dispatch
+        with ExitStack() as stack:
+            for table in (
+                self.location_table.table,
+                self.spatial_table.table,
+                self.affiliation_table.table,
+            ):
+                stack.enter_context(table.group_commit())
+            for message in messages:
+                result = dispatch(message)
+                record(result)
+                results.append(result)
+        return results
+
+    def _dispatch(self, message: UpdateMessage) -> UpdateResult:
+        """Route one message to its Algorithm 1 branch."""
+        lf_record = self.affiliation_table.role_of(message.object_id)
+        if lf_record is None:
+            return self._register_new_leader(message)
+        if lf_record.role is Role.LEADER:
+            return self._update_leader(message)
+        return self._update_follower(message, lf_record)
 
     # ------------------------------------------------------------------
     # Branches

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.bigtable.tablet import TabletStats
 from repro.errors import ReproError
 
 
@@ -79,15 +80,8 @@ class FigureResult:
                 else:
                     row.append("-")
             rows.append(row)
-        widths = [
-            max(len(header[col]), *(len(row[col]) for row in rows))
-            for col in range(len(header))
-        ]
         lines = [f"[{self.figure_id}] {self.title}"]
-        lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
-        lines.append("  ".join("-" * width for width in widths))
-        for row in rows:
-            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        lines.extend(_render_aligned(header, rows))
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines) + "\n"
@@ -95,6 +89,60 @@ class FigureResult:
     def print(self) -> None:  # pragma: no cover - console convenience
         """Print the table to stdout."""
         print(self.to_table())
+
+
+def _render_aligned(header: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    """Render a header, separator and rows as width-aligned text lines."""
+    widths = [
+        max([len(header[col])] + [len(row[col]) for row in rows])
+        for col in range(len(header))
+    ]
+    lines = ["  ".join(name.ljust(widths[i]) for i, name in enumerate(header))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return lines
+
+
+def tablet_load_report(stats: Sequence[TabletStats]) -> str:
+    """Render per-tablet cost accounting as an aligned plain-text table.
+
+    One row per tablet (table, key range, rows, storage calls, simulated
+    milliseconds, share of total time) followed by a skew summary: the
+    hottest tablet's share and the max/mean imbalance ratio.  This is the
+    cluster-level view the scale-out experiment reports alongside QPS.
+    """
+    if not stats:
+        return "(no tablets)\n"
+    total_seconds = sum(entry.simulated_seconds for entry in stats)
+    header = ["table", "tablet", "start", "end", "rows", "calls", "ms", "share"]
+    rows: List[List[str]] = []
+    for entry in stats:
+        share = entry.simulated_seconds / total_seconds if total_seconds > 0 else 0.0
+        rows.append(
+            [
+                entry.table,
+                entry.tablet_id.rsplit("/", 1)[-1],
+                entry.start_key or "-inf",
+                entry.end_key if entry.end_key is not None else "+inf",
+                str(entry.row_count),
+                str(entry.op_calls),
+                f"{entry.simulated_seconds * 1e3:.3f}",
+                f"{share:.1%}",
+            ]
+        )
+    lines = ["per-tablet storage accounting"]
+    lines.extend(_render_aligned(header, rows))
+    seconds = [entry.simulated_seconds for entry in stats]
+    hottest = max(seconds)
+    mean_seconds = total_seconds / len(stats)
+    hot_share = hottest / total_seconds if total_seconds > 0 else 1.0
+    imbalance = hottest / mean_seconds if mean_seconds > 0 else 1.0
+    lines.append(
+        f"skew: hottest tablet serves {hot_share:.1%} of storage time "
+        f"({len(stats)} tablets, max/mean imbalance {imbalance:.2f}x)"
+    )
+    return "\n".join(lines) + "\n"
 
 
 def _format_value(value: object, float_format: str) -> str:

@@ -10,12 +10,14 @@ with the number of servers), and the cluster's throughput over an interval is
 the requests completed divided by the busiest server's simulated time.
 """
 
+from repro.server.contention import TabletContentionModel
 from repro.server.frontend import FrontendServer
 from repro.server.cluster import ServerCluster
 from repro.server.client import ClientSimulator
 from repro.server.loadtest import LoadTest, LoadTestResult, TimelinePoint
 
 __all__ = [
+    "TabletContentionModel",
     "FrontendServer",
     "ServerCluster",
     "ClientSimulator",

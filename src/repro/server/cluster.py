@@ -2,26 +2,41 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
+from zlib import crc32
 
+from repro.bigtable.backend import ShardedBackend
 from repro.core.moist import MoistIndexer
 from repro.core.nn_search import NNQueryStats
 from repro.core.update import UpdateResult
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.model import NeighborResult, UpdateMessage
+from repro.server.contention import TabletContentionModel
 from repro.server.frontend import FrontendServer
 
 
 class ServerCluster:
-    """Dispatches requests round-robin over ``num_servers`` front-ends.
+    """Dispatches requests over ``num_servers`` front-ends.
 
     MOIST front-ends are stateless apart from the shared key-value store, so
     adding servers divides the per-server load; the only cross-server cost is
-    contention on the shared BigTable, modelled as a mild inflation of
-    storage time that grows with the cluster size ("MOIST has very little
-    communication overhead with the increase in the number of machines",
-    Section 4.3.3).
+    contention on the shared BigTable ("MOIST has very little communication
+    overhead with the increase in the number of machines", Section 4.3.3).
+
+    Two dispatch modes exist:
+
+    * :meth:`submit_update` / :meth:`submit_nn_query` — classic round-robin
+      over single requests;
+    * :meth:`submit_update_batch` — the batched path: messages are grouped
+      by the Location Table tablet their row lives in, each tablet is pinned
+      to one server (hash affinity, BigTable's tablet-server assignment),
+      and every group goes down the group-commit write path.
+
+    Contention is tablet-aware when the backend shards: the storage-time
+    inflation scales with the hottest tablet's share of total load instead
+    of assuming every request collides (``contention_alpha`` keeps its seed
+    meaning of per-extra-server inflation in the fully-skewed worst case).
     """
 
     def __init__(
@@ -30,6 +45,7 @@ class ServerCluster:
         num_servers: int,
         request_overhead_s: float = 12e-6,
         contention_alpha: float = 0.025,
+        tablet_aware: bool = True,
     ) -> None:
         if num_servers <= 0:
             raise ConfigurationError("a cluster needs at least one server")
@@ -37,13 +53,21 @@ class ServerCluster:
             raise ConfigurationError("contention_alpha must be non-negative")
         self.indexer = indexer
         self.contention_alpha = contention_alpha
-        contention = 1.0 + contention_alpha * (num_servers - 1)
+        if tablet_aware and isinstance(indexer.emulator, ShardedBackend):
+            self.contention: Optional[TabletContentionModel] = TabletContentionModel(
+                indexer.emulator, num_servers, alpha=contention_alpha
+            )
+            static_factor = 1.0
+        else:
+            self.contention = None
+            static_factor = 1.0 + contention_alpha * (num_servers - 1)
         self.servers: List[FrontendServer] = [
             FrontendServer(
                 server_id=index,
                 indexer=indexer,
                 request_overhead_s=request_overhead_s,
-                storage_contention_factor=contention,
+                storage_contention_factor=static_factor,
+                contention=self.contention,
             )
             for index in range(num_servers)
         ]
@@ -64,6 +88,35 @@ class ServerCluster:
     def submit_update(self, message: UpdateMessage) -> UpdateResult:
         """Route one update to the next server."""
         return self._pick_server().handle_update(message)
+
+    def server_for_tablet(self, tablet_id: str) -> FrontendServer:
+        """The front-end that owns a tablet (stable hash affinity)."""
+        index = crc32(tablet_id.encode("utf-8")) % len(self.servers)
+        return self.servers[index]
+
+    def submit_update_batch(self, messages: Sequence[UpdateMessage]) -> int:
+        """Route a batch of updates by tablet affinity.
+
+        Messages are partitioned by the Location Table tablet that owns
+        their row key; each partition is handled by that tablet's pinned
+        server through the group-commit path.  Falls back to one round-robin
+        batch when the backend does not shard.  Returns the number of
+        messages processed.
+        """
+        if not messages:
+            return 0
+        location_table = getattr(self.indexer.location_table, "table", None)
+        if location_table is None or not hasattr(location_table, "tablet_for_key"):
+            return self._pick_server().handle_update_batch(messages)
+        groups: Dict[str, List[UpdateMessage]] = {}
+        for message in messages:
+            tablet = location_table.tablet_for_key(message.object_id)
+            groups.setdefault(tablet.tablet_id, []).append(message)
+        processed = 0
+        for tablet_id in sorted(groups):
+            server = self.server_for_tablet(tablet_id)
+            processed += server.handle_update_batch(groups[tablet_id])
+        return processed
 
     def submit_nn_query(
         self,
@@ -107,3 +160,5 @@ class ServerCluster:
         """Zero every server's accounting."""
         for server in self.servers:
             server.reset_metrics()
+        if self.contention is not None:
+            self.contention.invalidate()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.moist import MoistIndexer
 from repro.core.nn_search import NNQueryStats
@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError
 from repro.core.update import UpdateResult
 from repro.geometry.point import Point
 from repro.model import NeighborResult, UpdateMessage
+from repro.server.contention import TabletContentionModel
 
 
 @dataclass
@@ -18,9 +19,15 @@ class FrontendServer:
     """One front-end process handling update and query RPCs.
 
     Servers in a cluster share the same :class:`MoistIndexer` (and therefore
-    the same BigTable emulator); each server accounts the simulated time of
+    the same BigTable backend); each server accounts the simulated time of
     the requests *it* handled so the cluster can compute per-server load and
     the overall makespan.
+
+    Contention on the shared store is modelled in two layers: a static
+    ``storage_contention_factor`` (kept for direct construction and for
+    backends without tablet accounting) and an optional
+    :class:`TabletContentionModel` whose dynamic factor tracks how
+    concentrated the cluster's load is on its hottest tablet.
     """
 
     server_id: int
@@ -28,9 +35,12 @@ class FrontendServer:
     #: Fixed per-request CPU/RPC overhead on the server itself, on top of
     #: storage time (request parsing, response serialisation).
     request_overhead_s: float = 12e-6
-    #: Multiplier applied to storage time to model contention on the shared
-    #: BigTable; set by the cluster based on its size.
+    #: Static multiplier applied to storage time to model contention on the
+    #: shared BigTable.
     storage_contention_factor: float = 1.0
+    #: Dynamic tablet-aware contention; multiplies the static factor when
+    #: present.
+    contention: Optional[TabletContentionModel] = None
 
     busy_seconds: float = field(default=0.0, init=False)
     updates_handled: int = field(default=0, init=False)
@@ -42,19 +52,48 @@ class FrontendServer:
         if self.storage_contention_factor < 1.0:
             raise ConfigurationError("storage_contention_factor must be >= 1")
 
+    def current_contention_factor(self) -> float:
+        """Effective storage-time multiplier for the next request."""
+        factor = self.storage_contention_factor
+        if self.contention is not None:
+            factor *= self.contention.factor()
+        return factor
+
     # ------------------------------------------------------------------
     # Request handlers
     # ------------------------------------------------------------------
     def handle_update(self, message: UpdateMessage) -> UpdateResult:
         """Process one location update and account its service time."""
-        before = self.indexer.emulator.counter.simulated_seconds
+        counter = self.indexer.emulator.counter
+        before = counter.simulated_seconds
         result = self.indexer.update(message)
-        storage = self.indexer.emulator.counter.simulated_seconds - before
+        storage = counter.simulated_seconds - before
         self.busy_seconds += (
-            self.request_overhead_s + storage * self.storage_contention_factor
+            self.request_overhead_s + storage * self.current_contention_factor()
         )
         self.updates_handled += 1
         return result
+
+    def handle_update_batch(self, messages: Sequence[UpdateMessage]) -> int:
+        """Process a batch of updates through the group-commit write path.
+
+        Every message still pays the per-request overhead (each was one
+        client RPC), but the storage work is accounted once over the whole
+        batch — this is the server-side entry point of the batched path.
+        Returns the number of messages processed.
+        """
+        if not messages:
+            return 0
+        counter = self.indexer.emulator.counter
+        before = counter.simulated_seconds
+        self.indexer.update_many(list(messages))
+        storage = counter.simulated_seconds - before
+        self.busy_seconds += (
+            len(messages) * self.request_overhead_s
+            + storage * self.current_contention_factor()
+        )
+        self.updates_handled += len(messages)
+        return len(messages)
 
     def handle_nn_query(
         self,
@@ -66,7 +105,8 @@ class FrontendServer:
         stats: Optional[NNQueryStats] = None,
     ) -> List[NeighborResult]:
         """Process one nearest-neighbour query and account its service time."""
-        before = self.indexer.emulator.counter.simulated_seconds
+        counter = self.indexer.emulator.counter
+        before = counter.simulated_seconds
         results = self.indexer.nearest_neighbors(
             location,
             k,
@@ -75,9 +115,9 @@ class FrontendServer:
             use_flag=use_flag,
             stats=stats,
         )
-        storage = self.indexer.emulator.counter.simulated_seconds - before
+        storage = counter.simulated_seconds - before
         self.busy_seconds += (
-            self.request_overhead_s + storage * self.storage_contention_factor
+            self.request_overhead_s + storage * self.current_contention_factor()
         )
         self.queries_handled += 1
         return results

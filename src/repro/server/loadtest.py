@@ -31,6 +31,12 @@ class LoadTestResult:
     qps: float
     per_server_qps: List[float] = field(default_factory=list)
     timeline: List[TimelinePoint] = field(default_factory=list)
+    #: Tablets across the backend's tables when the test ended (0 when the
+    #: backend does not shard).
+    tablet_count: int = 0
+    #: Fraction of storage time served by the hottest tablet (1.0 for
+    #: non-sharding backends).
+    hot_tablet_share: float = 1.0
 
     @property
     def mean_latency_s(self) -> float:
@@ -115,12 +121,88 @@ class LoadTest:
                     failed_qps=bucket_failed / elapsed,
                 )
             )
+        return self._build_result(completed, failed, makespan, timeline)
+
+    def run_update_batches(
+        self,
+        messages: Sequence[UpdateMessage],
+        batch_size: int = 256,
+        bucket_batches: int = 4,
+    ) -> LoadTestResult:
+        """Feed the update stream through the tablet-routed batched path.
+
+        The stream is cut into client-side batches of ``batch_size``
+        messages; each batch is partitioned by owning tablet and dispatched
+        to the tablet's pinned server (``ServerCluster.submit_update_batch``),
+        exercising the group-commit write path end to end.  One timeline
+        point is emitted every ``bucket_batches`` batches.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if bucket_batches <= 0:
+            raise ConfigurationError("bucket_batches must be positive")
+        self.cluster.reset_metrics()
+        timeline: List[TimelinePoint] = []
+        failed = 0
+        completed = 0
+        bucket_start_makespan = 0.0
+        bucket_completed = 0
+        bucket_failed = 0
+        batches_in_bucket = 0
+        for start in range(0, len(messages), batch_size):
+            batch = []
+            for message in messages[start : start + batch_size]:
+                if (
+                    self.failure_probability
+                    and self.rng.random() < self.failure_probability
+                ):
+                    failed += 1
+                    bucket_failed += 1
+                    continue
+                batch.append(message)
+            completed += self.cluster.submit_update_batch(batch)
+            bucket_completed += len(batch)
+            batches_in_bucket += 1
+            if batches_in_bucket >= bucket_batches:
+                makespan = self.cluster.makespan_seconds()
+                elapsed = max(makespan - bucket_start_makespan, 1e-12)
+                timeline.append(
+                    TimelinePoint(
+                        time_s=makespan,
+                        qps=bucket_completed / elapsed,
+                        failed_qps=bucket_failed / elapsed,
+                    )
+                )
+                bucket_start_makespan = makespan
+                bucket_completed = 0
+                bucket_failed = 0
+                batches_in_bucket = 0
+        makespan = self.cluster.makespan_seconds()
+        if bucket_completed > 0:
+            elapsed = max(makespan - bucket_start_makespan, 1e-12)
+            timeline.append(
+                TimelinePoint(
+                    time_s=makespan,
+                    qps=bucket_completed / elapsed,
+                    failed_qps=bucket_failed / elapsed,
+                )
+            )
+        return self._build_result(completed, failed, makespan, timeline)
+
+    def _build_result(
+        self,
+        completed: int,
+        failed: int,
+        makespan: float,
+        timeline: List[TimelinePoint],
+    ) -> LoadTestResult:
         per_server = [
             (server.requests_handled / server.busy_seconds)
             if server.busy_seconds > 0
             else 0.0
             for server in self.cluster.servers
         ]
+        indexer = self.cluster.indexer
         return LoadTestResult(
             total_requests=completed,
             failed_requests=failed,
@@ -128,6 +210,8 @@ class LoadTest:
             qps=completed / makespan if makespan > 0 else 0.0,
             per_server_qps=per_server,
             timeline=timeline,
+            tablet_count=indexer.tablet_count(),
+            hot_tablet_share=indexer.hot_tablet_share(),
         )
 
     def run_client_bursts(

@@ -17,8 +17,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bigtable.emulator import BigtableEmulator
-from repro.bigtable.table import ColumnFamily
+from repro.bigtable.backend import StorageBackend
+from repro.bigtable.table import ColumnFamily, Table
 from repro.errors import RowNotFoundError, SchemaError
 from repro.geometry.vector import Vector
 from repro.model import ObjectId
@@ -56,13 +56,18 @@ class LFRecord:
 class AffiliationTable:
     """Wrapper around the BigTable table that tracks schools."""
 
-    def __init__(self, emulator: BigtableEmulator, name: str = "affiliation") -> None:
+    def __init__(self, emulator: StorageBackend, name: str = "affiliation") -> None:
         families = [
             ColumnFamily(LF_FAMILY, in_memory=True, max_versions=1),
             ColumnFamily(LF_AGED_FAMILY, in_memory=False, max_versions=16),
             ColumnFamily(FOLLOWERS_FAMILY, in_memory=True, max_versions=1),
         ]
         self._table = emulator.create_table(name, families)
+
+    @property
+    def table(self) -> Table:
+        """The backing BigTable table (tablet routing / group commits)."""
+        return self._table
 
     # ------------------------------------------------------------------
     # L/F records

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.bigtable.backend import StorageBackend
 from repro.bigtable.cost import OpKind
-from repro.bigtable.emulator import BigtableEmulator
-from repro.bigtable.table import ColumnFamily
+from repro.bigtable.table import ColumnFamily, Table
 from repro.errors import RowNotFoundError, SchemaError
 from repro.model import LocationRecord, ObjectId
 
@@ -27,7 +27,7 @@ class LocationTable:
 
     def __init__(
         self,
-        emulator: BigtableEmulator,
+        emulator: StorageBackend,
         name: str = "location",
         memory_records: int = 8,
         disk_columns: int = 2,
@@ -56,6 +56,11 @@ class LocationTable:
     def disk_family(index: int) -> str:
         """Name of the ``index``-th aged disk column family."""
         return f"aged-{index}"
+
+    @property
+    def table(self) -> Table:
+        """The backing BigTable table (tablet routing / group commits)."""
+        return self._table
 
     # ------------------------------------------------------------------
     # Writes

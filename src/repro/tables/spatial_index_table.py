@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bigtable.emulator import BigtableEmulator
-from repro.bigtable.table import ColumnFamily
+from repro.bigtable.backend import StorageBackend
+from repro.bigtable.table import ColumnFamily, Table
 from repro.errors import SchemaError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
@@ -28,7 +28,7 @@ class SpatialIndexTable:
 
     def __init__(
         self,
-        emulator: BigtableEmulator,
+        emulator: StorageBackend,
         name: str = "spatial_index",
         storage_level: int = 16,
         world: BoundingBox = WORLD_UNIT_BOX,
@@ -44,6 +44,11 @@ class SpatialIndexTable:
             for extra in extra_families
         )
         self._table = emulator.create_table(name, families)
+
+    @property
+    def table(self) -> Table:
+        """The backing BigTable table (tablet routing / group commits)."""
+        return self._table
 
     # ------------------------------------------------------------------
     # Key helpers

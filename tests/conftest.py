@@ -16,9 +16,8 @@ from repro.bigtable.emulator import BigtableEmulator
 from repro.core.config import MoistConfig
 from repro.core.moist import MoistIndexer
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.point import Point
-from repro.geometry.vector import Vector
-from repro.model import UpdateMessage, format_object_id
+
+from helpers import make_update
 
 
 SMALL_WORLD = BoundingBox(0.0, 0.0, 100.0, 100.0)
@@ -50,23 +49,6 @@ def indexer(small_config: MoistConfig) -> MoistIndexer:
 def emulator() -> BigtableEmulator:
     """A fresh BigTable emulator."""
     return BigtableEmulator()
-
-
-def make_update(
-    index: int,
-    x: float,
-    y: float,
-    vx: float = 1.0,
-    vy: float = 0.0,
-    t: float = 0.0,
-) -> UpdateMessage:
-    """Convenience constructor used across many tests."""
-    return UpdateMessage(
-        object_id=format_object_id(index),
-        location=Point(x, y),
-        velocity=Vector(vx, vy),
-        timestamp=t,
-    )
 
 
 @pytest.fixture

@@ -10,7 +10,7 @@ from repro.model import UpdateMessage
 from repro.spatial.cell import CellId
 from repro.tables.affiliation_table import Role
 
-from conftest import make_update
+from helpers import make_update
 
 
 def load_colocated_leaders(indexer, count, base=(10.0, 10.0), velocity=(1.0, 0.0), spacing=1.0):

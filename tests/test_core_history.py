@@ -7,7 +7,7 @@ from repro.errors import QueryError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
 
-from conftest import make_update
+from helpers import make_update
 
 
 def feed_trajectory(indexer, object_index=1, steps=6, start=(10.0, 10.0)):

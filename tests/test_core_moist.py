@@ -10,7 +10,7 @@ from repro.geometry.vector import Vector
 from repro.model import UpdateMessage
 from repro.tables.affiliation_table import Role
 
-from conftest import make_update
+from helpers import make_update
 
 
 class TestFacadeBasics:

@@ -12,7 +12,7 @@ from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.model import UpdateMessage, format_object_id
 
-from conftest import make_update
+from helpers import make_update
 
 
 def load_uniform(indexer, count, seed=7):

@@ -11,7 +11,7 @@ from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.model import LocationRecord
 
-from conftest import make_update
+from helpers import make_update
 
 WORLD = BoundingBox(0.0, 0.0, 100.0, 100.0)
 

@@ -12,7 +12,7 @@ from repro.server.cluster import ServerCluster
 from repro.server.frontend import FrontendServer
 from repro.server.loadtest import LoadTest
 
-from conftest import make_update
+from helpers import make_update
 
 CONFIG = MoistConfig(
     world=BoundingBox(0.0, 0.0, 100.0, 100.0),

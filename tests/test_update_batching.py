@@ -1,0 +1,151 @@
+"""Batched vs one-at-a-time update equivalence.
+
+``MoistIndexer.update_many`` routes through the per-tablet group-commit
+write path; these tests pin down the contract that batching is purely an
+amortisation: the resulting table state, update statistics and total
+simulated storage cost must match processing the same stream one message at
+a time.
+"""
+
+import pytest
+
+from repro.core.config import MoistConfig
+from repro.core.moist import MoistIndexer
+from repro.geometry.bbox import BoundingBox
+
+from helpers import make_update
+
+CONFIG = MoistConfig(
+    world=BoundingBox(0.0, 0.0, 100.0, 100.0),
+    storage_level=8,
+    nn_level_delta=2,
+    clustering_cell_level=2,
+    deviation_threshold=5.0,
+    velocity_threshold=1.0,
+    clustering_interval_s=10.0,
+    sigma=4,
+)
+
+
+def school_stream(t, count=120):
+    """Updates for ``count`` objects moving together in a few tight knots."""
+    messages = []
+    for index in range(count):
+        knot = index % 6
+        offset = (index // 6) * 0.3
+        messages.append(
+            make_update(
+                index,
+                10.0 + knot * 12.0 + offset + t,
+                10.0 + knot * 3.0 + offset,
+                vx=1.0,
+                vy=0.0,
+                t=t,
+            )
+        )
+    return messages
+
+
+def divergent_stream(t, count=120):
+    """Half the objects break away from their schools (promotion path)."""
+    messages = []
+    for index in range(count):
+        if index % 2 == 0:
+            messages.append(make_update(index, 10.0 + index % 6 * 12.0 + t, 10.0, t=t))
+        else:
+            messages.append(
+                make_update(index, 90.0 - (index % 40), 90.0, vx=-1.0, t=t)
+            )
+    return messages
+
+
+def drive(indexer, batched: bool):
+    """Run the same three-phase scenario through either update path."""
+    phases = [school_stream(0.0), school_stream(1.0), divergent_stream(2.0)]
+    for phase_index, messages in enumerate(phases):
+        if batched:
+            indexer.update_many(messages)
+        else:
+            for message in messages:
+                indexer.update(message)
+        if phase_index == 0:
+            indexer.run_clustering(0.5)
+    return indexer
+
+
+@pytest.fixture
+def pair():
+    sequential = drive(MoistIndexer(CONFIG), batched=False)
+    batched = drive(MoistIndexer(CONFIG), batched=True)
+    return sequential, batched
+
+
+class TestBatchedEquivalence:
+    def test_update_stats_identical(self, pair):
+        sequential, batched = pair
+        assert batched.update_stats == sequential.update_stats
+        # The scenario must actually exercise every Algorithm 1 branch.
+        assert batched.update_stats.new_leaders > 0
+        assert batched.update_stats.shed > 0
+        assert batched.update_stats.promotions > 0
+
+    def test_total_simulated_cost_identical(self, pair):
+        sequential, batched = pair
+        assert batched.simulated_seconds == pytest.approx(
+            sequential.simulated_seconds, rel=1e-12
+        )
+
+    def test_counter_breakdown_identical(self, pair):
+        sequential, batched = pair
+        seq = sequential.emulator.counter
+        bat = batched.emulator.counter
+        assert bat.counts == seq.counts
+        assert bat.rows == seq.rows
+
+    def test_location_table_state_identical(self, pair):
+        sequential, batched = pair
+        seq_ids = sequential.location_table.all_object_ids()
+        assert batched.location_table.all_object_ids() == seq_ids
+        for object_id in seq_ids:
+            assert batched.location_table.recent_history(
+                object_id
+            ) == sequential.location_table.recent_history(object_id)
+
+    def test_school_structure_identical(self, pair):
+        sequential, batched = pair
+        assert batched.school_count == sequential.school_count
+        assert batched.object_count == sequential.object_count
+        for object_id in sequential.location_table.all_object_ids():
+            seq_role = sequential.affiliation_table.role_of(object_id)
+            bat_role = batched.affiliation_table.role_of(object_id)
+            assert (seq_role is None) == (bat_role is None)
+            if seq_role is not None:
+                assert bat_role.role == seq_role.role
+                assert bat_role.leader_id == seq_role.leader_id
+
+    def test_spatial_rows_identical(self, pair):
+        sequential, batched = pair
+        assert (
+            batched.spatial_table.table.all_keys()
+            == sequential.spatial_table.table.all_keys()
+        )
+
+
+class TestUpdateManyBehaviour:
+    def test_empty_batch_is_noop(self):
+        indexer = MoistIndexer(CONFIG)
+        stats = indexer.update_many([])
+        assert stats.total == 0
+        assert indexer.simulated_seconds == 0.0
+
+    def test_returns_cumulative_stats(self):
+        indexer = MoistIndexer(CONFIG)
+        indexer.update_many(school_stream(0.0, count=10))
+        stats = indexer.update_many(school_stream(1.0, count=10))
+        assert stats.total == 20
+
+    def test_new_leaders_registered_with_archiver(self):
+        indexer = MoistIndexer(CONFIG)
+        indexer.update_many(school_stream(0.0, count=12))
+        assert indexer.object_count == 12
+        assert indexer.school_count == 12
