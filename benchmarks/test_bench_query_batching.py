@@ -1,0 +1,105 @@
+"""Micro-benchmark guard for the batched shared-read query path.
+
+``FrontendServer.handle_query_batch`` must not be slower per query than
+feeding the same queries through ``handle_nn_query`` one at a time: the
+batch shares cell scans and follower batch reads across overlapping
+queries, so any regression here means the batch context bookkeeping
+started costing more than the RPCs it saves.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.config import MoistConfig
+from repro.core.moist import MoistIndexer
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+from repro.server.cluster import ServerCluster
+from repro.workload.queries import NNQuery
+
+from conftest import run_once
+
+NUM_OBJECTS = 2000
+NUM_QUERIES = 1500
+BATCH_SIZE = 100
+REPEATS = 3
+
+
+def _config() -> MoistConfig:
+    return MoistConfig(
+        world=BoundingBox(0.0, 0.0, 1000.0, 1000.0), storage_level=12
+    )
+
+
+def _build_cluster() -> ServerCluster:
+    indexer = MoistIndexer(_config())
+    rng = random.Random(17)
+    for index in range(NUM_OBJECTS):
+        indexer.update(
+            UpdateMessage(
+                object_id=format_object_id(index),
+                location=Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                velocity=Vector(rng.uniform(-2, 2), rng.uniform(-2, 2)),
+                timestamp=0.0,
+            )
+        )
+    return ServerCluster(indexer, num_servers=2)
+
+
+def _queries(seed: int = 23):
+    rng = random.Random(seed)
+    return [
+        NNQuery(location=Point(rng.uniform(0, 1000), rng.uniform(0, 1000)), k=10)
+        for _ in range(NUM_QUERIES)
+    ]
+
+
+def _time_sequential(queries) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        cluster = _build_cluster()
+        start = time.perf_counter()
+        for query in queries:
+            cluster.submit_nn_query(query.location, query.k)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_batched(queries) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        cluster = _build_cluster()
+        start = time.perf_counter()
+        for offset in range(0, len(queries), BATCH_SIZE):
+            cluster.submit_query_batch(queries[offset : offset + BATCH_SIZE])
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _compare():
+    queries = _queries()
+    sequential = _time_sequential(queries)
+    batched = _time_batched(queries)
+    return {
+        "sequential_s": sequential,
+        "batched_s": batched,
+        "sequential_us_per_query": sequential / NUM_QUERIES * 1e6,
+        "batched_us_per_query": batched / NUM_QUERIES * 1e6,
+        "speedup": sequential / batched if batched > 0 else float("inf"),
+    }
+
+
+def test_bench_batched_queries_not_slower_than_sequential(benchmark):
+    outcome = run_once(benchmark, _compare)
+    print(
+        f"\nsequential: {outcome['sequential_us_per_query']:.2f} us/query, "
+        f"batched: {outcome['batched_us_per_query']:.2f} us/query, "
+        f"speedup {outcome['speedup']:.2f}x"
+    )
+    # Guard: the batched path must not regress below the sequential path.
+    # A 10% tolerance absorbs wall-clock noise on loaded CI machines.
+    assert outcome["batched_s"] <= outcome["sequential_s"] * 1.10

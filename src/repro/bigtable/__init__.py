@@ -20,9 +20,22 @@ interpreter speed.  See DESIGN.md Section 6.
 
 from repro.bigtable.sorted_map import SortedMap
 from repro.bigtable.cost import CostModel, OpCounter, OpKind
+from repro.bigtable.scan import (
+    BlockCache,
+    BlockCacheOptions,
+    ScanPlan,
+    ScanSegment,
+    Scanner,
+    TabletCacheStats,
+)
 from repro.bigtable.tablet import Tablet, TabletLocator, TabletOptions, TabletStats
 from repro.bigtable.table import ColumnFamily, Cell, Table
-from repro.bigtable.backend import ShardedBackend, StorageBackend
+from repro.bigtable.backend import (
+    CacheAwareBackend,
+    ShardedBackend,
+    StorageBackend,
+    TabletSkew,
+)
 from repro.bigtable.emulator import BigtableEmulator
 
 __all__ = [
@@ -30,6 +43,12 @@ __all__ = [
     "CostModel",
     "OpCounter",
     "OpKind",
+    "BlockCache",
+    "BlockCacheOptions",
+    "ScanPlan",
+    "ScanSegment",
+    "Scanner",
+    "TabletCacheStats",
     "ColumnFamily",
     "Cell",
     "Table",
@@ -39,5 +58,7 @@ __all__ = [
     "TabletStats",
     "StorageBackend",
     "ShardedBackend",
+    "CacheAwareBackend",
+    "TabletSkew",
     "BigtableEmulator",
 ]

@@ -11,11 +11,43 @@ MOIST tables unchanged.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Protocol, Sequence, runtime_checkable
 
 from repro.bigtable.cost import OpCounter
+from repro.bigtable.scan import TabletCacheStats
 from repro.bigtable.table import ColumnFamily, Table
 from repro.bigtable.tablet import TabletStats
+
+
+@dataclass(frozen=True)
+class TabletSkew:
+    """How concentrated the cluster's load is, split by request class.
+
+    ``read_share`` (``write_share``) is the fraction of total read (write)
+    storage time served by the single hottest tablet *of that class* — the
+    two hottest tablets need not be the same one.  The blend weighs each
+    class's skew by its share of traffic, so a read-heavy workload whose
+    queries pile onto one spatial-index tablet inflates contention exactly
+    as the equivalent write skew would.
+    """
+
+    read_share: float
+    write_share: float
+    read_seconds: float
+    write_seconds: float
+
+    @property
+    def blended_share(self) -> float:
+        """Traffic-weighted hot-tablet share across both request classes
+        (1.0 — the monolithic worst case — before any load exists)."""
+        total = self.read_seconds + self.write_seconds
+        if total <= 0.0:
+            return 1.0
+        return (
+            self.read_share * self.read_seconds
+            + self.write_share * self.write_seconds
+        ) / total
 
 
 @runtime_checkable
@@ -79,4 +111,30 @@ class ShardedBackend(StorageBackend, Protocol):
 
     def hot_tablet_share(self) -> float:
         """Fraction of total storage time served by the hottest tablet."""
+        ...
+
+
+@runtime_checkable
+class CacheAwareBackend(Protocol):
+    """Optional extension: backends with block-cached scans and per-class
+    skew accounting.
+
+    Kept separate from :class:`ShardedBackend` so backends satisfying the
+    original sharding protocol keep their tablet-aware contention: the
+    consumers of these hooks (the contention model, ``MoistIndexer``'s
+    cache accessors) probe for them with ``getattr`` and fall back
+    gracefully when absent.
+    """
+
+    def tablet_skew(self) -> TabletSkew:
+        """Hot-tablet concentration split by request class (reads vs
+        writes), for the symmetric contention model."""
+        ...
+
+    def block_cache_stats(self) -> List[TabletCacheStats]:
+        """Per-tablet block-cache hit/miss accounting across every table."""
+        ...
+
+    def cache_hit_rate(self) -> float:
+        """Overall block-cache hit rate across every table's scans."""
         ...

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.bigtable.backend import TabletSkew
 from repro.bigtable.cost import CostModel, OpCounter
+from repro.bigtable.scan import BlockCacheOptions, TabletCacheStats
 from repro.bigtable.table import ColumnFamily, Table
 from repro.bigtable.tablet import TabletOptions, TabletStats
 from repro.errors import StorageError, TableNotFoundError
@@ -27,16 +29,24 @@ class BigtableEmulator:
         self,
         cost_model: Optional[CostModel] = None,
         tablet_options: Optional[TabletOptions] = None,
+        cache_options: Optional[BlockCacheOptions] = None,
     ) -> None:
         self.counter = OpCounter(model=cost_model or CostModel())
         self.tablet_options = tablet_options or TabletOptions()
+        self.cache_options = cache_options or BlockCacheOptions()
         self._tables: Dict[str, Table] = {}
 
     def create_table(self, name: str, families: Sequence[ColumnFamily]) -> Table:
         """Create a table; fails if the name is already taken."""
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
-        table = Table(name, families, counter=self.counter, options=self.tablet_options)
+        table = Table(
+            name,
+            families,
+            counter=self.counter,
+            options=self.tablet_options,
+            cache_options=self.cache_options,
+        )
         self._tables[name] = table
         return table
 
@@ -62,10 +72,12 @@ class BigtableEmulator:
         return sorted(self._tables)
 
     def reset_counters(self) -> None:
-        """Zero the shared operation counter and every tablet ledger."""
+        """Zero the shared operation counter, every tablet ledger and the
+        block-cache hit/miss tallies (resident blocks stay warm)."""
         self.counter.reset()
         for table in self._tables.values():
             table.reset_tablet_counters()
+            table.reset_cache_stats()
 
     @property
     def simulated_seconds(self) -> float:
@@ -104,3 +116,54 @@ class BigtableEmulator:
         if total <= 0.0:
             return 1.0
         return hottest / total
+
+    def tablet_skew(self) -> TabletSkew:
+        """Hot-tablet concentration split by request class.
+
+        Reads and writes are skew-ranked independently (the tablet a query
+        storm hammers is rarely the one absorbing the write front), then
+        blended by traffic share in :attr:`TabletSkew.blended_share` — the
+        symmetric treatment the contention model consumes.
+        """
+        hot_read = 0.0
+        hot_write = 0.0
+        read_total = 0.0
+        write_total = 0.0
+        for table in self._tables.values():
+            for tablet in table.tablets():
+                read = tablet.counter.read_seconds
+                write = tablet.counter.write_seconds
+                read_total += read
+                write_total += write
+                if read > hot_read:
+                    hot_read = read
+                if write > hot_write:
+                    hot_write = write
+        return TabletSkew(
+            read_share=hot_read / read_total if read_total > 0.0 else 1.0,
+            write_share=hot_write / write_total if write_total > 0.0 else 1.0,
+            read_seconds=read_total,
+            write_seconds=write_total,
+        )
+
+    # ------------------------------------------------------------------
+    # Block-cache accounting
+    # ------------------------------------------------------------------
+    def block_cache_stats(self) -> List[TabletCacheStats]:
+        """Per-tablet block-cache hit/miss rows across every table."""
+        stats: List[TabletCacheStats] = []
+        for name in sorted(self._tables):
+            stats.extend(self._tables[name].cache_stats())
+        return stats
+
+    def cache_hit_rate(self) -> float:
+        """Overall block-cache hit rate across every table's scans."""
+        hits = 0
+        lookups = 0
+        for table in self._tables.values():
+            for entry in table.cache_stats():
+                hits += entry.hits
+                lookups += entry.lookups
+        if lookups == 0:
+            return 0.0
+        return hits / lookups

@@ -1,0 +1,314 @@
+"""Scan plans, the scanner and the tablet-server block cache.
+
+The write path (PR 1) is tablet-routed and batched; this module gives the
+read path the same machinery.  A range read is no longer an opaque walk over
+the locator: it is *compiled* into a :class:`ScanPlan` — the ordered list of
+tablets whose key ranges intersect the requested interval — and *executed*
+by a :class:`Scanner`, which charges every planned tablet's ledger (empty
+probes included, so cold tablets show up in ``tablet_load_report``) and
+consults the table's :class:`BlockCache` while streaming rows.
+
+The block cache models BigTable's tablet-server block cache (the SSTable
+block LRU of the original paper's Section 6.3): rows live in fixed-size
+*key blocks* — all rows sharing a row-key prefix — and a block that was
+scanned recently is resident in the tablet server's memory.  Scanning a
+warm block still costs the scan RPC (the client always makes the round
+trip) but its rows are served at :attr:`~repro.bigtable.cost.CostModel.\
+cache_read_row` instead of ``scan_row``, recorded under
+:attr:`~repro.bigtable.cost.OpKind.CACHE_READ` so experiments can report
+hit rates and cache-adjusted read time separately.  Mutating a row evicts
+its block; tablet splits and merges evict every block of the tablets
+involved (their rows moved to a different server).
+
+The cache deliberately stores *no row data* — rows are always read from the
+live tablet memtables, so a stale cache entry can mis-price a scan but never
+return stale results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.bigtable.cost import OpCounter, OpKind
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.bigtable.tablet import Tablet, TabletLocator
+
+
+@dataclass(frozen=True)
+class BlockCacheOptions:
+    """Configuration of one table's simulated block cache."""
+
+    #: Maximum number of resident ``(tablet, block)`` entries before LRU
+    #: eviction kicks in.
+    capacity_blocks: int = 4096
+    #: A key block is every row sharing this many leading row-key
+    #: characters.  Spatial-index keys are 12 fixed-width hex digits, so the
+    #: default groups rows by their top 24 curve bits — a few hundred
+    #: storage cells per block at the experiment levels.
+    block_prefix_len: int = 6
+    #: Disabled caches treat every scan as cold (seed behaviour).
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_blocks < 1:
+            raise ConfigurationError("capacity_blocks must be >= 1")
+        if self.block_prefix_len < 1:
+            raise ConfigurationError("block_prefix_len must be >= 1")
+
+
+@dataclass(frozen=True)
+class TabletCacheStats:
+    """Frozen per-tablet block-cache accounting row."""
+
+    table: str
+    tablet_id: str
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of block lookups served from the cache (0.0 when the
+        tablet was never scanned)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class BlockCache:
+    """LRU set of warm ``(tablet, key-block)`` pairs with hit/miss tallies.
+
+    The cache is a *residency* model, not a data store: :meth:`probe`
+    answers "would this block have been in the tablet server's memory?",
+    bumping it to most-recently-used on a hit and admitting it on a miss.
+    """
+
+    def __init__(self, options: Optional[BlockCacheOptions] = None) -> None:
+        self.options = options or BlockCacheOptions()
+        self._lru: "OrderedDict[Tuple[str, str], None]" = OrderedDict()
+        #: tablet id -> resident blocks, for O(blocks-of-tablet) invalidation.
+        self._by_tablet: Dict[str, Set[str]] = {}
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.options.enabled
+
+    def block_of(self, row_key: str) -> str:
+        """The key block containing ``row_key``."""
+        return row_key[: self.options.block_prefix_len]
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    # ------------------------------------------------------------------
+    # Lookup / admission
+    # ------------------------------------------------------------------
+    def probe(self, tablet_id: str, block: str) -> bool:
+        """True when the block is warm; admits it (evicting LRU) otherwise."""
+        if not self.options.enabled:
+            return False
+        key = (tablet_id, block)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self._hits[tablet_id] = self._hits.get(tablet_id, 0) + 1
+            return True
+        self._misses[tablet_id] = self._misses.get(tablet_id, 0) + 1
+        self._lru[key] = None
+        self._by_tablet.setdefault(tablet_id, set()).add(block)
+        if len(self._lru) > self.options.capacity_blocks:
+            evicted_tablet, evicted_block = self._lru.popitem(last=False)[0]
+            resident = self._by_tablet.get(evicted_tablet)
+            if resident is not None:
+                resident.discard(evicted_block)
+                if not resident:
+                    del self._by_tablet[evicted_tablet]
+        return False
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_row(self, tablet_id: str, row_key: str) -> None:
+        """Evict the block containing ``row_key`` (a mutation dirtied it)."""
+        resident = self._by_tablet.get(tablet_id)
+        if resident is None:
+            return
+        block = self.block_of(row_key)
+        if block in resident:
+            resident.discard(block)
+            if not resident:
+                del self._by_tablet[tablet_id]
+            del self._lru[(tablet_id, block)]
+
+    def invalidate_tablet(self, tablet_id: str) -> None:
+        """Evict every block of a tablet (it split, merged or cleared)."""
+        resident = self._by_tablet.pop(tablet_id, None)
+        if not resident:
+            return
+        for block in resident:
+            del self._lru[(tablet_id, block)]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self, table_name: str) -> List[TabletCacheStats]:
+        """Per-tablet hit/miss rows for every tablet ever probed."""
+        tablet_ids = sorted(set(self._hits) | set(self._misses))
+        return [
+            TabletCacheStats(
+                table=table_name,
+                tablet_id=tablet_id,
+                hits=self._hits.get(tablet_id, 0),
+                misses=self._misses.get(tablet_id, 0),
+            )
+            for tablet_id in tablet_ids
+        ]
+
+    def hit_rate(self) -> float:
+        """Overall fraction of block lookups that hit (0.0 before any)."""
+        hits = sum(self._hits.values())
+        lookups = hits + sum(self._misses.values())
+        if lookups == 0:
+            return 0.0
+        return hits / lookups
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss tallies; resident blocks stay warm."""
+        self._hits.clear()
+        self._misses.clear()
+
+    def clear(self) -> None:
+        """Drop every resident block and every tally."""
+        self._lru.clear()
+        self._by_tablet.clear()
+        self.reset_stats()
+
+
+@dataclass(frozen=True)
+class ScanSegment:
+    """One tablet's slice of a scan plan (bounds are the plan's globals —
+    the tablet's own range already clips them)."""
+
+    tablet: "Tablet"
+    start_key: Optional[str]
+    end_key: Optional[str]
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """A compiled range read: the tablets ``[start_key, end_key)`` touches,
+    in key order.  Compiling is routing; executing is the Scanner's job."""
+
+    table: str
+    start_key: Optional[str]
+    end_key: Optional[str]
+    limit: Optional[int]
+    segments: Tuple[ScanSegment, ...]
+
+    def tablet_ids(self) -> List[str]:
+        """Ids of every tablet the plan will touch."""
+        return [segment.tablet.tablet_id for segment in self.segments]
+
+
+class Scanner:
+    """Executes scan plans: streams rows, prices them through the block
+    cache and mirrors the work onto every planned tablet's ledger."""
+
+    def __init__(
+        self,
+        counter: OpCounter,
+        locator: "TabletLocator",
+        cache: BlockCache,
+    ) -> None:
+        self.counter = counter
+        self.locator = locator
+        self.cache = cache
+
+    def execute(self, plan: ScanPlan) -> List[Tuple["Tablet", str, object]]:
+        """Run a compiled plan.
+
+        Routing is re-resolved through the locator at execution time: the
+        plan's captured segments are a routing *hint* (what callers inspect
+        to partition work), but tablets split and merge between compile and
+        execute, and trusting a stale segment list would silently drop the
+        rows that moved to a new sibling tablet.  The key range is the
+        plan's contract; the tablet list is not.
+        """
+        return self.execute_range(plan.start_key, plan.end_key, plan.limit)
+
+    def execute_range(
+        self,
+        start_key: Optional[str] = None,
+        end_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple["Tablet", str, object]]:
+        """Scan ``[start_key, end_key)``, returning ``(tablet, row_key,
+        row)`` in key order.
+
+        Charging: the shared ledger gets one ``SCAN`` RPC whose row count is
+        the *cold* rows (rows in blocks the cache had to fault in) plus one
+        ``CACHE_READ`` record over the warm rows; each scanned tablet's
+        ledger mirrors its own share.  A tablet that yields no rows is
+        still charged one scan row (it served the probe), which is what
+        makes cold tablets visible in load reports.
+        """
+        results: List[Tuple["Tablet", str, object]] = []
+        remaining = limit
+        charges: List[Tuple["Tablet", int, int]] = []
+        for tablet in self.locator.tablets_in_range(start_key, end_key):
+            if remaining is not None and remaining <= 0:
+                break
+            cold = 0
+            warm = 0
+            current_block: Optional[str] = None
+            block_warm = False
+            for row_key, row in tablet.rows.scan(start_key, end_key, remaining):
+                if self.cache.enabled:
+                    block = self.cache.block_of(row_key)
+                    if block != current_block:
+                        current_block = block
+                        block_warm = self.cache.probe(tablet.tablet_id, block)
+                    if block_warm:
+                        warm += 1
+                    else:
+                        cold += 1
+                else:
+                    cold += 1
+                results.append((tablet, row_key, row))
+                if remaining is not None:
+                    remaining -= 1
+            charges.append((tablet, cold, warm))
+        cold_total = sum(cold for _, cold, _ in charges)
+        warm_total = sum(warm for _, _, warm in charges)
+        self.counter.record(
+            OpKind.SCAN, rows=cold_total if cold_total + warm_total > 0 else 1
+        )
+        if warm_total > 0:
+            self.counter.record(OpKind.CACHE_READ, rows=warm_total)
+        self._attribute_scan(charges)
+        return results
+
+    def _attribute_scan(self, charges: List[Tuple["Tablet", int, int]]) -> None:
+        """Mirror one scan onto the scanned tablets' ledgers.
+
+        Every scanned tablet is charged the scan RPC it served — with its
+        cold rows, or zero rows when the block cache covered everything —
+        so a cache-hot tablet keeps accumulating read time on its ledger
+        exactly as the shared ledger does (the skew signal the contention
+        model consumes must not fade as the cache warms).  Tablets that
+        contributed no rows at all are charged one scan row, so empty
+        probes — e.g. an NN search visiting a cell nobody occupies — still
+        appear in ``tablet_load_report``.
+        """
+        for tablet, cold, warm in charges:
+            tablet.counter.record(OpKind.SCAN, rows=cold if cold + warm > 0 else 1)
+            if warm > 0:
+                tablet.counter.record(OpKind.CACHE_READ, rows=warm)

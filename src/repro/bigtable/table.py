@@ -22,6 +22,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigtable.cost import OpCounter, OpKind
+from repro.bigtable.scan import (
+    BlockCache,
+    BlockCacheOptions,
+    ScanPlan,
+    ScanSegment,
+    Scanner,
+    TabletCacheStats,
+)
 from repro.bigtable.tablet import Tablet, TabletLocator, TabletOptions, TabletStats
 from repro.errors import ColumnFamilyError, RowNotFoundError
 
@@ -138,6 +146,7 @@ class Table:
         families: Sequence[ColumnFamily],
         counter: Optional[OpCounter] = None,
         options: Optional[TabletOptions] = None,
+        cache_options: Optional[BlockCacheOptions] = None,
     ) -> None:
         if not families:
             raise ColumnFamilyError(f"table {name!r} declared without column families")
@@ -152,6 +161,9 @@ class Table:
         self.counter = counter if counter is not None else OpCounter()
         self.options = options or TabletOptions()
         self._tablets = TabletLocator(name, self.options, model=self.counter.model)
+        self.cache = BlockCache(cache_options)
+        self._tablets.on_tablet_changed = self.cache.invalidate_tablet
+        self._scanner = Scanner(self.counter, self._tablets, self.cache)
         self._group: Optional[_GroupCommit] = None
         self._group_depth = 0
 
@@ -270,6 +282,7 @@ class Table:
         """Apply one cell write to an already-located tablet; returns whether
         the row is new."""
         declared = self.family(family)
+        self.cache.invalidate_row(tablet.tablet_id, row_key)
         row = tablet.rows.get(row_key)
         added_row = row is None
         if row is None:
@@ -289,6 +302,7 @@ class Table:
         """Apply one cell deletion to an already-located tablet; returns
         ``(existed, removed_row)``."""
         self.family(family)
+        self.cache.invalidate_row(tablet.tablet_id, row_key)
         existed = False
         removed_row = False
         row = tablet.rows.get(row_key)
@@ -350,6 +364,7 @@ class Table:
     def delete_row(self, row_key: str, _charge: bool = True) -> bool:
         """Delete an entire row."""
         tablet = self._tablets.locate(row_key)
+        self.cache.invalidate_row(tablet.tablet_id, row_key)
         removed = tablet.rows.delete(row_key)
         if _charge:
             self._charge_write(OpKind.DELETE, tablet, structural=removed)
@@ -417,58 +432,78 @@ class Table:
     # ------------------------------------------------------------------
     # Scans and batches
     # ------------------------------------------------------------------
+    def plan_scan(
+        self,
+        start_key: Optional[str] = None,
+        end_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> ScanPlan:
+        """Compile a range read into a scan plan (routing only, no charge).
+
+        The plan names every tablet whose range intersects
+        ``[start_key, end_key)``; callers can inspect it to partition work
+        (e.g. pin a query batch to its owning tablet's server) before
+        handing it to :meth:`execute_plan`.
+        """
+        return ScanPlan(
+            table=self.name,
+            start_key=start_key,
+            end_key=end_key,
+            limit=limit,
+            segments=tuple(
+                ScanSegment(tablet=tablet, start_key=start_key, end_key=end_key)
+                for tablet in self._tablets.tablets_in_range(start_key, end_key)
+            ),
+        )
+
+    @staticmethod
+    def _public_rows(scanned) -> List[Tuple[str, Dict[str, Dict[str, List[Cell]]]]]:
+        """Convert scanner output to the public row representation."""
+        return [
+            (
+                row_key,
+                {
+                    family: {
+                        qualifier: list(cells)
+                        for qualifier, cells in qualifiers.items()
+                    }
+                    for family, qualifiers in row.families.items()
+                },
+            )
+            for _, row_key, row in scanned
+        ]
+
+    def execute_plan(
+        self, plan: ScanPlan
+    ) -> List[Tuple[str, Dict[str, Dict[str, List[Cell]]]]]:
+        """Execute a compiled scan plan through the scanner/block cache."""
+        return self._public_rows(self._scanner.execute(plan))
+
     def scan(
         self,
         start_key: Optional[str] = None,
         end_key: Optional[str] = None,
         limit: Optional[int] = None,
     ) -> List[Tuple[str, Dict[str, Dict[str, List[Cell]]]]]:
-        """Range scan over ``[start_key, end_key)``, charged per row returned."""
-        results = []
-        tally = _TabletTally()
-        for tablet, row_key, row in self._tablets.scan(start_key, end_key, limit):
-            results.append(
-                (
-                    row_key,
-                    {
-                        family: {
-                            qualifier: list(cells)
-                            for qualifier, cells in qualifiers.items()
-                        }
-                        for family, qualifiers in row.families.items()
-                    },
-                )
-            )
-            tally.add(tablet)
-        self.counter.record(OpKind.SCAN, rows=max(len(results), 1))
-        self._attribute_scan(tally, start_key)
-        return results
+        """Range scan over ``[start_key, end_key)``, charged per row returned.
+
+        Cold rows cost ``scan_row`` each; rows in blocks the block cache
+        holds warm cost ``cache_read_row`` and are recorded as
+        ``CACHE_READ`` instead of scan rows.  (Routes the range directly —
+        compiling a :class:`ScanPlan` is only for callers that inspect it.)
+        """
+        return self._public_rows(
+            self._scanner.execute_range(start_key, end_key, limit)
+        )
 
     def scan_keys(
         self, start_key: Optional[str] = None, end_key: Optional[str] = None
     ) -> List[str]:
         """Keys-only range scan (still charged per row)."""
-        keys = []
-        tally = _TabletTally()
-        for tablet, row_key, _ in self._tablets.scan(start_key, end_key):
-            keys.append(row_key)
-            tally.add(tablet)
-        self.counter.record(OpKind.SCAN, rows=max(len(keys), 1))
-        self._attribute_scan(tally, start_key)
-        return keys
-
-    def _attribute_scan(self, tally: _TabletTally, start_key: Optional[str]) -> None:
-        """Mirror one scan RPC onto the tablet ledgers.
-
-        Each tablet that contributed rows is charged one tablet-server scan
-        over its share; an empty scan still touches the tablet owning the
-        start of the range.
-        """
-        if tally:
-            tally.charge(self._tablets, OpKind.SCAN)
-            return
-        probe = self._tablets.locate(start_key) if start_key else self._tablets.tablets()[0]
-        probe.counter.record(OpKind.SCAN, rows=1)
+        return [
+            row_key
+            for _, row_key, _ in self._scanner.execute_range(start_key, end_key)
+        ]
 
     def count_range(
         self, start_key: Optional[str] = None, end_key: Optional[str] = None
@@ -553,7 +588,7 @@ class Table:
         moved = 0
         touched_rows = 0
         tally = _TabletTally()
-        for tablet, _, row in self._tablets.scan(None, None):
+        for tablet, row_key, row in self._tablets.scan(None, None):
             qualifiers = row.families.get(source_family)
             if not qualifiers:
                 continue
@@ -576,6 +611,7 @@ class Table:
             if row_touched:
                 touched_rows += 1
                 tally.add(tablet)
+                self.cache.invalidate_row(tablet.tablet_id, row_key)
         self.counter.record(OpKind.BATCH_WRITE, rows=max(touched_rows, 1))
         tally.charge(self._tablets, OpKind.BATCH_WRITE)
         return moved
@@ -615,6 +651,21 @@ class Table:
         self._tablets.reset_counters()
 
     # ------------------------------------------------------------------
+    # Block cache introspection (not charged: administrative)
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> List[TabletCacheStats]:
+        """Per-tablet block-cache hit/miss accounting."""
+        return self.cache.stats(self.name)
+
+    def cache_hit_rate(self) -> float:
+        """Overall block-cache hit rate of this table's scans."""
+        return self.cache.hit_rate()
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss tallies (resident blocks stay warm)."""
+        self.cache.reset_stats()
+
+    # ------------------------------------------------------------------
     # Introspection (not charged: administrative / test helpers)
     # ------------------------------------------------------------------
     def row_count(self) -> int:
@@ -646,3 +697,4 @@ class Table:
     def clear(self) -> None:
         """Drop every row (test helper, not charged)."""
         self._tablets.clear()
+        self.cache.clear()

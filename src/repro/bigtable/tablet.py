@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.bigtable.cost import CostModel, OpCounter
 from repro.bigtable.sorted_map import SortedMap
@@ -135,6 +135,11 @@ class TabletLocator:
         self._starts: List[str] = [OPEN_START]
         self.splits = 0
         self.merges = 0
+        #: Called with a tablet id whenever that tablet's row set changed
+        #: structurally (split or merge).  The table wires this to its block
+        #: cache: rows that moved tablets are no longer resident where the
+        #: cache thinks they are.
+        self.on_tablet_changed: Optional[Callable[[str], None]] = None
 
     def _new_tablet(self, start_key: str) -> Tablet:
         tablet = Tablet(
@@ -241,6 +246,9 @@ class TabletLocator:
             self._starts.insert(index + 1, mid_key)
             self.splits += 1
             split_any = True
+            if self.on_tablet_changed is not None:
+                self.on_tablet_changed(candidate.tablet_id)
+                self.on_tablet_changed(sibling.tablet_id)
             queue.extend((candidate, sibling))
         return split_any
 
@@ -267,6 +275,9 @@ class TabletLocator:
             del self._tablets[right_index]
             del self._starts[right_index]
             self.merges += 1
+            if self.on_tablet_changed is not None:
+                self.on_tablet_changed(left.tablet_id)
+                self.on_tablet_changed(right.tablet_id)
             return True
         return False
 

@@ -67,14 +67,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _mixed_outputs(sweep) -> list:
+    """Figure plus the per-tablet cache report captured from the sweep."""
+    return [sweep.figure, sweep.cache_report]
+
+
 def _run_figures_inline(names: List[str]) -> int:
     """Dispatch to the experiment harnesses without importing examples/."""
     from repro.experiments.fig09_schools import run_fig09a, run_fig09b, run_fig09c
     from repro.experiments.fig10_clustering import run_fig10a, run_fig10b
     from repro.experiments.fig11_cluster_frequency import run_fig11
     from repro.experiments.fig12_flag import run_fig12_density, run_fig12_range
-    from repro.experiments.fig13_qps import measure_speedup, run_fig13a
+    from repro.experiments.fig13_qps import (
+        measure_speedup,
+        run_fig13a,
+        run_fig13d_mixed,
+    )
     from repro.experiments.headline import run_headline
+    from repro.experiments.mixed import run_mixed_sweep
     from repro.experiments.scaleout import run_scaleout
 
     catalogue = {
@@ -97,6 +107,9 @@ def _run_figures_inline(names: List[str]) -> int:
         "fig13": lambda: [
             run_fig13a(object_counts=(5000, 20000), num_updates=3000),
             measure_speedup(num_objects=5000, num_updates=3000),
+            run_fig13d_mixed(
+                query_fractions=(0.0, 0.5, 1.0), num_objects=5000, num_requests=2000
+            ),
         ],
         "headline": lambda: [
             run_headline(num_objects=5000, num_updates=3000, shed_objects=400)
@@ -104,6 +117,13 @@ def _run_figures_inline(names: List[str]) -> int:
         "scaleout": lambda: [
             run_scaleout(server_counts=(1, 2, 5), num_objects=5000, num_updates=3000)
         ],
+        "mixed": lambda: _mixed_outputs(
+            run_mixed_sweep(
+                query_fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+                num_objects=5000,
+                num_requests=3000,
+            )
+        ),
     }
     requested = names or list(catalogue)
     unknown = [name for name in requested if name not in catalogue]
@@ -114,7 +134,9 @@ def _run_figures_inline(names: List[str]) -> int:
     for name in requested:
         print(f"=== {name} ===")
         for figure in catalogue[name]():
-            print(figure.to_table())
+            # Harnesses return FigureResults; console reports (per-tablet
+            # cache hit rates) come back as preformatted text.
+            print(figure.to_table() if hasattr(figure, "to_table") else figure)
     return 0
 
 
@@ -142,8 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
         "names",
         nargs="*",
         help=(
-            "figures to run (fig09 fig10 fig11 fig12 fig13 headline scaleout); "
-            "default: all"
+            "figures to run (fig09 fig10 fig11 fig12 fig13 headline scaleout "
+            "mixed); default: all"
         ),
     )
     figures.set_defaults(handler=lambda args: _run_figures_inline(args.names))

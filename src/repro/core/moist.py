@@ -16,18 +16,23 @@ archiver, and exposes the operations an LBS front-end server needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.archive.ppp import PPPArchiver
 from repro.bigtable.backend import ShardedBackend, StorageBackend
 from repro.bigtable.cost import CostModel
 from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.scan import BlockCacheOptions, TabletCacheStats
 from repro.bigtable.tablet import TabletOptions, TabletStats
 from repro.core.clustering import ClusteringReport, SchoolClusterer
 from repro.core.config import MoistConfig
 from repro.core.flag import FlagTuner
 from repro.core.history import HistoryQueryEngine
-from repro.core.nn_search import NearestNeighborSearcher, NNQueryStats
+from repro.core.nn_search import (
+    NearestNeighborSearcher,
+    NNQueryStats,
+    QueryBatchContext,
+)
 from repro.core.prediction import LinearPredictor, PredictedState, ViterbiSmoother
 from repro.core.region import RegionQueryStats, RegionSearcher
 from repro.core.update import UpdateOutcome, UpdateProcessor, UpdateResult, UpdateStats
@@ -64,10 +69,13 @@ class MoistIndexer:
         table_prefix: str = "",
         enable_flag: bool = True,
         tablet_options: Optional[TabletOptions] = None,
+        cache_options: Optional[BlockCacheOptions] = None,
     ) -> None:
         self.config = config or MoistConfig()
         self.emulator: StorageBackend = emulator or BigtableEmulator(
-            cost_model=cost_model, tablet_options=tablet_options
+            cost_model=cost_model,
+            tablet_options=tablet_options,
+            cache_options=cache_options,
         )
         self.location_table = LocationTable(
             self.emulator,
@@ -186,6 +194,31 @@ class MoistIndexer:
             at_time=at_time,
             use_flag=use_flag,
             stats=stats,
+        )
+
+    def nearest_neighbors_batch(
+        self,
+        queries: Sequence[object],
+        include_followers: bool = True,
+        at_time: Optional[float] = None,
+        use_flag: bool = True,
+        context: Optional[QueryBatchContext] = None,
+    ) -> List[List[NeighborResult]]:
+        """Execute a batch of NN queries with batch-scoped read sharing.
+
+        ``queries`` carry ``location``/``k``/``range_limit`` attributes
+        (:class:`repro.workload.queries.NNQuery` fits).  Results are in
+        request order and identical to per-request :meth:`nearest_neighbors`
+        calls; overlapping queries share cell scans and batch reads, so the
+        batch issues strictly fewer storage RPCs than sequential execution
+        whenever any two queries touch the same cells or leaders.
+        """
+        return self.searcher.query_many(
+            queries,
+            include_followers=include_followers,
+            at_time=at_time,
+            use_flag=use_flag,
+            context=context,
         )
 
     def objects_in_region(
@@ -396,3 +429,15 @@ class MoistIndexer:
         if isinstance(self.emulator, ShardedBackend):
             return self.emulator.hot_tablet_share()
         return 1.0
+
+    def cache_stats(self) -> List[TabletCacheStats]:
+        """Per-tablet block-cache hit/miss accounting (empty for backends
+        without a block cache)."""
+        stats = getattr(self.emulator, "block_cache_stats", None)
+        return stats() if callable(stats) else []
+
+    def cache_hit_rate(self) -> float:
+        """Overall block-cache hit rate of the backend's scans (0.0 for
+        backends without a block cache)."""
+        rate = getattr(self.emulator, "cache_hit_rate", None)
+        return rate() if callable(rate) else 0.0

@@ -7,11 +7,20 @@ object it contains, so the search stops as soon as the closest unexplored
 cell is farther than the current ``k``-th neighbour.
 
 Each NN cell spans a contiguous range of Spatial Index Table rows (storage
-cells), so fetching a cell's objects is one range scan.  Only leaders are
-stored in the table; when ``include_followers`` is set, the Affiliation Table
-is batch-read for the candidate leaders and follower locations are derived
-from the leader location plus the stored displacement (Section 3.4, step
-iii-iv).
+cells), so fetching a cell's objects is one key-range scan compiled to a
+:class:`~repro.bigtable.scan.ScanPlan` and executed tablet by tablet.  Only
+leaders are stored in the table; when ``include_followers`` is set, the
+Affiliation Table is batch-read for the candidate leaders and follower
+locations are derived from the leader location plus the stored displacement
+(Section 3.4, step iii-iv).
+
+Queries executed together can share their reads: a
+:class:`QueryBatchContext` memoises cell scans, Follower Info batch reads
+and (for predictive queries) Location Table batch reads across the batch.
+Queries are read-only, so sharing never changes a result — it only removes
+the repeat RPCs two overlapping queries would otherwise both issue, which
+is what makes the server's ``handle_query_batch`` strictly cheaper than
+sequential execution on overlapping workloads.
 """
 
 from __future__ import annotations
@@ -19,14 +28,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MoistConfig
 from repro.core.flag import FlagTuner
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
-from repro.model import NeighborResult, ObjectId
+from repro.model import LocationRecord, NeighborResult, ObjectId
 from repro.spatial.cell import CellId
 from repro.tables.affiliation_table import AffiliationTable
 from repro.tables.location_table import LocationTable
@@ -41,6 +50,25 @@ class NNQueryStats:
     leaders_scanned: int = 0
     followers_considered: int = 0
     nn_level: int = 0
+
+
+@dataclass
+class QueryBatchContext:
+    """Read-sharing scope for a batch of NN queries.
+
+    Everything memoised here is immutable for the duration of a read-only
+    batch, so two queries probing the same NN cell (or the same leaders'
+    followers) share one storage access instead of issuing it twice.  The
+    ``*_shared`` counters report how many RPCs the sharing saved.
+    """
+
+    cell_objects: Dict[CellId, Dict[ObjectId, Point]] = field(default_factory=dict)
+    followers: Dict[ObjectId, Dict[ObjectId, Vector]] = field(default_factory=dict)
+    latest_records: Dict[ObjectId, Optional[LocationRecord]] = field(
+        default_factory=dict
+    )
+    scans_shared: int = 0
+    rows_shared: int = 0
 
 
 class NearestNeighborSearcher:
@@ -70,6 +98,7 @@ class NearestNeighborSearcher:
         at_time: Optional[float] = None,
         use_flag: bool = True,
         stats: Optional[NNQueryStats] = None,
+        context: Optional[QueryBatchContext] = None,
     ) -> List[NeighborResult]:
         """Return up to ``k`` nearest objects around ``location``.
 
@@ -79,6 +108,8 @@ class NearestNeighborSearcher:
         configured default level.  ``range_limit`` bounds the search radius
         (the paper's "search range limit"); ``at_time`` enables the
         predictive variant, dead-reckoning leaders to the query time.
+        ``context`` shares cell scans and batch reads with the other
+        queries of one batch (see :class:`QueryBatchContext`).
         """
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
@@ -105,7 +136,9 @@ class NearestNeighborSearcher:
             if cell_distance > dist_max:
                 break
             stats.cells_visited += 1
-            for candidate in self._candidates_in_cell(cell, at_time, include_followers, stats):
+            for candidate in self._candidates_in_cell(
+                cell, at_time, include_followers, stats, context
+            ):
                 distance = candidate.location.distance_to(location)
                 if range_limit is not None and distance > range_limit:
                     continue
@@ -140,6 +173,43 @@ class NearestNeighborSearcher:
         results.sort(key=lambda item: (item.distance, item.object_id))
         return results
 
+    def query_many(
+        self,
+        queries: Sequence[object],
+        include_followers: bool = True,
+        at_time: Optional[float] = None,
+        use_flag: bool = True,
+        stats_list: Optional[List[NNQueryStats]] = None,
+        context: Optional[QueryBatchContext] = None,
+    ) -> List[List[NeighborResult]]:
+        """Execute several NN queries with batch-scoped read sharing.
+
+        ``queries`` are request objects carrying ``location``, ``k`` and
+        ``range_limit`` attributes (:class:`repro.workload.queries.NNQuery`
+        fits).  Results are returned in request order and are identical to
+        running :meth:`query` per request — the shared
+        :class:`QueryBatchContext` only dedupes the storage accesses, it
+        never changes what a query observes.
+        """
+        if context is None:
+            context = QueryBatchContext()
+        results: List[List[NeighborResult]] = []
+        for index, request in enumerate(queries):
+            stats = stats_list[index] if stats_list is not None else None
+            results.append(
+                self.query(
+                    request.location,
+                    request.k,
+                    range_limit=getattr(request, "range_limit", None),
+                    include_followers=include_followers,
+                    at_time=at_time,
+                    use_flag=use_flag,
+                    stats=stats,
+                    context=context,
+                )
+            )
+        return results
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -161,22 +231,99 @@ class NearestNeighborSearcher:
             return self.flag_tuner.best_level(location, now)
         return self.config.default_nn_level
 
+    def _scan_cell(
+        self, cell: CellId, context: Optional[QueryBatchContext]
+    ) -> Dict[ObjectId, Point]:
+        """Key-range scan of one NN cell's spatial-index rows, shared
+        across the batch when a context is present."""
+        if context is not None:
+            cached = context.cell_objects.get(cell)
+            if cached is not None:
+                context.scans_shared += 1
+                return cached
+        leaders = self.spatial_table.objects_in_cell(cell)
+        if context is not None:
+            context.cell_objects[cell] = leaders
+        return leaders
+
+    @staticmethod
+    def _shared_batch_read(object_ids, fetch, context, cache, absent):
+        """Batch-read ``object_ids`` through a batch-scoped memo.
+
+        ``fetch`` maps a list of ids to a dict of found rows; ids absent
+        from the store map to ``absent``.  With a context, only ids missing
+        from ``cache`` (the context dict backing this read kind) are
+        fetched and the saved rows are tallied on ``rows_shared``.  The
+        returned mapping always covers every requested id, in request
+        order — identical to an unshared fetch.
+        """
+        if context is None:
+            fetched = fetch(object_ids)
+            return {
+                object_id: fetched.get(object_id, absent)
+                for object_id in object_ids
+            }
+        missing = [object_id for object_id in object_ids if object_id not in cache]
+        if missing:
+            fetched = fetch(missing)
+            for object_id in missing:
+                cache[object_id] = fetched.get(object_id, absent)
+        context.rows_shared += len(object_ids) - len(missing)
+        return {object_id: cache[object_id] for object_id in object_ids}
+
+    def _latest_records(
+        self,
+        object_ids: List[ObjectId],
+        context: Optional[QueryBatchContext],
+    ) -> Dict[ObjectId, Optional[LocationRecord]]:
+        """Latest Location records of ``object_ids``, batch-read once per
+        batch (objects without a record map to ``None``)."""
+        return self._shared_batch_read(
+            object_ids,
+            self.location_table.batch_latest,
+            context,
+            context.latest_records if context is not None else None,
+            None,
+        )
+
+    def _followers_of(
+        self,
+        leader_ids: List[ObjectId],
+        context: Optional[QueryBatchContext],
+    ) -> Dict[ObjectId, Dict[ObjectId, Vector]]:
+        """Follower Info of ``leader_ids``, batch-read once per batch
+        (leaders without an affiliation row map to an empty dict; the
+        shared empty default is never mutated by readers)."""
+        return self._shared_batch_read(
+            leader_ids,
+            self.affiliation_table.batch_followers,
+            context,
+            context.followers if context is not None else None,
+            {},
+        )
+
     def _candidates_in_cell(
         self,
         cell: CellId,
         at_time: Optional[float],
         include_followers: bool,
         stats: NNQueryStats,
+        context: Optional[QueryBatchContext] = None,
     ) -> List[NeighborResult]:
-        """Leaders (and optionally their followers) located in ``cell``."""
-        leaders = self.spatial_table.objects_in_cell(cell)
+        """Leaders (and optionally their followers) located in ``cell``.
+
+        Every storage access is a key-range scan or a batch read — never a
+        per-row point read — and all of them share through ``context`` when
+        the query runs as part of a batch.
+        """
+        leaders = self._scan_cell(cell, context)
         stats.leaders_scanned += len(leaders)
         candidates: List[NeighborResult] = []
         leader_positions: Dict[ObjectId, Point] = {}
         if at_time is not None and leaders:
             # Predictive variant: dead-reckon each leader to the query time
             # from its latest Location record.
-            records = self.location_table.batch_latest(list(leaders))
+            records = self._latest_records(list(leaders), context)
             for object_id, stored in leaders.items():
                 record = records.get(object_id)
                 leader_positions[object_id] = (
@@ -195,7 +342,7 @@ class NearestNeighborSearcher:
                 )
             )
         if include_followers and leaders:
-            follower_info = self.affiliation_table.batch_followers(list(leaders))
+            follower_info = self._followers_of(list(leaders), context)
             for leader_id, followers in follower_info.items():
                 leader_position = leader_positions[leader_id]
                 for follower_id, displacement in followers.items():

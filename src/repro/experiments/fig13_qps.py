@@ -5,6 +5,9 @@
   updates/s at 1M objects).
 * 13(b) — update QPS over time with 5 servers sharing one BigTable.
 * 13(c) — update QPS over time with 10 servers.
+* 13(d) (extension) — mixed update/query throughput with the query
+  fraction swept 0→1 through the batched read and write paths (see
+  :mod:`repro.experiments.mixed`).
 
 The experiments run MOIST in its worst-case configuration (schools disabled,
 every object a leader) exactly as the paper does for its BigTable stress
@@ -131,6 +134,26 @@ def run_fig13b(**kwargs) -> FigureResult:
 def run_fig13c(**kwargs) -> FigureResult:
     """Figure 13(c): ten servers sharing one BigTable."""
     return run_fig13_multiserver(10, **kwargs)
+
+
+def run_fig13d_mixed(
+    query_fractions: Sequence[float] = (0.0, 0.5, 1.0),
+    num_objects: int = 20000,
+    num_requests: int = 5000,
+    seed: int = 59,
+) -> FigureResult:
+    """Figure 13 extension: mixed update/query QPS through both batched
+    paths, with the block-cache hit rate of the query side."""
+    from repro.experiments.mixed import run_mixed
+
+    result = run_mixed(
+        query_fractions=query_fractions,
+        num_objects=num_objects,
+        num_requests=num_requests,
+        seed=seed,
+    )
+    result.figure_id = "fig13d-mixed"
+    return result
 
 
 def measure_speedup(

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.bigtable.scan import TabletCacheStats
 from repro.bigtable.tablet import TabletStats
 from repro.errors import ReproError
 
@@ -141,6 +142,41 @@ def tablet_load_report(stats: Sequence[TabletStats]) -> str:
     lines.append(
         f"skew: hottest tablet serves {hot_share:.1%} of storage time "
         f"({len(stats)} tablets, max/mean imbalance {imbalance:.2f}x)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def cache_hit_report(stats: Sequence[TabletCacheStats]) -> str:
+    """Render per-tablet block-cache accounting as an aligned text table.
+
+    One row per tablet ever probed (table, tablet, block lookups, hits,
+    misses, hit rate) plus an overall summary line — the read-path
+    companion of :func:`tablet_load_report`, reported by the mixed
+    read/write experiment.
+    """
+    if not stats:
+        return "(no block-cache activity)\n"
+    header = ["table", "tablet", "lookups", "hits", "misses", "hit rate"]
+    rows: List[List[str]] = []
+    for entry in stats:
+        rows.append(
+            [
+                entry.table,
+                entry.tablet_id.rsplit("/", 1)[-1],
+                str(entry.lookups),
+                str(entry.hits),
+                str(entry.misses),
+                f"{entry.hit_rate:.1%}",
+            ]
+        )
+    lines = ["per-tablet block-cache accounting"]
+    lines.extend(_render_aligned(header, rows))
+    hits = sum(entry.hits for entry in stats)
+    lookups = sum(entry.lookups for entry in stats)
+    overall = hits / lookups if lookups > 0 else 0.0
+    lines.append(
+        f"overall: {hits}/{lookups} block lookups hit ({overall:.1%}) "
+        f"across {len(stats)} tablets"
     )
     return "\n".join(lines) + "\n"
 

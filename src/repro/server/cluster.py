@@ -28,10 +28,15 @@ class ServerCluster:
 
     * :meth:`submit_update` / :meth:`submit_nn_query` — classic round-robin
       over single requests;
-    * :meth:`submit_update_batch` — the batched path: messages are grouped
-      by the Location Table tablet their row lives in, each tablet is pinned
-      to one server (hash affinity, BigTable's tablet-server assignment),
-      and every group goes down the group-commit write path.
+    * :meth:`submit_update_batch` — the batched write path: messages are
+      grouped by the Location Table tablet their row lives in, each tablet
+      is pinned to one server (hash affinity, BigTable's tablet-server
+      assignment), and every group goes down the group-commit write path;
+    * :meth:`submit_query_batch` — the batched read path: queries are
+      grouped by the Spatial Index tablet owning their location's storage
+      row, pinned to that tablet's server and executed with batch-scoped
+      read sharing (``handle_query_batch``), so overlapping queries issue
+      their cell scans once.
 
     Contention is tablet-aware when the backend shards: the storage-time
     inflation scales with the hottest tablet's share of total load instead
@@ -117,6 +122,53 @@ class ServerCluster:
             server = self.server_for_tablet(tablet_id)
             processed += server.handle_update_batch(groups[tablet_id])
         return processed
+
+    def submit_query_batch(
+        self,
+        queries: Sequence[object],
+        at_time: Optional[float] = None,
+        use_flag: bool = True,
+        include_followers: bool = True,
+    ) -> List[List[NeighborResult]]:
+        """Route a batch of NN queries by spatial-index tablet affinity.
+
+        Queries are partitioned by the Spatial Index tablet that owns their
+        location's storage row; each partition runs on that tablet's pinned
+        server through :meth:`FrontendServer.handle_query_batch`.  Falls
+        back to one round-robin batch when the backend does not shard.
+        Results are returned in request order and are identical to
+        sequential :meth:`submit_nn_query` calls.  ``queries`` carry
+        ``location``, ``k`` and ``range_limit`` attributes
+        (:class:`repro.workload.queries.NNQuery` fits).
+        """
+        if not queries:
+            return []
+        spatial = self.indexer.spatial_table
+        backing = getattr(spatial, "table", None)
+        if backing is None or not hasattr(backing, "tablet_for_key"):
+            return self._pick_server().handle_query_batch(
+                queries,
+                at_time=at_time,
+                use_flag=use_flag,
+                include_followers=include_followers,
+            )
+        groups: Dict[str, List[int]] = {}
+        for index, query in enumerate(queries):
+            tablet = spatial.tablet_for_location(query.location)
+            groups.setdefault(tablet.tablet_id, []).append(index)
+        results: List[Optional[List[NeighborResult]]] = [None] * len(queries)
+        for tablet_id in sorted(groups):
+            indices = groups[tablet_id]
+            server = self.server_for_tablet(tablet_id)
+            batch_results = server.handle_query_batch(
+                [queries[index] for index in indices],
+                at_time=at_time,
+                use_flag=use_flag,
+                include_followers=include_followers,
+            )
+            for index, result in zip(indices, batch_results):
+                results[index] = result
+        return results  # type: ignore[return-value]
 
     def submit_nn_query(
         self,

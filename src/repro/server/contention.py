@@ -11,13 +11,22 @@ The factor applied to a request's storage time is::
 
     1 + alpha * (num_servers - 1) * hot_share
 
-where ``hot_share`` is the fraction of total storage time served by the
-hottest tablet (from the backend's per-tablet ledgers).  With one monolithic
-tablet ``hot_share == 1`` and the formula degrades to the seed's global
-model; with load spread over many tablets it approaches 1/num_tablets and
+where ``hot_share`` measures how concentrated load is on the hottest
+tablet, from the backend's per-tablet ledgers.  With one monolithic tablet
+``hot_share == 1`` and the formula degrades to the seed's global model;
+with load spread over many tablets it approaches 1/num_tablets and
 contention all but vanishes — which is exactly the scale-out story the
 paper's Section 4.3.3 tells ("MOIST has very little communication overhead
 with the increase in the number of machines").
+
+Reads and writes contribute symmetrically: backends exposing
+:meth:`~repro.bigtable.backend.ShardedBackend.tablet_skew` report the
+hottest *read* tablet's share of read time and the hottest *write*
+tablet's share of write time separately, blended by each class's share of
+traffic.  A query storm piling onto one spatial-index tablet therefore
+inflates contention exactly as the equivalent write front on a location
+tablet would — the skew no longer hides inside a combined total where a
+balanced write load could dilute it.
 """
 
 from __future__ import annotations
@@ -54,7 +63,13 @@ class TabletContentionModel:
                 "tablet-aware contention needs a backend with per-tablet "
                 "accounting (the ShardedBackend protocol)"
             )
-        self._hot_share = backend.hot_tablet_share
+        skew = getattr(backend, "tablet_skew", None)
+        if callable(skew):
+            # Symmetric read/write skew: hottest read tablet and hottest
+            # write tablet each weighted by their class's traffic share.
+            self._hot_share = lambda: skew().blended_share
+        else:
+            self._hot_share = backend.hot_tablet_share
         self.num_servers = num_servers
         self.alpha = alpha
         self.refresh_every = refresh_every

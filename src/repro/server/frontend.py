@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.moist import MoistIndexer
-from repro.core.nn_search import NNQueryStats
+from repro.core.nn_search import NNQueryStats, QueryBatchContext
 from repro.errors import ConfigurationError
 from repro.core.update import UpdateResult
 from repro.geometry.point import Point
@@ -42,7 +42,10 @@ class FrontendServer:
     #: present.
     contention: Optional[TabletContentionModel] = None
 
-    busy_seconds: float = field(default=0.0, init=False)
+    #: Busy time split by request class, so read/write asymmetry is visible
+    #: in reports instead of blending into one mean.
+    update_busy_seconds: float = field(default=0.0, init=False)
+    query_busy_seconds: float = field(default=0.0, init=False)
     updates_handled: int = field(default=0, init=False)
     queries_handled: int = field(default=0, init=False)
 
@@ -68,7 +71,7 @@ class FrontendServer:
         before = counter.simulated_seconds
         result = self.indexer.update(message)
         storage = counter.simulated_seconds - before
-        self.busy_seconds += (
+        self.update_busy_seconds += (
             self.request_overhead_s + storage * self.current_contention_factor()
         )
         self.updates_handled += 1
@@ -88,7 +91,7 @@ class FrontendServer:
         before = counter.simulated_seconds
         self.indexer.update_many(list(messages))
         storage = counter.simulated_seconds - before
-        self.busy_seconds += (
+        self.update_busy_seconds += (
             len(messages) * self.request_overhead_s
             + storage * self.current_contention_factor()
         )
@@ -116,28 +119,85 @@ class FrontendServer:
             stats=stats,
         )
         storage = counter.simulated_seconds - before
-        self.busy_seconds += (
+        self.query_busy_seconds += (
             self.request_overhead_s + storage * self.current_contention_factor()
         )
         self.queries_handled += 1
+        return results
+
+    def handle_query_batch(
+        self,
+        queries: Sequence[object],
+        at_time: Optional[float] = None,
+        use_flag: bool = True,
+        include_followers: bool = True,
+        context: Optional[QueryBatchContext] = None,
+    ) -> List[List[NeighborResult]]:
+        """Process a batch of NN queries through the shared-read path.
+
+        The server-side counterpart of :meth:`handle_update_batch`: each
+        query was one client RPC and pays the per-request overhead, but the
+        queries execute with one :class:`QueryBatchContext`, so overlapping
+        cell scans and follower reads are issued once for the whole batch.
+        Results come back in request order, identical to sequential
+        :meth:`handle_nn_query` calls.  ``queries`` carry ``location``,
+        ``k`` and ``range_limit`` attributes
+        (:class:`repro.workload.queries.NNQuery` fits).
+        """
+        if not queries:
+            return []
+        counter = self.indexer.emulator.counter
+        before = counter.simulated_seconds
+        results = self.indexer.nearest_neighbors_batch(
+            queries,
+            include_followers=include_followers,
+            at_time=at_time,
+            use_flag=use_flag,
+            context=context,
+        )
+        storage = counter.simulated_seconds - before
+        self.query_busy_seconds += (
+            len(queries) * self.request_overhead_s
+            + storage * self.current_contention_factor()
+        )
+        self.queries_handled += len(queries)
         return results
 
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     @property
+    def busy_seconds(self) -> float:
+        """Total simulated busy time across both request classes."""
+        return self.update_busy_seconds + self.query_busy_seconds
+
+    @property
     def requests_handled(self) -> int:
         """Total requests (updates + queries) handled so far."""
         return self.updates_handled + self.queries_handled
 
     def mean_service_time(self) -> float:
-        """Average simulated service time per request."""
+        """Average simulated service time per request (both classes
+        blended; see the per-class means for the read/write asymmetry)."""
         if self.requests_handled == 0:
             return 0.0
         return self.busy_seconds / self.requests_handled
 
+    def mean_update_service_time(self) -> float:
+        """Average simulated service time per update request."""
+        if self.updates_handled == 0:
+            return 0.0
+        return self.update_busy_seconds / self.updates_handled
+
+    def mean_query_service_time(self) -> float:
+        """Average simulated service time per NN query."""
+        if self.queries_handled == 0:
+            return 0.0
+        return self.query_busy_seconds / self.queries_handled
+
     def reset_metrics(self) -> None:
         """Zero the per-server accounting (between experiment intervals)."""
-        self.busy_seconds = 0.0
+        self.update_busy_seconds = 0.0
+        self.query_busy_seconds = 0.0
         self.updates_handled = 0
         self.queries_handled = 0

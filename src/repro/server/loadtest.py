@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.model import UpdateMessage
@@ -37,6 +37,10 @@ class LoadTestResult:
     #: Fraction of storage time served by the hottest tablet (1.0 for
     #: non-sharding backends).
     hot_tablet_share: float = 1.0
+    #: Block-cache hit rate of the backend's scans over the test (0.0 for
+    #: backends without a block cache, and for write-only tests that never
+    #: scanned).
+    cache_hit_rate: float = 0.0
 
     @property
     def mean_latency_s(self) -> float:
@@ -44,6 +48,57 @@ class LoadTestResult:
         if self.total_requests == 0:
             return 0.0
         return self.simulated_seconds / self.total_requests
+
+
+class _TimelineBucket:
+    """Accumulates one bucket of a QPS timeline and emits points.
+
+    Shared by every load-test loop: callers report completed/failed
+    requests as they happen and count *units* (requests, batches or mixed
+    rounds — whatever the loop's bucket resolution is) toward the flush
+    threshold; each flush converts the bucket into one
+    :class:`TimelinePoint` using the simulated makespan growth since the
+    previous flush.
+    """
+
+    __slots__ = ("threshold", "points", "_start_makespan", "_completed", "_failed", "_units")
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.points: List[TimelinePoint] = []
+        self._start_makespan = 0.0
+        self._completed = 0
+        self._failed = 0
+        self._units = 0
+
+    def add(self, completed: int, failed: int) -> None:
+        self._completed += completed
+        self._failed += failed
+
+    def advance(self, makespan_fn: Callable[[], float]) -> None:
+        """Count one unit toward the threshold, flushing when reached."""
+        self._units += 1
+        if self._units >= self.threshold:
+            self._flush(makespan_fn())
+
+    def finish(self, makespan: float) -> None:
+        """Flush the trailing partial bucket (if it completed anything)."""
+        if self._completed > 0:
+            self._flush(makespan)
+
+    def _flush(self, makespan: float) -> None:
+        elapsed = max(makespan - self._start_makespan, 1e-12)
+        self.points.append(
+            TimelinePoint(
+                time_s=makespan,
+                qps=self._completed / elapsed,
+                failed_qps=self._failed / elapsed,
+            )
+        )
+        self._start_makespan = makespan
+        self._completed = 0
+        self._failed = 0
+        self._units = 0
 
 
 class LoadTest:
@@ -63,6 +118,23 @@ class LoadTest:
         self.failure_probability = failure_probability
         self.rng = random.Random(seed)
 
+    def _admit(self, items: Sequence) -> Tuple[list, int]:
+        """Split one request slice into ``(admitted, dropped)``.
+
+        Dropped requests model client RPCs failing before reaching a
+        server (overload/timeouts in the paper's plots): they consume no
+        simulated time and are excluded from the QPS numerator, matching
+        the dashed series of Figures 13b/13c.
+        """
+        admitted = []
+        dropped = 0
+        for item in items:
+            if self.failure_probability and self.rng.random() < self.failure_probability:
+                dropped += 1
+            else:
+                admitted.append(item)
+        return admitted, dropped
+
     # ------------------------------------------------------------------
     # Update load tests
     # ------------------------------------------------------------------
@@ -80,48 +152,23 @@ class LoadTest:
         if bucket_requests <= 0:
             raise ConfigurationError("bucket_requests must be positive")
         self.cluster.reset_metrics()
-        timeline: List[TimelinePoint] = []
+        bucket = _TimelineBucket(bucket_requests)
         failed = 0
         completed = 0
-        bucket_start_makespan = 0.0
-        bucket_completed = 0
-        bucket_failed = 0
         for message in messages:
+            # Failures are checked per message (not pre-filtered) so each
+            # one lands in the timeline bucket where it occurred.
             if self.failure_probability and self.rng.random() < self.failure_probability:
-                # The RPC failed before reaching a server (overload/timeouts
-                # in the paper's plots); it consumes no simulated time and is
-                # excluded from the QPS numerator, matching the dashed series
-                # of Figures 13b/13c.
                 failed += 1
-                bucket_failed += 1
+                bucket.add(0, 1)
                 continue
             self.cluster.submit_update(message)
             completed += 1
-            bucket_completed += 1
-            if bucket_completed >= bucket_requests:
-                makespan = self.cluster.makespan_seconds()
-                elapsed = max(makespan - bucket_start_makespan, 1e-12)
-                timeline.append(
-                    TimelinePoint(
-                        time_s=makespan,
-                        qps=bucket_completed / elapsed,
-                        failed_qps=bucket_failed / elapsed,
-                    )
-                )
-                bucket_start_makespan = makespan
-                bucket_completed = 0
-                bucket_failed = 0
+            bucket.add(1, 0)
+            bucket.advance(self.cluster.makespan_seconds)
         makespan = self.cluster.makespan_seconds()
-        if bucket_completed > 0:
-            elapsed = max(makespan - bucket_start_makespan, 1e-12)
-            timeline.append(
-                TimelinePoint(
-                    time_s=makespan,
-                    qps=bucket_completed / elapsed,
-                    failed_qps=bucket_failed / elapsed,
-                )
-            )
-        return self._build_result(completed, failed, makespan, timeline)
+        bucket.finish(makespan)
+        return self._build_result(completed, failed, makespan, bucket.points)
 
     def run_update_batches(
         self,
@@ -142,52 +189,66 @@ class LoadTest:
         if bucket_batches <= 0:
             raise ConfigurationError("bucket_batches must be positive")
         self.cluster.reset_metrics()
-        timeline: List[TimelinePoint] = []
+        bucket = _TimelineBucket(bucket_batches)
         failed = 0
         completed = 0
-        bucket_start_makespan = 0.0
-        bucket_completed = 0
-        bucket_failed = 0
-        batches_in_bucket = 0
         for start in range(0, len(messages), batch_size):
-            batch = []
-            for message in messages[start : start + batch_size]:
-                if (
-                    self.failure_probability
-                    and self.rng.random() < self.failure_probability
-                ):
-                    failed += 1
-                    bucket_failed += 1
-                    continue
-                batch.append(message)
+            batch, dropped = self._admit(messages[start : start + batch_size])
+            failed += dropped
             completed += self.cluster.submit_update_batch(batch)
-            bucket_completed += len(batch)
-            batches_in_bucket += 1
-            if batches_in_bucket >= bucket_batches:
-                makespan = self.cluster.makespan_seconds()
-                elapsed = max(makespan - bucket_start_makespan, 1e-12)
-                timeline.append(
-                    TimelinePoint(
-                        time_s=makespan,
-                        qps=bucket_completed / elapsed,
-                        failed_qps=bucket_failed / elapsed,
-                    )
-                )
-                bucket_start_makespan = makespan
-                bucket_completed = 0
-                bucket_failed = 0
-                batches_in_bucket = 0
+            bucket.add(len(batch), dropped)
+            bucket.advance(self.cluster.makespan_seconds)
         makespan = self.cluster.makespan_seconds()
-        if bucket_completed > 0:
-            elapsed = max(makespan - bucket_start_makespan, 1e-12)
-            timeline.append(
-                TimelinePoint(
-                    time_s=makespan,
-                    qps=bucket_completed / elapsed,
-                    failed_qps=bucket_failed / elapsed,
-                )
+        bucket.finish(makespan)
+        return self._build_result(completed, failed, makespan, bucket.points)
+
+    def run_mixed_batches(
+        self,
+        messages: Sequence[UpdateMessage],
+        queries: Sequence[object],
+        batch_size: int = 256,
+        bucket_batches: int = 4,
+    ) -> LoadTestResult:
+        """Drive interleaved update and query batches through the cluster.
+
+        Each round sends one update batch through the tablet-routed
+        group-commit path and one query batch through the tablet-pinned
+        shared-read path, until both streams are exhausted — the read/write
+        mix is therefore set by the relative lengths of ``messages`` and
+        ``queries``.  ``queries`` carry ``location``/``k``/``range_limit``
+        attributes (:class:`repro.workload.queries.NNQuery` fits).  Client
+        RPC failures hit updates and queries alike.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if bucket_batches <= 0:
+            raise ConfigurationError("bucket_batches must be positive")
+        self.cluster.reset_metrics()
+        bucket = _TimelineBucket(bucket_batches)
+        failed = 0
+        completed = 0
+        update_offset = 0
+        query_offset = 0
+        while update_offset < len(messages) or query_offset < len(queries):
+            update_batch, dropped_updates = self._admit(
+                messages[update_offset : update_offset + batch_size]
             )
-        return self._build_result(completed, failed, makespan, timeline)
+            update_offset += batch_size
+            query_batch, dropped_queries = self._admit(
+                queries[query_offset : query_offset + batch_size]
+            )
+            query_offset += batch_size
+            failed += dropped_updates + dropped_queries
+            completed += self.cluster.submit_update_batch(update_batch)
+            completed += len(self.cluster.submit_query_batch(query_batch))
+            bucket.add(
+                len(update_batch) + len(query_batch),
+                dropped_updates + dropped_queries,
+            )
+            bucket.advance(self.cluster.makespan_seconds)
+        makespan = self.cluster.makespan_seconds()
+        bucket.finish(makespan)
+        return self._build_result(completed, failed, makespan, bucket.points)
 
     def _build_result(
         self,
@@ -212,6 +273,7 @@ class LoadTest:
             timeline=timeline,
             tablet_count=indexer.tablet_count(),
             hot_tablet_share=indexer.hot_tablet_share(),
+            cache_hit_rate=indexer.cache_hit_rate(),
         )
 
     def run_client_bursts(

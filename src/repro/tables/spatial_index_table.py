@@ -12,7 +12,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigtable.backend import StorageBackend
+from repro.bigtable.scan import ScanPlan
 from repro.bigtable.table import ColumnFamily, Table
+from repro.bigtable.tablet import Tablet
 from repro.errors import SchemaError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
@@ -60,6 +62,22 @@ class SpatialIndexTable:
     def row_key_for(self, location: Point) -> str:
         """Row key of the storage-level cell containing ``location``."""
         return self.cell_for(location).key()
+
+    def scan_plan_for_cell(self, cell: CellId) -> ScanPlan:
+        """Compile the key-range scan a probe of ``cell`` will execute.
+
+        Routing only — nothing is charged until the plan runs.
+        """
+        start, end = cell.key_range()
+        return self._table.plan_scan(start, end)
+
+    def tablet_for_location(self, location: Point) -> Tablet:
+        """The spatial-index tablet owning ``location``'s storage row.
+
+        The server layer pins query batches to the front-end that owns
+        this tablet (``ServerCluster.submit_query_batch``).
+        """
+        return self._table.tablet_for_key(self.row_key_for(location))
 
     # ------------------------------------------------------------------
     # Mutations
@@ -134,6 +152,8 @@ class SpatialIndexTable:
         ``cell`` may be at the storage level (single row) or coarser (range
         scan over the cell's contiguous key range) — the access path behind
         both NN cells (Section 3.4.1) and clustering cells (Section 3.3.2).
+        The key-range scan executes through the tablet scanner, so repeated
+        probes of a quiet cell are priced through the block cache.
         """
         start, end = cell.key_range()
         rows = self._table.scan(start, end)

@@ -1,0 +1,201 @@
+"""Tests for scan plans, the scanner and the tablet-server block cache."""
+
+import pytest
+
+from repro.bigtable.cost import OpKind
+from repro.bigtable.scan import BlockCache, BlockCacheOptions
+from repro.bigtable.table import ColumnFamily, Table
+from repro.bigtable.tablet import TabletOptions
+from repro.errors import ConfigurationError
+
+
+def make_table(split_threshold=512, cache_options=None):
+    return Table(
+        "scan_test",
+        [ColumnFamily("mem", in_memory=True, max_versions=4)],
+        options=TabletOptions(split_threshold=split_threshold, merge_threshold=4),
+        cache_options=cache_options,
+    )
+
+
+def fill(table, count, width=4):
+    for index in range(count):
+        table.write(f"{index:0{width}d}", "mem", "q", index, 0.0)
+
+
+class TestBlockCache:
+    def test_invalid_options(self):
+        with pytest.raises(ConfigurationError):
+            BlockCacheOptions(capacity_blocks=0)
+        with pytest.raises(ConfigurationError):
+            BlockCacheOptions(block_prefix_len=0)
+
+    def test_probe_miss_then_hit(self):
+        cache = BlockCache(BlockCacheOptions(block_prefix_len=2))
+        assert cache.probe("t1", "ab") is False
+        assert cache.probe("t1", "ab") is True
+        assert cache.hit_rate() == 0.5
+
+    def test_lru_eviction(self):
+        cache = BlockCache(BlockCacheOptions(capacity_blocks=2, block_prefix_len=2))
+        cache.probe("t1", "aa")
+        cache.probe("t1", "bb")
+        cache.probe("t1", "aa")  # bump aa; bb is now LRU
+        cache.probe("t1", "cc")  # evicts bb
+        assert cache.probe("t1", "aa") is True
+        assert cache.probe("t1", "bb") is False
+
+    def test_invalidate_row_evicts_block(self):
+        cache = BlockCache(BlockCacheOptions(block_prefix_len=2))
+        cache.probe("t1", "ab")
+        cache.invalidate_row("t1", "abcd")
+        assert cache.probe("t1", "ab") is False
+
+    def test_invalidate_tablet_evicts_all_its_blocks(self):
+        cache = BlockCache(BlockCacheOptions(block_prefix_len=2))
+        cache.probe("t1", "aa")
+        cache.probe("t2", "aa")
+        cache.invalidate_tablet("t1")
+        assert cache.probe("t1", "aa") is False
+        assert cache.probe("t2", "aa") is True
+
+    def test_stats_per_tablet(self):
+        cache = BlockCache(BlockCacheOptions(block_prefix_len=2))
+        cache.probe("t1", "aa")
+        cache.probe("t1", "aa")
+        cache.probe("t2", "bb")
+        stats = {entry.tablet_id: entry for entry in cache.stats("tbl")}
+        assert stats["t1"].hits == 1 and stats["t1"].misses == 1
+        assert stats["t2"].hits == 0 and stats["t2"].misses == 1
+        assert stats["t1"].hit_rate == 0.5
+
+    def test_disabled_cache_never_hits(self):
+        cache = BlockCache(BlockCacheOptions(enabled=False))
+        assert cache.probe("t1", "aa") is False
+        assert cache.probe("t1", "aa") is False
+        assert cache.hit_rate() == 0.0
+
+
+class TestScanPlan:
+    def test_plan_covers_intersecting_tablets(self):
+        table = make_table(split_threshold=8)
+        fill(table, 40)
+        assert table.tablet_count() > 1
+        plan = table.plan_scan(None, None)
+        assert plan.tablet_ids() == [t.tablet_id for t in table.tablets()]
+        narrow = table.plan_scan("0000", "0002")
+        assert len(narrow.segments) == 1
+
+    def test_execute_plan_matches_scan(self):
+        table = make_table(split_threshold=8)
+        fill(table, 40)
+        plan = table.plan_scan("0005", "0015")
+        rows = table.execute_plan(plan)
+        assert [key for key, _ in rows] == [f"{i:04d}" for i in range(5, 15)]
+
+
+class TestScannerCharging:
+    def test_cold_scan_charges_scan_rows(self):
+        table = make_table()
+        fill(table, 10)
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        assert delta.counts.get(OpKind.SCAN) == 1
+        assert delta.rows.get(OpKind.SCAN) == 10
+        assert not delta.counts.get(OpKind.CACHE_READ)
+
+    def test_warm_scan_is_cheaper_and_records_cache_reads(self):
+        table = make_table()
+        fill(table, 64)
+        before = table.counter.snapshot()
+        table.scan()
+        cold = table.counter.snapshot()
+        table.scan()
+        warm = table.counter.snapshot()
+        cold_cost = cold.delta(before).simulated_seconds
+        warm_delta = warm.delta(cold)
+        assert warm_delta.simulated_seconds < cold_cost
+        assert warm_delta.rows.get(OpKind.CACHE_READ) == 64
+        assert warm_delta.rows.get(OpKind.SCAN, 0) == 0
+
+    def test_write_invalidates_block(self):
+        table = make_table()
+        fill(table, 4, width=4)  # all rows share the 6-char block prefix "000"...
+        table.scan()
+        table.write("0001", "mem", "q", 99, 1.0)
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        # The dirtied block is cold again: its rows are scan rows, not cache reads.
+        assert delta.rows.get(OpKind.SCAN, 0) > 0
+
+    def test_hit_rate_monotonically_warms(self):
+        table = make_table()
+        fill(table, 32)
+        rates = []
+        for _ in range(4):
+            table.scan()
+            rates.append(table.cache_hit_rate())
+        assert rates == sorted(rates)
+        assert rates[-1] > 0.5
+
+    def test_storage_rpc_count_excludes_cache_reads(self):
+        table = make_table()
+        fill(table, 16)
+        writes = table.counter.storage_rpc_count()
+        table.scan()
+        table.scan()
+        assert table.counter.storage_rpc_count() == writes + 2
+        assert table.counter.count(OpKind.CACHE_READ) >= 1
+        assert table.counter.total_calls() > table.counter.storage_rpc_count()
+
+    def test_empty_scan_attributes_to_owning_tablet(self):
+        table = make_table(split_threshold=8)
+        fill(table, 40)
+        table.reset_tablet_counters()
+        last = table.tablets()[-1]
+        # A probe of a key range beyond every stored row yields no rows but
+        # must still show up on the owning tablet's ledger.
+        rows = table.scan("9000", "9999")
+        assert rows == []
+        assert last.counter.rows_touched(OpKind.SCAN) == 1
+        assert table.tablets()[0].counter.total_calls() == 0
+
+    def test_warm_scan_still_attributed_to_tablet_ledger(self):
+        table = make_table()
+        fill(table, 16)
+        table.scan()
+        table.reset_tablet_counters()
+        table.scan()  # fully warm: every row a cache read
+        tablet = table.tablets()[0]
+        # The tablet served the scan RPC even though the cache covered every
+        # row — its ledger must keep growing or read skew fades as the
+        # cache warms.
+        assert tablet.counter.count(OpKind.SCAN) == 1
+        assert tablet.counter.rows_touched(OpKind.CACHE_READ) == 16
+        assert tablet.counter.read_seconds > 0
+
+    def test_split_invalidates_moved_rows(self):
+        table = make_table(split_threshold=8)
+        fill(table, 8)
+        table.scan()
+        assert len(table.cache) > 0
+        fill(table, 9)  # ninth row triggers a split; both halves evict
+        assert table.tablet_count() == 2
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        assert delta.rows.get(OpKind.SCAN, 0) == 9
+
+    def test_reset_cache_stats_keeps_blocks_warm(self):
+        table = make_table()
+        fill(table, 16)
+        table.scan()
+        table.reset_cache_stats()
+        assert table.cache_hit_rate() == 0.0
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        assert delta.rows.get(OpKind.CACHE_READ) == 16
+        assert table.cache_hit_rate() == 1.0
