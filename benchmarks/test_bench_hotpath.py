@@ -1,0 +1,160 @@
+"""Regression guards for the PR 3 hot-path optimisations.
+
+Two layers, from machine-independent to machine-dependent:
+
+1. **Memtable vs insort reference** — bulk inserts through the LSM-style
+   :class:`~repro.bigtable.sorted_map.SortedMap` must not be slower than the
+   seed's eager ``insort`` strategy on the same key stream.  This is a
+   relative in-process comparison, so it holds on any machine and fails if
+   someone reintroduces O(n) work per insert.
+
+2. **Throughput floor vs committed baseline** — the quick update workload
+   must reach a documented fraction of the reference machine's throughput
+   (``benchmarks/baseline_hotpath.json``), after *calibrating* for the
+   current machine: the baseline records how long a fixed pure-Python
+   calibration loop took on the reference box, the guard re-times the same
+   loop here and scales the floor by the ratio.  A slow CI runner therefore
+   gets a proportionally lower floor instead of a spurious red build, while
+   a genuine hot-path regression still trips the guard on any machine.  The
+   remaining tolerance factor absorbs scheduling noise only.  The
+   workload's ``storage_rpc_count`` must match the baseline *exactly* —
+   wall-clock optimisations must never move simulated storage costs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from bisect import insort
+from pathlib import Path
+
+from repro.bigtable.sorted_map import SortedMap
+from repro.experiments.bench import run_workload
+
+from conftest import run_once
+
+BASELINE_PATH = Path(__file__).parent / "baseline_hotpath.json"
+
+NUM_KEYS = 30000
+REPEATS = 3
+
+
+class _InsortMap:
+    """The seed's eager strategy: keep the key list sorted on every insert."""
+
+    def __init__(self) -> None:
+        self._data = {}
+        self._keys = []
+
+    def set(self, key, value) -> None:
+        if key not in self._data:
+            insort(self._keys, key)
+        self._data[key] = value
+
+    def scan_all(self):
+        return [(key, self._data[key]) for key in self._keys]
+
+
+def _keys(seed: int = 31, count: int = NUM_KEYS):
+    rng = random.Random(seed)
+    return [f"{rng.randrange(1 << 48):012x}" for _ in range(count)]
+
+
+def _calibration_seconds() -> float:
+    """Interpreter-speed probe: best-of-N timing of a fixed pure-Python
+    dict/list workload (the same primitives the update path exercises).
+
+    The committed baseline stores this number for the reference machine;
+    the ratio between there and here rescales the throughput floor.
+    """
+    keys = _keys(seed=7, count=8000)
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        data = {}
+        order = []
+        for key in keys:
+            if key not in data:
+                order.append(key)
+            data[key] = key
+        order.sort()
+        checksum = 0
+        for key in order:
+            checksum += len(data[key])
+        best = min(best, time.perf_counter() - start)
+    assert checksum > 0
+    return best
+
+
+def _time_inserts(factory, keys) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        store = factory()
+        start = time.perf_counter()
+        for key in keys:
+            store.set(key, key)
+        # Force the ordered view so the memtable pays its merge inside the
+        # timed section — the comparison covers insert + first scan.
+        if isinstance(store, SortedMap):
+            list(store.scan())
+        else:
+            store.scan_all()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_memtable_not_slower_than_insort(benchmark):
+    keys = _keys()
+
+    def compare():
+        memtable = _time_inserts(SortedMap, keys)
+        insort_ref = _time_inserts(_InsortMap, keys)
+        return {"memtable_s": memtable, "insort_s": insort_ref}
+
+    outcome = run_once(benchmark, compare)
+    print(
+        f"\n{NUM_KEYS} inserts+scan: memtable {outcome['memtable_s']*1e3:.1f} ms, "
+        f"insort reference {outcome['insort_s']*1e3:.1f} ms "
+        f"({outcome['insort_s']/outcome['memtable_s']:.1f}x)"
+    )
+    # 10% tolerance absorbs wall-clock noise; any real regression to eager
+    # per-insert sorting costs far more than that at this size.
+    assert outcome["memtable_s"] <= outcome["insort_s"] * 1.10
+
+
+def test_bench_update_throughput_vs_committed_baseline(benchmark):
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    def measure():
+        calibration = _calibration_seconds()
+        result = run_workload(
+            baseline["workload"],
+            0.0,
+            num_objects=baseline["num_objects"],
+            num_requests=baseline["num_requests"],
+            repeats=3,
+        )
+        return calibration, result
+
+    calibration, result = run_once(benchmark, measure)
+    # How much slower this machine runs the calibration loop than the
+    # reference box did; >1 on slower machines, scales the floor down.
+    machine_slowdown = max(calibration / baseline["calibration_seconds"], 1e-9)
+    floor = (
+        baseline["ops_per_sec"] / machine_slowdown * baseline["noise_tolerance"]
+    )
+    print(
+        f"\nupdate throughput: {result.ops_per_sec:.0f} ops/s "
+        f"(committed baseline {baseline['ops_per_sec']:.0f}, machine "
+        f"slowdown {machine_slowdown:.2f}x, calibrated floor {floor:.0f})"
+    )
+    # Simulated storage work is machine-independent: it must match exactly.
+    assert result.storage_rpc_count == baseline["storage_rpc_count"]
+    assert result.ops_per_sec >= floor, (
+        f"update throughput {result.ops_per_sec:.0f} ops/s dropped below the "
+        f"calibrated floor {floor:.0f} (committed baseline "
+        f"{baseline['ops_per_sec']:.0f} ops/s at calibration "
+        f"{baseline['calibration_seconds']*1e3:.2f} ms; this machine "
+        f"{calibration*1e3:.2f} ms)"
+    )

@@ -36,6 +36,12 @@ class OpKind(enum.Enum):
     #: cache read rode along with.
     CACHE_READ = "cache_read"
 
+    # Members are singletons, so identity hashing is correct — and C-level,
+    # unlike Enum's default name-based ``__hash__``.  Every counter update
+    # hashes an OpKind twice; this is one of the hottest lines of the
+    # emulator.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -80,26 +86,42 @@ class CostModel:
                 raise ConfigurationError(f"cost model field {name} must be >= 0")
         if self.write_contention_factor <= 0:
             raise ConfigurationError("write_contention_factor must be positive")
+        # Precompute ``kind -> (fixed, per_row, post_factor)`` so the hot
+        # counter path prices an operation with one dict hit and one FMA
+        # instead of walking an if-chain of attribute reads.  The terms keep
+        # the exact arithmetic shape of the original formulas (fixed first,
+        # the contention factor applied where it was), so simulated seconds
+        # stay bit-identical.
+        factor = self.write_contention_factor
+        object.__setattr__(
+            self,
+            "_cost_table",
+            {
+                OpKind.READ: (self.read_rpc, 0.0, 1.0),
+                OpKind.WRITE: (self.write_rpc * factor, 0.0, 1.0),
+                OpKind.DELETE: (self.delete_rpc * factor, 0.0, 1.0),
+                OpKind.SCAN: (self.scan_rpc, self.scan_row, 1.0),
+                OpKind.BATCH_READ: (self.batch_rpc, self.batch_read_row, 1.0),
+                OpKind.CACHE_READ: (0.0, self.cache_read_row, 1.0),
+                OpKind.BATCH_WRITE: (self.batch_rpc, self.batch_write_row, factor),
+            },
+        )
 
     def cost_of(self, kind: OpKind, rows: int = 1) -> float:
         """Simulated time for one call of ``kind`` touching ``rows`` rows."""
-        if kind is OpKind.READ:
-            return self.read_rpc
-        if kind is OpKind.WRITE:
-            return self.write_rpc * self.write_contention_factor
-        if kind is OpKind.DELETE:
-            return self.delete_rpc * self.write_contention_factor
-        if kind is OpKind.SCAN:
-            return self.scan_rpc + self.scan_row * rows
-        if kind is OpKind.BATCH_READ:
-            return self.batch_rpc + self.batch_read_row * rows
-        if kind is OpKind.CACHE_READ:
-            return self.cache_read_row * rows
-        if kind is OpKind.BATCH_WRITE:
-            return (
-                self.batch_rpc + self.batch_write_row * rows
-            ) * self.write_contention_factor
-        raise ConfigurationError(f"no standalone cost defined for {kind}")
+        entry = self._cost_table.get(kind)
+        if entry is None:
+            raise ConfigurationError(f"no standalone cost defined for {kind}")
+        fixed, per_row, post_factor = entry
+        return (fixed + per_row * rows) * post_factor
+
+
+#: Kinds whose simulated time accrues to the read ledger; everything else is
+#: write time.  A frozenset lookup (identity-hashed) beats re-testing a
+#: 4-tuple membership on every recorded operation.
+_READ_KINDS = frozenset(
+    (OpKind.READ, OpKind.SCAN, OpKind.BATCH_READ, OpKind.CACHE_READ)
+)
 
 
 @dataclass
@@ -119,8 +141,28 @@ class OpCounter:
     write_seconds: float = 0.0
 
     def record(self, kind: OpKind, rows: int = 1) -> float:
-        """Record one operation and return its simulated cost."""
-        return self.record_many(kind, 1, rows_per_call=rows)
+        """Record one operation and return its simulated cost.
+
+        Duplicates :meth:`record_many` for ``calls=1`` — this is the single
+        hottest function of the emulator (every point operation lands here
+        twice: shared ledger and tablet ledger), so it pays to skip the
+        extra call frames (including :meth:`CostModel.cost_of`).
+        """
+        entry = self.model._cost_table.get(kind)
+        if entry is None:
+            raise ConfigurationError(f"no standalone cost defined for {kind}")
+        fixed, per_row, post_factor = entry
+        cost = (fixed + per_row * rows) * post_factor
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        totals = self.rows
+        totals[kind] = totals.get(kind, 0) + rows
+        self.simulated_seconds += cost
+        if kind in _READ_KINDS:
+            self.read_seconds += cost
+        else:
+            self.write_seconds += cost
+        return cost
 
     def record_many(self, kind: OpKind, calls: int, rows_per_call: int = 1) -> float:
         """Record ``calls`` identical operations in one bookkeeping step.
@@ -133,11 +175,17 @@ class OpCounter:
         """
         if calls <= 0:
             return 0.0
-        cost = self.model.cost_of(kind, rows=rows_per_call) * calls
-        self.counts[kind] = self.counts.get(kind, 0) + calls
-        self.rows[kind] = self.rows.get(kind, 0) + rows_per_call * calls
+        entry = self.model._cost_table.get(kind)
+        if entry is None:
+            raise ConfigurationError(f"no standalone cost defined for {kind}")
+        fixed, per_row, post_factor = entry
+        cost = (fixed + per_row * rows_per_call) * post_factor * calls
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + calls
+        totals = self.rows
+        totals[kind] = totals.get(kind, 0) + rows_per_call * calls
         self.simulated_seconds += cost
-        if kind in (OpKind.READ, OpKind.SCAN, OpKind.BATCH_READ, OpKind.CACHE_READ):
+        if kind in _READ_KINDS:
             self.read_seconds += cost
         else:
             self.write_seconds += cost

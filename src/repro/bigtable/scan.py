@@ -263,6 +263,11 @@ class Scanner:
         results: List[Tuple["Tablet", str, object]] = []
         remaining = limit
         charges: List[Tuple["Tablet", int, int]] = []
+        cache = self.cache
+        cache_enabled = cache.enabled
+        prefix_len = cache.options.block_prefix_len
+        probe = cache.probe
+        append = results.append
         for tablet in self.locator.tablets_in_range(start_key, end_key):
             if remaining is not None and remaining <= 0:
                 break
@@ -270,19 +275,20 @@ class Scanner:
             warm = 0
             current_block: Optional[str] = None
             block_warm = False
+            tablet_id = tablet.tablet_id
             for row_key, row in tablet.rows.scan(start_key, end_key, remaining):
-                if self.cache.enabled:
-                    block = self.cache.block_of(row_key)
+                if cache_enabled:
+                    block = row_key[:prefix_len]
                     if block != current_block:
                         current_block = block
-                        block_warm = self.cache.probe(tablet.tablet_id, block)
+                        block_warm = probe(tablet_id, block)
                     if block_warm:
                         warm += 1
                     else:
                         cold += 1
                 else:
                     cold += 1
-                results.append((tablet, row_key, row))
+                append((tablet, row_key, row))
                 if remaining is not None:
                     remaining -= 1
             charges.append((tablet, cold, warm))

@@ -2,13 +2,29 @@
 
 BigTable tablets store rows ordered by key; range scans over contiguous key
 intervals are the cheap access path the paper exploits.  ``SortedMap`` is the
-in-process equivalent: a dict for point access plus a lazily maintained
-sorted key list for ordered iteration, with ``bisect`` for range boundaries.
+in-process equivalent, organised like a miniature LSM memtable:
+
+* point access (``get``/``set``/``delete``/``in``/``len``) goes straight to a
+  dict and is O(1);
+* newly inserted keys land in an *unsorted write buffer* instead of being
+  ``insort``-ed into the sorted run on every write (the seed behaviour, O(n)
+  per insert because of the list memmove);
+* the first *ordered* access (scan, iteration, floor/ceiling, split) merges
+  the buffer into the sorted run in one pass — ``list.sort`` on the
+  concatenation of two sorted runs is a galloping merge in C, so a burst of
+  ``m`` inserts followed by a scan costs O(m log m + n) once instead of
+  O(m·n) spread over the writes.
+
+This matches how BigTable itself absorbs writes (memtable first, merged view
+on read) and is what lets the group-commit write path stay O(1) per mutation
+while scans still observe every earlier write of the batch.  Deletions of
+already-merged keys are applied to the sorted run eagerly (a C-level
+memmove); deletions of still-buffered keys just drop the buffer entry.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Tuple, TypeVar
 
 V = TypeVar("V")
@@ -17,9 +33,34 @@ V = TypeVar("V")
 class SortedMap:
     """String-keyed mapping with ordered iteration and range scans."""
 
+    __slots__ = ("_data", "_keys", "_pending")
+
     def __init__(self) -> None:
+        #: Authoritative key -> value store (point access path).
         self._data: Dict[str, object] = {}
+        #: Sorted run: every key *except* those still in the write buffer.
         self._keys: List[str] = []
+        #: Unsorted write buffer of keys inserted since the last merge.  A
+        #: dict doubles as an ordered set with O(1) add/discard.
+        self._pending: Dict[str, None] = {}
+
+    # ------------------------------------------------------------------
+    # Memtable merge
+    # ------------------------------------------------------------------
+    def _merge(self) -> None:
+        """Fold the write buffer into the sorted run (no-op when empty)."""
+        pending = self._pending
+        if not pending:
+            return
+        keys = self._keys
+        if keys:
+            keys.extend(pending)
+            # Timsort detects the presorted prefix and the appended run and
+            # gallops through the merge in C.
+            keys.sort()
+        else:
+            self._keys = sorted(pending)
+        pending.clear()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -28,6 +69,7 @@ class SortedMap:
         return key in self._data
 
     def __iter__(self) -> Iterator[str]:
+        self._merge()
         return iter(self._keys)
 
     def get(self, key: str, default: Optional[object] = None) -> Optional[object]:
@@ -35,9 +77,10 @@ class SortedMap:
         return self._data.get(key, default)
 
     def set(self, key: str, value: object) -> None:
-        """Insert or overwrite ``key``."""
+        """Insert or overwrite ``key`` (amortised O(1): new keys go to the
+        write buffer and are merged into the sorted run lazily)."""
         if key not in self._data:
-            insort(self._keys, key)
+            self._pending[key] = None
         self._data[key] = value
 
     def delete(self, key: str) -> bool:
@@ -45,6 +88,9 @@ class SortedMap:
         if key not in self._data:
             return False
         del self._data[key]
+        if key in self._pending:
+            del self._pending[key]
+            return True
         index = bisect_left(self._keys, key)
         # The key is guaranteed present, so the bisect position holds it.
         del self._keys[index]
@@ -52,12 +98,40 @@ class SortedMap:
 
     def keys(self) -> List[str]:
         """All keys in ascending order (copy)."""
+        self._merge()
         return list(self._keys)
+
+    def iter_keys(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> Iterator[str]:
+        """Yield keys in ``[start, end)`` in order, without copying the run.
+
+        The iterator-based counterpart of :meth:`keys` for hot callers that
+        only walk the range once.  Mutating the map while iterating is
+        undefined (exactly like iterating a dict).
+        """
+        self._merge()
+        keys = self._keys
+        lo = 0 if start is None else bisect_left(keys, start)
+        hi = len(keys) if end is None else bisect_left(keys, end)
+        for index in range(lo, hi):
+            yield keys[index]
+
+    def key_at(self, index: int) -> str:
+        """The ``index``-th smallest key (supports negative indexes).
+
+        O(1) after the merge — the tablet-split path uses this to find the
+        median key without copying the whole run.
+        """
+        self._merge()
+        return self._keys[index]
 
     def items(self) -> Iterator[Tuple[str, object]]:
         """All ``(key, value)`` pairs in key order."""
+        self._merge()
+        data = self._data
         for key in self._keys:
-            yield key, self._data[key]
+            yield key, data[key]
 
     def scan(
         self,
@@ -69,32 +143,37 @@ class SortedMap:
 
         ``None`` bounds are open-ended; ``limit`` caps the number of rows.
         """
-        lo = 0 if start is None else bisect_left(self._keys, start)
-        hi = len(self._keys) if end is None else bisect_left(self._keys, end)
-        count = 0
+        self._merge()
+        keys = self._keys
+        data = self._data
+        lo = 0 if start is None else bisect_left(keys, start)
+        hi = len(keys) if end is None else bisect_left(keys, end)
+        if limit is not None and hi - lo > limit:
+            hi = lo + limit
         for index in range(lo, hi):
-            if limit is not None and count >= limit:
-                return
-            key = self._keys[index]
-            yield key, self._data[key]
-            count += 1
+            key = keys[index]
+            yield key, data[key]
 
     def count_range(self, start: Optional[str] = None, end: Optional[str] = None) -> int:
         """Number of keys in ``[start, end)`` without materialising them."""
+        self._merge()
         lo = 0 if start is None else bisect_left(self._keys, start)
         hi = len(self._keys) if end is None else bisect_left(self._keys, end)
         return max(hi - lo, 0)
 
     def first_key(self) -> Optional[str]:
         """Smallest key, or ``None`` when empty."""
+        self._merge()
         return self._keys[0] if self._keys else None
 
     def last_key(self) -> Optional[str]:
         """Largest key, or ``None`` when empty."""
+        self._merge()
         return self._keys[-1] if self._keys else None
 
     def floor_key(self, key: str) -> Optional[str]:
         """Largest stored key ``<= key``, or ``None``."""
+        self._merge()
         index = bisect_left(self._keys, key)
         if index < len(self._keys) and self._keys[index] == key:
             return key
@@ -104,6 +183,7 @@ class SortedMap:
 
     def ceiling_key(self, key: str) -> Optional[str]:
         """Smallest stored key ``>= key``, or ``None``."""
+        self._merge()
         index = bisect_left(self._keys, key)
         if index >= len(self._keys):
             return None
@@ -115,6 +195,7 @@ class SortedMap:
         This is the primitive behind tablet splits: the upper half of a
         tablet's rows moves wholesale into the new tablet in O(n).
         """
+        self._merge()
         index = bisect_left(self._keys, key)
         upper = SortedMap()
         upper._keys = self._keys[index:]
@@ -125,6 +206,8 @@ class SortedMap:
     def absorb_after(self, other: "SortedMap") -> None:
         """Append every entry of ``other``, whose keys must all be greater
         than ours (the tablet-merge primitive; ``other`` is emptied)."""
+        self._merge()
+        other._merge()
         if self._keys and other._keys and other._keys[0] <= self._keys[-1]:
             raise ValueError("absorb_after requires strictly greater keys")
         self._keys.extend(other._keys)
@@ -135,3 +218,4 @@ class SortedMap:
         """Remove every entry."""
         self._data.clear()
         self._keys.clear()
+        self._pending.clear()

@@ -18,7 +18,7 @@ bookkeeping itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigtable.cost import OpCounter, OpKind
@@ -55,15 +55,19 @@ class ColumnFamily:
 class Cell:
     """One timestamped value."""
 
+    __slots__ = ("timestamp", "value")
+
     timestamp: float
     value: object
 
 
-@dataclass
 class _Row:
     """Internal row representation: family -> qualifier -> newest-first cells."""
 
-    families: Dict[str, Dict[str, List[Cell]]] = field(default_factory=dict)
+    __slots__ = ("families",)
+
+    def __init__(self) -> None:
+        self.families: Dict[str, Dict[str, List[Cell]]] = {}
 
     def is_empty(self) -> bool:
         return not any(
@@ -291,7 +295,11 @@ class Table:
         qualifiers = row.families.setdefault(family, {})
         cells = qualifiers.setdefault(qualifier, [])
         cells.insert(0, Cell(timestamp=timestamp, value=value))
-        cells.sort(key=lambda cell: cell.timestamp, reverse=True)
+        if len(cells) > 1 and timestamp < cells[1].timestamp:
+            # Out-of-order arrival: restore newest-first order.  In-order
+            # timestamps (the overwhelmingly common case) skip the sort —
+            # the stable sort would leave the list exactly as inserted.
+            cells.sort(key=lambda cell: cell.timestamp, reverse=True)
         if declared.max_versions > 0 and len(cells) > declared.max_versions:
             del cells[declared.max_versions:]
         return added_row
@@ -673,8 +681,17 @@ class Table:
         return self._tablets.total_rows()
 
     def all_keys(self) -> List[str]:
-        """Every row key in order (test helper, not charged)."""
-        return [key for _, key, _ in self._tablets.scan(None, None)]
+        """Every row key in order (test helper, not charged).
+
+        Tablets are disjoint and in key order, so concatenating each
+        tablet's ``iter_keys`` run yields the global order without touching
+        row values.
+        """
+        return [
+            key
+            for tablet in self._tablets.tablets()
+            for key in tablet.rows.iter_keys()
+        ]
 
     def memory_cell_count(self) -> int:
         """Number of cells stored in in-memory families."""

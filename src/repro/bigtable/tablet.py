@@ -235,8 +235,9 @@ class TabletLocator:
                 continue
             if len(self._tablets) >= self.options.max_tablets:
                 break
-            keys = candidate.rows.keys()
-            mid_key = keys[len(keys) // 2]
+            # key_at merges the memtable buffer and indexes the sorted run
+            # in place — no full key-list copy per split check.
+            mid_key = candidate.rows.key_at(candidate.row_count // 2)
             if mid_key <= candidate.start_key:
                 continue
             sibling = self._new_tablet(mid_key)

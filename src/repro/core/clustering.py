@@ -23,7 +23,7 @@ from repro.errors import ClusteringError
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.model import ObjectId
-from repro.spatial.cell import CellId
+from repro.spatial.cell import CellId, MAX_LEVEL
 from repro.tables.affiliation_table import AffiliationTable, LFRecord, Role
 from repro.tables.location_table import LocationTable
 from repro.tables.spatial_index_table import SpatialIndexTable
@@ -102,13 +102,17 @@ class SchoolClusterer:
 
         Derived from a keys-only scan of the Spatial Index Table: each
         storage row key is lifted to its ancestor at the clustering level.
+        The lift works on raw curve positions — parsing the hex token and
+        shifting straight to the clustering level skips the two
+        intermediate ``CellId`` constructions per row that
+        ``from_token(...).parent(...)`` would pay (the table wrote these
+        keys itself, so per-key alignment re-validation buys nothing).
         """
         keys = self.spatial_table._table.scan_keys()
-        cells: Set[CellId] = set()
-        for key in keys:
-            storage_cell = CellId.from_token(key, self.config.storage_level)
-            cells.add(storage_cell.parent(self.config.clustering_cell_level))
-        return sorted(cells)
+        level = self.config.clustering_cell_level
+        shift = 2 * (MAX_LEVEL - level)
+        positions: Set[int] = {int(key, 16) >> shift for key in keys}
+        return [CellId(level, pos) for pos in sorted(positions)]
 
     def due_cells(self, now: float) -> List[CellId]:
         """Occupied clustering cells whose interval Tc has elapsed."""

@@ -26,6 +26,8 @@ from repro.tables.spatial_index_table import SpatialIndexTable
 class LevelCacheRecord:
     """One cached NN level, valid over a spatial key range (Algorithm 4)."""
 
+    __slots__ = ("level", "left_key", "right_key", "created_time")
+
     level: int
     left_key: str
     right_key: str
@@ -95,15 +97,25 @@ class FlagTuner:
         return level
 
     def _find_cached(self, key: str, now: float) -> Optional[LevelCacheRecord]:
-        fresh: List[LevelCacheRecord] = []
+        ttl = self.config.flag_cache_ttl_s
         found: Optional[LevelCacheRecord] = None
+        stale = False
+        # One pass: find the first fresh covering record and note whether any
+        # record aged out.  The pass always runs to the end (entries are not
+        # appended in created_time order — predictive queries move ``now``
+        # around), but the common no-stale lookup no longer rebuilds the
+        # cache list the way the seed did on every call.
         for record in self._cache:
-            if now - record.created_time > self.config.flag_cache_ttl_s:
-                continue  # drop stale entries lazily
-            fresh.append(record)
-            if found is None and record.covers(key):
+            if now - record.created_time > ttl:
+                stale = True
+            elif found is None and record.left_key <= key <= record.right_key:
                 found = record
-        self._cache = fresh
+        if stale:
+            self._cache = [
+                record
+                for record in self._cache
+                if now - record.created_time <= ttl
+            ]
         return found
 
     def invalidate(self) -> None:

@@ -52,6 +52,13 @@ class NNQueryStats:
     nn_level: int = 0
 
 
+#: One NN candidate before ranking: ``(object_id, location, is_leader,
+#: leader_id)``.  Plain tuples keep the per-candidate inner loop free of
+#: dataclass construction; :class:`~repro.model.NeighborResult` objects are
+#: only built for the ``k`` survivors.
+_Candidate = Tuple[ObjectId, Point, bool, Optional[ObjectId]]
+
+
 @dataclass
 class QueryBatchContext:
     """Read-sharing scope for a batch of NN queries.
@@ -60,6 +67,12 @@ class QueryBatchContext:
     batch, so two queries probing the same NN cell (or the same leaders'
     followers) share one storage access instead of issuing it twice.  The
     ``*_shared`` counters report how many RPCs the sharing saved.
+
+    ``cell_candidates`` additionally memoises the fully assembled candidate
+    list of a cell (non-predictive queries only): the second query probing
+    the same cell skips rebuilding candidates from the raw leader/follower
+    maps while tallying exactly the ``scans_shared``/``rows_shared`` the
+    underlying memo hits would have produced.
     """
 
     cell_objects: Dict[CellId, Dict[ObjectId, Point]] = field(default_factory=dict)
@@ -67,6 +80,10 @@ class QueryBatchContext:
     latest_records: Dict[ObjectId, Optional[LocationRecord]] = field(
         default_factory=dict
     )
+    #: ``(cell, include_followers) -> (candidates, n_leaders, n_followers)``.
+    cell_candidates: Dict[
+        Tuple[CellId, bool], Tuple[List[_Candidate], int, int]
+    ] = field(default_factory=dict)
     scans_shared: int = 0
     rows_shared: int = 0
 
@@ -123,35 +140,37 @@ class NearestNeighborSearcher:
         world = self.config.world
         start_cell = CellId.from_point(location, level, world)
         counter = itertools.count()
+        tiebreak = counter.__next__
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         cell_queue: List[Tuple[float, int, CellId]] = [
-            (start_cell.distance_to_point(location, world), next(counter), start_cell)
+            (start_cell.distance_to_point(location, world), tiebreak(), start_cell)
         ]
         seen_cells: Set[CellId] = {start_cell}
-        # Max-heap of the best k candidates: (-distance, tiebreak, result).
-        best: List[Tuple[float, int, NeighborResult]] = []
+        # Max-heap of the best k candidates, as flat tuples:
+        # (-distance, tiebreak, object_id, location, is_leader, leader_id).
+        # NeighborResult objects are only materialised for the k survivors.
+        best: List[Tuple[float, int, ObjectId, Point, bool, Optional[ObjectId]]] = []
         dist_max = range_limit if range_limit is not None else float("inf")
+        max_cells = self.config.max_nn_cells_per_query
 
-        while cell_queue and stats.cells_visited < self.config.max_nn_cells_per_query:
-            cell_distance, _, cell = heapq.heappop(cell_queue)
+        while cell_queue and stats.cells_visited < max_cells:
+            cell_distance, _, cell = heappop(cell_queue)
             if cell_distance > dist_max:
                 break
             stats.cells_visited += 1
-            for candidate in self._candidates_in_cell(
+            for object_id, position, is_leader, leader_id in self._candidates_in_cell(
                 cell, at_time, include_followers, stats, context
             ):
-                distance = candidate.location.distance_to(location)
+                distance = position.distance_to(location)
                 if range_limit is not None and distance > range_limit:
                     continue
-                entry = NeighborResult(
-                    object_id=candidate.object_id,
-                    location=candidate.location,
-                    distance=distance,
-                    is_leader=candidate.is_leader,
-                    leader_id=candidate.leader_id,
+                heappush(
+                    best,
+                    (-distance, tiebreak(), object_id, position, is_leader, leader_id),
                 )
-                heapq.heappush(best, (-distance, next(counter), entry))
                 if len(best) > k:
-                    heapq.heappop(best)
+                    heappop(best)
                 if len(best) == k:
                     kth_distance = -best[0][0]
                     dist_max = (
@@ -165,11 +184,18 @@ class NearestNeighborSearcher:
                 seen_cells.add(neighbor)
                 neighbor_distance = neighbor.distance_to_point(location, world)
                 if neighbor_distance <= dist_max:
-                    heapq.heappush(
-                        cell_queue, (neighbor_distance, next(counter), neighbor)
-                    )
+                    heappush(cell_queue, (neighbor_distance, tiebreak(), neighbor))
 
-        results = [entry for _, _, entry in best]
+        results = [
+            NeighborResult(
+                object_id=object_id,
+                location=position,
+                distance=-neg_distance,
+                is_leader=is_leader,
+                leader_id=leader_id,
+            )
+            for neg_distance, _, object_id, position, is_leader, leader_id in best
+        ]
         results.sort(key=lambda item: (item.distance, item.object_id))
         return results
 
@@ -309,20 +335,40 @@ class NearestNeighborSearcher:
         include_followers: bool,
         stats: NNQueryStats,
         context: Optional[QueryBatchContext] = None,
-    ) -> List[NeighborResult]:
+    ) -> List[_Candidate]:
         """Leaders (and optionally their followers) located in ``cell``.
 
         Every storage access is a key-range scan or a batch read — never a
         per-row point read — and all of them share through ``context`` when
-        the query runs as part of a batch.
+        the query runs as part of a batch.  Non-predictive probes memoise
+        the assembled candidate list per ``(cell, include_followers)`` in
+        the context, so overlapping queries of one batch skip rebuilding it;
+        the memo hit tallies the same ``scans_shared``/``rows_shared`` the
+        underlying leader/follower memo hits would have recorded, keeping
+        the sharing report independent of this shortcut.
         """
+        cache_key = None
+        if context is not None and at_time is None:
+            cache_key = (cell, include_followers)
+            cached = context.cell_candidates.get(cache_key)
+            if cached is not None:
+                candidates, n_leaders, n_followers = cached
+                stats.leaders_scanned += n_leaders
+                stats.followers_considered += n_followers
+                context.scans_shared += 1
+                if include_followers and n_leaders:
+                    context.rows_shared += n_leaders
+                return candidates
+
         leaders = self._scan_cell(cell, context)
         stats.leaders_scanned += len(leaders)
-        candidates: List[NeighborResult] = []
-        leader_positions: Dict[ObjectId, Point] = {}
+        candidates: List[_Candidate] = []
+        append = candidates.append
+        leader_positions: Dict[ObjectId, Point]
         if at_time is not None and leaders:
             # Predictive variant: dead-reckon each leader to the query time
             # from its latest Location record.
+            leader_positions = {}
             records = self._latest_records(list(leaders), context)
             for object_id, stored in leaders.items():
                 record = records.get(object_id)
@@ -330,30 +376,30 @@ class NearestNeighborSearcher:
                     record.extrapolated(at_time) if record is not None else stored
                 )
         else:
-            leader_positions = dict(leaders)
+            leader_positions = leaders
 
         for object_id, position in leader_positions.items():
-            candidates.append(
-                NeighborResult(
-                    object_id=object_id,
-                    location=position,
-                    distance=0.0,
-                    is_leader=True,
-                )
-            )
+            append((object_id, position, True, None))
+        n_followers = 0
         if include_followers and leaders:
             follower_info = self._followers_of(list(leaders), context)
             for leader_id, followers in follower_info.items():
                 leader_position = leader_positions[leader_id]
                 for follower_id, displacement in followers.items():
-                    stats.followers_considered += 1
-                    candidates.append(
-                        NeighborResult(
-                            object_id=follower_id,
-                            location=leader_position.displaced(displacement),
-                            distance=0.0,
-                            is_leader=False,
-                            leader_id=leader_id,
+                    n_followers += 1
+                    append(
+                        (
+                            follower_id,
+                            leader_position.displaced(displacement),
+                            False,
+                            leader_id,
                         )
                     )
+            stats.followers_considered += n_followers
+        if cache_key is not None:
+            context.cell_candidates[cache_key] = (
+                candidates,
+                len(leaders),
+                n_followers,
+            )
         return candidates

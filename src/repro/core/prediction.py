@@ -52,30 +52,42 @@ class LinearPredictor:
         """Least-squares velocity over the record window.
 
         Falls back to the newest record's reported velocity when the window
-        holds a single observation or spans zero time.
+        holds a single observation or spans zero time.  The fit runs in two
+        fused passes over the records with scalar accumulators — no
+        intermediate lists, and each sum accumulates in the same order as
+        the original per-quantity passes, so results are bit-identical.
         """
-        if len(self.records) < 2:
-            return self.records[-1].velocity
-        t0 = self.records[0].timestamp
-        times = [record.timestamp - t0 for record in self.records]
-        span = times[-1]
+        records = self.records
+        count = len(records)
+        if count < 2:
+            return records[-1].velocity
+        t0 = records[0].timestamp
+        span = records[-1].timestamp - t0
         if span <= 0:
-            return self.records[-1].velocity
-        mean_t = sum(times) / len(times)
-        mean_x = sum(record.location.x for record in self.records) / len(self.records)
-        mean_y = sum(record.location.y for record in self.records) / len(self.records)
-        denominator = sum((t - mean_t) ** 2 for t in times)
+            return records[-1].velocity
+        sum_t = 0.0
+        sum_x = 0.0
+        sum_y = 0.0
+        for record in records:
+            sum_t += record.timestamp - t0
+            location = record.location
+            sum_x += location.x
+            sum_y += location.y
+        mean_t = sum_t / count
+        mean_x = sum_x / count
+        mean_y = sum_y / count
+        denominator = 0.0
+        num_x = 0.0
+        num_y = 0.0
+        for record in records:
+            t_centred = (record.timestamp - t0) - mean_t
+            denominator += t_centred ** 2
+            location = record.location
+            num_x += t_centred * (location.x - mean_x)
+            num_y += t_centred * (location.y - mean_y)
         if denominator <= 0:
-            return self.records[-1].velocity
-        vx = sum(
-            (t - mean_t) * (record.location.x - mean_x)
-            for t, record in zip(times, self.records)
-        ) / denominator
-        vy = sum(
-            (t - mean_t) * (record.location.y - mean_y)
-            for t, record in zip(times, self.records)
-        ) / denominator
-        return Vector(vx, vy)
+            return records[-1].velocity
+        return Vector(num_x / denominator, num_y / denominator)
 
     def predict(self, at_time: float) -> PredictedState:
         """Dead-reckon the newest record forward (or backward) to ``at_time``."""

@@ -1,0 +1,204 @@
+"""Wall-clock benchmark runner behind ``repro bench`` (the perf trajectory).
+
+The figure harnesses measure *simulated* storage cost — the paper's metric.
+This module measures the other axis the ROADMAP cares about: how fast the
+emulator itself executes, so optimisation PRs leave a persistent, comparable
+record (``BENCH_*.json``) instead of anecdotal numbers in commit messages.
+
+Three headline workloads cover the hot paths end to end through the server
+cluster (tablet routing, group commit, block cache, batched shared reads):
+
+* ``update_batched`` — pure location-update stream through the tablet-routed
+  group-commit write path;
+* ``mixed_rw``       — the 50/50 update+NN-query workload (the acceptance
+  workload of the optimisation PRs);
+* ``query_batched``  — pure NN-query stream through the tablet-pinned
+  shared-read path.
+
+Each workload reports best-of-``repeats`` wall-clock, client requests per
+wall-clock second, the simulated QPS of the same run, and the storage RPC
+count — the invariant that must *not* move when only wall-clock is being
+optimised.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.mixed import _mixed_harness
+
+#: Workload sizing.  ``quick`` is CI-sized (a few seconds on a busy runner);
+#: the full profile is what BENCH_PR*.json files are recorded with.
+_FULL_PROFILE = {"num_objects": 5000, "num_requests": 4000, "repeats": 3}
+_QUICK_PROFILE = {"num_objects": 2000, "num_requests": 1500, "repeats": 2}
+
+#: The headline workloads as ``name -> query_fraction``.
+_WORKLOADS = {
+    "update_batched": 0.0,
+    "mixed_rw": 0.5,
+    "query_batched": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Measured numbers of one benchmark workload."""
+
+    name: str
+    requests: int
+    wall_seconds: float
+    ops_per_sec: float
+    simulated_qps: float
+    simulated_storage_seconds: float
+    storage_rpc_count: int
+    cache_hit_rate: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "wall_seconds": self.wall_seconds,
+            "ops_per_sec": self.ops_per_sec,
+            "simulated_qps": self.simulated_qps,
+            "simulated_storage_seconds": self.simulated_storage_seconds,
+            "storage_rpc_count": self.storage_rpc_count,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+def run_workload(
+    name: str,
+    query_fraction: float,
+    num_objects: int,
+    num_requests: int,
+    repeats: int = 3,
+    seed: int = 59,
+) -> BenchResult:
+    """Benchmark one mixed-fraction workload, best-of-``repeats`` wall-clock.
+
+    Every repeat rebuilds the preloaded indexer from scratch so repeats are
+    independent; the run is deterministic, so the simulated-side numbers are
+    identical across repeats and only the wall-clock varies.
+    """
+    best_wall = float("inf")
+    outcome = None
+    counter = None
+    for _ in range(max(repeats, 1)):
+        indexer, load_test, messages, queries = _mixed_harness(
+            num_objects, 5, num_requests, query_fraction, 10, 10, 0.0, seed
+        )
+        start = time.perf_counter()
+        outcome = load_test.run_mixed_batches(messages, queries, batch_size=256)
+        best_wall = min(best_wall, time.perf_counter() - start)
+        counter = indexer.emulator.counter
+    return BenchResult(
+        name=name,
+        requests=outcome.total_requests,
+        wall_seconds=best_wall,
+        ops_per_sec=outcome.total_requests / best_wall if best_wall > 0 else 0.0,
+        simulated_qps=outcome.qps,
+        simulated_storage_seconds=counter.simulated_seconds,
+        storage_rpc_count=counter.storage_rpc_count(),
+        cache_hit_rate=outcome.cache_hit_rate,
+    )
+
+
+def run_bench(
+    quick: bool = False,
+    label: str = "PR3",
+    repeats: Optional[int] = None,
+    seed: int = 59,
+) -> Dict[str, object]:
+    """Run every headline workload and return the JSON-ready payload."""
+    profile = _QUICK_PROFILE if quick else _FULL_PROFILE
+    effective_repeats = repeats if repeats is not None else profile["repeats"]
+    workloads = {}
+    for name, fraction in _WORKLOADS.items():
+        result = run_workload(
+            name,
+            fraction,
+            num_objects=profile["num_objects"],
+            num_requests=profile["num_requests"],
+            repeats=effective_repeats,
+            seed=seed,
+        )
+        workloads[name] = result.as_dict()
+    return {
+        "label": label,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "num_objects": profile["num_objects"],
+        "num_requests": profile["num_requests"],
+        "repeats": effective_repeats,
+        "workloads": workloads,
+    }
+
+
+def compare_with_baseline(
+    payload: Dict[str, object], baseline_path: str
+) -> Dict[str, object]:
+    """Merge a baseline measurement into ``payload`` (in place).
+
+    ``baseline_path`` holds an earlier :func:`run_bench` payload — typically
+    recorded on the pre-optimisation revision with the same profile — whose
+    per-workload wall-clock becomes ``baseline_main`` and whose ratio to the
+    current run becomes ``speedup_vs_main``.  This is how the committed
+    ``BENCH_PR*.json`` comparison sections are produced: check out the
+    previous revision, ``repro bench --output /tmp/main.json``, return, and
+    ``repro bench --baseline /tmp/main.json``.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_workloads = baseline.get("workloads", baseline)
+    payload["baseline_main"] = {
+        name: {
+            "wall_seconds": row["wall_seconds"],
+            "ops_per_sec": row["ops_per_sec"],
+            "storage_rpc_count": row["storage_rpc_count"],
+        }
+        for name, row in baseline_workloads.items()
+        if name in payload["workloads"]
+    }
+    payload["speedup_vs_main"] = {
+        name: row["wall_seconds"] / payload["workloads"][name]["wall_seconds"]
+        for name, row in payload["baseline_main"].items()
+    }
+    return payload
+
+
+def write_bench(payload: Dict[str, object], output_path: str) -> None:
+    """Write one benchmark payload as indented JSON."""
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def format_bench(payload: Dict[str, object]) -> str:
+    """Console rendering of a benchmark payload."""
+    lines = [
+        f"benchmark {payload['label']} "
+        f"(objects={payload['num_objects']}, requests={payload['num_requests']}, "
+        f"repeats={payload['repeats']}, python {payload['python']})"
+    ]
+    header = (
+        f"{'workload':<16} {'wall s':>8} {'ops/s':>10} "
+        f"{'sim QPS':>10} {'RPCs':>8} {'cache':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    speedups = payload.get("speedup_vs_main", {})
+    for name, row in payload["workloads"].items():
+        line = (
+            f"{name:<16} {row['wall_seconds']:>8.3f} {row['ops_per_sec']:>10.0f} "
+            f"{row['simulated_qps']:>10.0f} {row['storage_rpc_count']:>8d} "
+            f"{row['cache_hit_rate']:>6.1%}"
+        )
+        if name in speedups:
+            line += f"  {speedups[name]:.2f}x vs baseline"
+        lines.append(line)
+    return "\n".join(lines)

@@ -19,6 +19,8 @@ class BoundingBox:
     maximum level may collapse to a point in a discretised space).
     """
 
+    __slots__ = ("min_x", "min_y", "max_x", "max_y")
+
     min_x: float
     min_y: float
     max_x: float

@@ -18,6 +18,8 @@ class Point:
     and used as dictionary keys when deduplicating query results.
     """
 
+    __slots__ = ("x", "y")
+
     x: float
     y: float
 

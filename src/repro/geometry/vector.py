@@ -16,6 +16,8 @@ class Vector:
     vectors.  Instances are immutable and hashable.
     """
 
+    __slots__ = ("dx", "dy")
+
     dx: float
     dy: float
 

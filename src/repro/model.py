@@ -37,6 +37,8 @@ class LocationRecord:
     velocity, etc of the object".
     """
 
+    __slots__ = ("location", "velocity", "timestamp")
+
     location: Point
     velocity: Vector
     timestamp: float
@@ -62,6 +64,8 @@ class LocationRecord:
 @dataclass(frozen=True)
 class UpdateMessage:
     """The 4-tuple ``(ID, Loc, V, t)`` consumed by the update procedure."""
+
+    __slots__ = ("object_id", "location", "velocity", "timestamp")
 
     object_id: ObjectId
     location: Point
@@ -95,6 +99,8 @@ class NeighborResult:
 @dataclass(frozen=True)
 class HistoryRecord:
     """One archived observation returned by a history query."""
+
+    __slots__ = ("object_id", "location", "velocity", "timestamp")
 
     object_id: ObjectId
     location: Point

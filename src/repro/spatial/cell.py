@@ -13,11 +13,22 @@ Two properties of this numbering drive the whole design:
   cell form one contiguous interval of curve positions.  A cell's *key
   range* is that interval, which is exactly the contiguous row range the
   nearest-neighbour search scans per NN cell (Section 3.4.1).
+
+The conversions between cells, row-key tokens, world boxes and neighbour
+sets are pure functions of ``(level, pos)`` and are **memoized** at module
+level: one NN query touches the same cells through its priority queue many
+times (key range for the scan, box for the distance bound, neighbours for
+expansion), and the caches turn each re-derivation into a dict hit.  Key
+tokens are additionally ``sys.intern``-ed so the row-key dictionaries of the
+storage layer compare them by pointer.
 """
 
 from __future__ import annotations
 
+import math
+import sys
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SpatialError
@@ -37,6 +48,9 @@ WORLD_UNIT_BOX = BoundingBox(0.0, 0.0, 1.0, 1.0)
 #: i.e. 12 hex digits.
 _KEY_WIDTH = (2 * MAX_LEVEL + 3) // 4
 
+#: Bound on the memoized codec caches (distinct cells seen by a run).
+_CACHE_SIZE = 1 << 16
+
 
 @dataclass(frozen=True, order=True)
 class CellId:
@@ -46,6 +60,8 @@ class CellId:
     order; cross-level comparisons are only used for deterministic tie
     breaking inside priority queues.
     """
+
+    __slots__ = ("level", "pos")
 
     level: int
     pos: int
@@ -74,10 +90,25 @@ class CellId:
             raise SpatialError(f"cell level {level} outside [0, {MAX_LEVEL}]")
         if level == 0:
             return cls(0, 0)
-        clamped = world.clamp_point(point)
+        # Clamp inline: the hot update/query paths call this per message and
+        # an intermediate clamped Point per call is pure allocator traffic.
+        x = point.x
+        y = point.y
+        min_x = world.min_x
+        min_y = world.min_y
+        max_x = world.max_x
+        max_y = world.max_y
+        if x < min_x:
+            x = min_x
+        elif x > max_x:
+            x = max_x
+        if y < min_y:
+            y = min_y
+        elif y > max_y:
+            y = max_y
         side = 1 << level
-        gx = _grid_coordinate(clamped.x, world.min_x, world.width, side)
-        gy = _grid_coordinate(clamped.y, world.min_y, world.height, side)
+        gx = _grid_coordinate(x, min_x, max_x - min_x, side)
+        gy = _grid_coordinate(y, min_y, max_y - min_y, side)
         return cls(level, hilbert_index(level, gx, gy))
 
     @classmethod
@@ -129,25 +160,17 @@ class CellId:
         return ((self.pos + 1) << shift) - 1
 
     def key(self) -> str:
-        """Fixed-width hexadecimal row-key token.
+        """Fixed-width hexadecimal row-key token (memoized and interned).
 
         Lexicographic order of tokens equals numeric order of curve
         positions, so a BigTable range scan over ``[key(), key_range()[1])``
         returns exactly the rows of this cell's descendants.
         """
-        return format(self.range_min(), f"0{_KEY_WIDTH}x")
+        return _key_codec(self.level, self.pos)[0]
 
     def key_range(self) -> Tuple[str, str]:
         """Half-open row-key interval ``[start, end)`` covering this cell."""
-        start = format(self.range_min(), f"0{_KEY_WIDTH}x")
-        end_pos = self.range_max() + 1
-        if end_pos >= (1 << (2 * MAX_LEVEL)):
-            # The last cell of the curve: use a sentinel that sorts after
-            # every valid fixed-width hexadecimal key.
-            end = "g" * _KEY_WIDTH
-        else:
-            end = format(end_pos, f"0{_KEY_WIDTH}x")
-        return start, end
+        return _key_codec(self.level, self.pos)
 
     # ------------------------------------------------------------------
     # Geometry
@@ -160,16 +183,7 @@ class CellId:
 
     def to_box(self, world: BoundingBox = WORLD_UNIT_BOX) -> BoundingBox:
         """The rectangle this cell occupies in world coordinates."""
-        side = 1 << self.level
-        gx, gy = self.grid_coordinates()
-        cell_w = world.width / side
-        cell_h = world.height / side
-        return BoundingBox(
-            world.min_x + gx * cell_w,
-            world.min_y + gy * cell_h,
-            world.min_x + (gx + 1) * cell_w,
-            world.min_y + (gy + 1) * cell_h,
-        )
+        return _box_codec(self.level, self.pos, world)
 
     def center(self, world: BoundingBox = WORLD_UNIT_BOX) -> Point:
         """Centre point of the cell in world coordinates."""
@@ -183,7 +197,24 @@ class CellId:
         Lower-bounds the distance of every object indexed under this cell,
         which is the pruning rule of the NN search (Algorithm 2, line 7).
         """
-        return self.to_box(world).distance_to_point(point)
+        box = _box_codec(self.level, self.pos, world)
+        x = point.x
+        y = point.y
+        # Clamp-and-measure without the intermediate Point: |clamped - p|
+        # componentwise equals the distance to the nearest box edge.
+        if x < box.min_x:
+            dx = box.min_x - x
+        elif x > box.max_x:
+            dx = box.max_x - x
+        else:
+            dx = 0.0
+        if y < box.min_y:
+            dy = box.min_y - y
+        elif y > box.max_y:
+            dy = box.max_y - y
+        else:
+            dy = 0.0
+        return math.hypot(dx, dy)
 
     def edge_neighbors(self) -> List["CellId"]:
         """Same-level cells sharing an edge with this cell.
@@ -191,36 +222,11 @@ class CellId:
         Cells on the world border have fewer than four neighbours; the NN
         search pushes whatever neighbours exist (Algorithm 2, line 19).
         """
-        if self.level == 0:
-            return []
-        side = 1 << self.level
-        gx, gy = self.grid_coordinates()
-        neighbors = []
-        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-            nx = gx + dx
-            ny = gy + dy
-            if 0 <= nx < side and 0 <= ny < side:
-                neighbors.append(CellId(self.level, hilbert_index(self.level, nx, ny)))
-        return neighbors
+        return list(_edge_neighbors_codec(self.level, self.pos))
 
     def all_neighbors(self) -> List["CellId"]:
         """Same-level cells sharing an edge or a corner (8-neighbourhood)."""
-        if self.level == 0:
-            return []
-        side = 1 << self.level
-        gx, gy = self.grid_coordinates()
-        neighbors = []
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                if dx == 0 and dy == 0:
-                    continue
-                nx = gx + dx
-                ny = gy + dy
-                if 0 <= nx < side and 0 <= ny < side:
-                    neighbors.append(
-                        CellId(self.level, hilbert_index(self.level, nx, ny))
-                    )
-        return neighbors
+        return list(_all_neighbors_codec(self.level, self.pos))
 
     def descendants_at(self, level: int) -> Iterator["CellId"]:
         """Yield every descendant of this cell at the given finer ``level``."""
@@ -235,6 +241,83 @@ class CellId:
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"CellId(level={self.level}, pos={self.pos})"
+
+
+# ----------------------------------------------------------------------
+# Memoized codecs (pure functions of the cell identity)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=_CACHE_SIZE)
+def _key_codec(level: int, pos: int) -> Tuple[str, str]:
+    """Interned ``(start_key, end_key)`` of the cell's row-key interval."""
+    shift = 2 * (MAX_LEVEL - level)
+    range_min = pos << shift
+    start = sys.intern(format(range_min, f"0{_KEY_WIDTH}x"))
+    end_pos = (pos + 1) << shift
+    if end_pos >= (1 << (2 * MAX_LEVEL)):
+        # The last cell of the curve: use a sentinel that sorts after
+        # every valid fixed-width hexadecimal key.
+        end = sys.intern("g" * _KEY_WIDTH)
+    else:
+        end = sys.intern(format(end_pos, f"0{_KEY_WIDTH}x"))
+    return start, end
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _box_codec(level: int, pos: int, world: BoundingBox) -> BoundingBox:
+    """World-coordinate rectangle of one cell."""
+    side = 1 << level
+    gx, gy = (0, 0) if level == 0 else hilbert_point(level, pos)
+    cell_w = world.width / side
+    cell_h = world.height / side
+    return BoundingBox(
+        world.min_x + gx * cell_w,
+        world.min_y + gy * cell_h,
+        world.min_x + (gx + 1) * cell_w,
+        world.min_y + (gy + 1) * cell_h,
+    )
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _edge_neighbors_codec(level: int, pos: int) -> Tuple[CellId, ...]:
+    """4-neighbourhood of one cell (same construction order as the seed)."""
+    if level == 0:
+        return ()
+    side = 1 << level
+    gx, gy = hilbert_point(level, pos)
+    neighbors = []
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        nx = gx + dx
+        ny = gy + dy
+        if 0 <= nx < side and 0 <= ny < side:
+            neighbors.append(CellId(level, hilbert_index(level, nx, ny)))
+    return tuple(neighbors)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _all_neighbors_codec(level: int, pos: int) -> Tuple[CellId, ...]:
+    """8-neighbourhood of one cell (same construction order as the seed)."""
+    if level == 0:
+        return ()
+    side = 1 << level
+    gx, gy = hilbert_point(level, pos)
+    neighbors = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            nx = gx + dx
+            ny = gy + dy
+            if 0 <= nx < side and 0 <= ny < side:
+                neighbors.append(CellId(level, hilbert_index(level, nx, ny)))
+    return tuple(neighbors)
+
+
+def cell_codec_cache_clear() -> None:
+    """Drop every memoized cell codec (test/debug hook)."""
+    _key_codec.cache_clear()
+    _box_codec.cache_clear()
+    _edge_neighbors_codec.cache_clear()
+    _all_neighbors_codec.cache_clear()
 
 
 def _grid_coordinate(value: float, origin: float, extent: float, side: int) -> int:

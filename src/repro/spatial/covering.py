@@ -4,12 +4,21 @@ Section 3.2.1 notes that "an arbitrary region can be approximated by a
 collection of cells".  The covering helpers below are used by range queries
 (realtime-coupon example), by the clustering pass (enumerating the spatial
 cells inside a clustering cell) and by history queries over a region.
+
+Coverings are pure functions of ``(region, level, world)`` and query
+workloads repeat shapes constantly (the same coupon region polled each
+round, the same probe disc around a hot venue), so the expensive grid
+enumeration is memoized in a module-level LRU.  The cached value is an
+immutable tuple; the public helpers hand each caller a fresh list so
+mutating a result can never corrupt the cache.  :func:`covering_cache_clear`
+drops the memo (test hook / long-lived processes with churning worlds).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from repro.errors import SpatialError
 from repro.geometry.bbox import BoundingBox
@@ -17,19 +26,15 @@ from repro.geometry.point import Point
 from repro.spatial.cell import CellId, MAX_LEVEL, WORLD_UNIT_BOX
 from repro.spatial.hilbert import hilbert_index
 
+#: Bound on distinct (shape, level, world) coverings kept warm.
+_CACHE_SIZE = 4096
 
-def cover_box(
-    region: BoundingBox,
-    level: int,
-    world: BoundingBox = WORLD_UNIT_BOX,
-) -> List[CellId]:
-    """All level-``level`` cells that intersect ``region``.
 
-    The result is sorted by curve position so consecutive cells can be
-    coalesced into range scans by the caller.
-    """
-    if not 0 <= level <= MAX_LEVEL:
-        raise SpatialError(f"cover level {level} outside [0, {MAX_LEVEL}]")
+@lru_cache(maxsize=_CACHE_SIZE)
+def _cover_box_codec(
+    region: BoundingBox, level: int, world: BoundingBox
+) -> Tuple[CellId, ...]:
+    """Curve-sorted tuple of level-``level`` cells intersecting ``region``."""
     clipped_min = world.clamp_point(Point(region.min_x, region.min_y))
     clipped_max = world.clamp_point(Point(region.max_x, region.max_y))
     side = 1 << level
@@ -44,7 +49,35 @@ def cover_box(
         for gy in range(gy_min, gy_max + 1):
             cells.append(CellId(level, hilbert_index(level, gx, gy)))
     cells.sort(key=lambda cell: cell.pos)
-    return cells
+    return tuple(cells)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _cover_circle_codec(
+    center: Point, radius: float, level: int, world: BoundingBox
+) -> Tuple[CellId, ...]:
+    """Curve-sorted tuple of level-``level`` cells intersecting a disc."""
+    box = BoundingBox.from_center(center, radius, radius)
+    return tuple(
+        cell
+        for cell in _cover_box_codec(box, level, world)
+        if cell.distance_to_point(center, world) <= radius
+    )
+
+
+def cover_box(
+    region: BoundingBox,
+    level: int,
+    world: BoundingBox = WORLD_UNIT_BOX,
+) -> List[CellId]:
+    """All level-``level`` cells that intersect ``region``.
+
+    The result is sorted by curve position so consecutive cells can be
+    coalesced into range scans by the caller.
+    """
+    if not 0 <= level <= MAX_LEVEL:
+        raise SpatialError(f"cover level {level} outside [0, {MAX_LEVEL}]")
+    return list(_cover_box_codec(region, level, world))
 
 
 def cover_circle(
@@ -60,13 +93,20 @@ def cover_circle(
     """
     if radius < 0:
         raise SpatialError(f"radius must be non-negative, got {radius}")
-    box = BoundingBox.from_center(center, radius, radius)
-    candidates = cover_box(box, level, world)
-    return [
-        cell
-        for cell in candidates
-        if cell.distance_to_point(center, world) <= radius
-    ]
+    if not 0 <= level <= MAX_LEVEL:
+        raise SpatialError(f"cover level {level} outside [0, {MAX_LEVEL}]")
+    return list(_cover_circle_codec(center, radius, level, world))
+
+
+def covering_cache_clear() -> None:
+    """Drop every memoized covering (test/debug hook)."""
+    _cover_box_codec.cache_clear()
+    _cover_circle_codec.cache_clear()
+
+
+def covering_cache_info() -> Tuple[object, object]:
+    """``(box_info, circle_info)`` lru_cache statistics (test/debug hook)."""
+    return _cover_box_codec.cache_info(), _cover_circle_codec.cache_info()
 
 
 def coalesce_ranges(cells: List[CellId]) -> List[tuple]:

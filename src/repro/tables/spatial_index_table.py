@@ -24,6 +24,12 @@ from repro.spatial.cell import CellId, WORLD_UNIT_BOX
 #: Default column family for object-id columns.
 ID_FAMILY = "id"
 
+#: Bound on the per-table location -> storage-cell memo.  8k entries cover a
+#: whole client batch of repeated object locations many times over; when the
+#: memo fills it is simply dropped (re-deriving a cell is cheap, keeping an
+#: LRU order is not).
+_CELL_MEMO_MAX = 8192
+
 
 class SpatialIndexTable:
     """Wrapper around the BigTable table keyed by spatial index."""
@@ -46,6 +52,15 @@ class SpatialIndexTable:
             for extra in extra_families
         )
         self._table = emulator.create_table(name, families)
+        #: Memo of ``(x, y) -> CellId`` for the fixed storage level/world of
+        #: this table.  One update message derives its storage cell several
+        #: times on the way down (server routing, the spatial-index write,
+        #: the move's old-cell lookup), and every derivation inside a commit
+        #: buffer or a :class:`~repro.core.nn_search.QueryBatchContext`
+        #: repeats locations across messages; the memo collapses them all to
+        #: a dict hit.  Entries never go stale — the mapping is a pure
+        #: function of the location.
+        self._cell_memo: Dict[Tuple[float, float], CellId] = {}
 
     @property
     def table(self) -> Table:
@@ -56,11 +71,23 @@ class SpatialIndexTable:
     # Key helpers
     # ------------------------------------------------------------------
     def cell_for(self, location: Point) -> CellId:
-        """Storage-level cell containing ``location``."""
-        return CellId.from_point(location, self.storage_level, self.world)
+        """Storage-level cell containing ``location`` (memoized)."""
+        memo = self._cell_memo
+        memo_key = (location.x, location.y)
+        cell = memo.get(memo_key)
+        if cell is None:
+            cell = CellId.from_point(location, self.storage_level, self.world)
+            if len(memo) >= _CELL_MEMO_MAX:
+                memo.clear()
+            memo[memo_key] = cell
+        return cell
 
     def row_key_for(self, location: Point) -> str:
-        """Row key of the storage-level cell containing ``location``."""
+        """Row key of the storage-level cell containing ``location``.
+
+        Both hops are cached: the cell through the table's location memo and
+        the key token through the cell codec cache (interned strings).
+        """
         return self.cell_for(location).key()
 
     def scan_plan_for_cell(self, cell: CellId) -> ScanPlan:

@@ -136,3 +136,111 @@ class TestProperties:
         expected = sorted(k for k in reference if low <= k < high)
         assert [k for k, _ in m.scan(low, high)] == expected
         assert m.count_range(low, high) == len(expected)
+
+
+class TestIteratorAPI:
+    def test_iter_keys_full_range(self):
+        m = SortedMap()
+        for key in ["d", "a", "c", "b"]:
+            m.set(key, key)
+        assert list(m.iter_keys()) == ["a", "b", "c", "d"]
+
+    def test_iter_keys_bounded(self):
+        m = SortedMap()
+        for key in ["a", "b", "c", "d", "e"]:
+            m.set(key, key)
+        assert list(m.iter_keys("b", "e")) == ["b", "c", "d"]
+        assert list(m.iter_keys(None, "c")) == ["a", "b"]
+        assert list(m.iter_keys("c", None)) == ["c", "d", "e"]
+
+    def test_key_at(self):
+        m = SortedMap()
+        for key in ["c", "a", "b"]:
+            m.set(key, key)
+        assert m.key_at(0) == "a"
+        assert m.key_at(1) == "b"
+        assert m.key_at(len(m) // 2) == "b"
+        assert m.key_at(-1) == "c"
+
+    def test_iter_keys_observes_buffered_inserts(self):
+        # Keys still sitting in the unsorted write buffer must appear in
+        # ordered iteration exactly like merged keys.
+        m = SortedMap()
+        m.set("b", 1)
+        assert m.keys() == ["b"]  # force a merge
+        m.set("a", 2)
+        m.set("c", 3)
+        assert list(m.iter_keys()) == ["a", "b", "c"]
+
+
+class TestMemtableProperty:
+    """The LSM-style write buffer must be invisible: under any interleaving
+    of inserts, overwrites, deletes and ordered reads the map behaves like a
+    plain dict whose keys are sorted on demand."""
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("set"), keys, st.integers()),
+                st.tuples(st.just("delete"), keys, st.integers()),
+                st.tuples(st.just("scan"), keys, keys),
+                st.tuples(st.just("keys"), keys, keys),
+                st.tuples(st.just("floor"), keys, keys),
+                st.tuples(st.just("ceiling"), keys, keys),
+            ),
+            max_size=60,
+        )
+    )
+    def test_random_interleavings_match_reference(self, ops):
+        m = SortedMap()
+        reference = {}
+        for op, a, b in ops:
+            if op == "set":
+                m.set(a, b)
+                reference[a] = b
+            elif op == "delete":
+                assert m.delete(a) == (a in reference)
+                reference.pop(a, None)
+            elif op == "scan":
+                low, high = min(a, b), max(a, b)
+                expected = sorted(k for k in reference if low <= k < high)
+                assert [k for k, _ in m.scan(low, high)] == expected
+                assert list(m.iter_keys(low, high)) == expected
+            elif op == "keys":
+                assert m.keys() == sorted(reference)
+            elif op == "floor":
+                expected_floor = max((k for k in reference if k <= a), default=None)
+                assert m.floor_key(a) == expected_floor
+            elif op == "ceiling":
+                expected_ceiling = min((k for k in reference if k >= a), default=None)
+                assert m.ceiling_key(a) == expected_ceiling
+            # Point invariants hold after every operation.
+            assert len(m) == len(reference)
+        assert m.keys() == sorted(reference)
+        assert [v for _, v in m.items()] == [
+            reference[k] for k in sorted(reference)
+        ]
+
+    @given(st.dictionaries(keys, st.integers(), max_size=40), keys)
+    def test_split_off_with_buffered_inserts(self, reference, pivot):
+        m = SortedMap()
+        for key, value in reference.items():
+            m.set(key, value)
+        upper = m.split_off(pivot)
+        assert m.keys() == sorted(k for k in reference if k < pivot)
+        assert upper.keys() == sorted(k for k in reference if k >= pivot)
+        # Both halves stay fully functional memtables after the split.
+        m.set("0new", -1)
+        upper.set("zz", -2)
+        assert m.get("0new") == -1
+        assert upper.get("zz") == -2
+
+    @given(st.dictionaries(keys, st.integers(), max_size=30))
+    def test_absorb_after_merges_buffers(self, reference):
+        m = SortedMap()
+        for key, value in reference.items():
+            m.set(key, value)
+        upper = m.split_off("8")
+        m.absorb_after(upper)
+        assert m.keys() == sorted(reference)
+        assert len(upper) == 0

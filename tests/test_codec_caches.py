@@ -1,0 +1,139 @@
+"""Tests for the memoized spatial key codecs and covering caches (PR 3).
+
+The caches must be pure accelerators: clearing them can never change a
+result, cached values must be safe against caller mutation, and the bounded
+memos must keep answering correctly after overflowing.
+"""
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.spatial.cell import CellId, cell_codec_cache_clear
+from repro.spatial.covering import (
+    cover_box,
+    cover_circle,
+    covering_cache_clear,
+    covering_cache_info,
+)
+from repro.spatial.hilbert import (
+    hilbert_cache_clear,
+    hilbert_cache_info,
+    hilbert_index,
+    hilbert_point,
+)
+from repro.errors import SpatialError
+
+from repro.bigtable.emulator import BigtableEmulator
+from repro.tables import spatial_index_table as sit_module
+from repro.tables.spatial_index_table import SpatialIndexTable
+
+
+class TestHilbertMemo:
+    def test_results_stable_across_cache_clear(self):
+        samples = [(4, x, y) for x in range(8) for y in range(8)]
+        before = [hilbert_index(order, x, y) for order, x, y in samples]
+        hilbert_cache_clear()
+        after = [hilbert_index(order, x, y) for order, x, y in samples]
+        assert before == after
+        points = [hilbert_point(4, d) for d in range(64)]
+        hilbert_cache_clear()
+        assert points == [hilbert_point(4, d) for d in range(64)]
+
+    def test_repeat_calls_hit_the_cache(self):
+        hilbert_cache_clear()
+        hilbert_index(6, 11, 17)
+        hits_before = hilbert_cache_info()[0].hits
+        hilbert_index(6, 11, 17)
+        assert hilbert_cache_info()[0].hits == hits_before + 1
+
+    def test_invalid_arguments_raise_every_call(self):
+        for _ in range(2):  # errors must never be cached
+            with pytest.raises(SpatialError):
+                hilbert_index(2, 99, 0)
+            with pytest.raises(SpatialError):
+                hilbert_point(2, 999)
+
+
+class TestCellCodecMemo:
+    def test_key_codecs_stable_across_cache_clear(self):
+        cells = [CellId(5, pos) for pos in range(0, 1024, 37)]
+        keys = [cell.key() for cell in cells]
+        ranges = [cell.key_range() for cell in cells]
+        boxes = [cell.to_box() for cell in cells]
+        cell_codec_cache_clear()
+        assert keys == [cell.key() for cell in cells]
+        assert ranges == [cell.key_range() for cell in cells]
+        assert boxes == [cell.to_box() for cell in cells]
+
+    def test_neighbor_lists_are_fresh_copies(self):
+        cell = CellId(3, 21)
+        first = cell.edge_neighbors()
+        first.append("poison")
+        assert "poison" not in cell.edge_neighbors()
+        everyone = cell.all_neighbors()
+        everyone.clear()
+        assert cell.all_neighbors() != []
+
+    def test_distance_matches_box_distance(self):
+        world = BoundingBox(0.0, 0.0, 100.0, 100.0)
+        cell = CellId(4, 123)
+        for point in (Point(3.0, 97.0), Point(50.0, 50.0), Point(-5.0, 12.0)):
+            assert cell.distance_to_point(point, world) == pytest.approx(
+                cell.to_box(world).distance_to_point(point), abs=0.0
+            )
+
+
+class TestCoveringCache:
+    def test_cover_box_stable_across_cache_clear(self):
+        region = BoundingBox(0.1, 0.2, 0.4, 0.5)
+        first = cover_box(region, 5)
+        covering_cache_clear()
+        assert cover_box(region, 5) == first
+
+    def test_repeated_shape_hits_the_cache(self):
+        covering_cache_clear()
+        region = BoundingBox(0.25, 0.25, 0.75, 0.75)
+        cover_box(region, 4)
+        cover_box(region, 4)
+        box_info = covering_cache_info()[0]
+        assert box_info.hits >= 1
+        assert box_info.misses >= 1
+
+    def test_cached_results_are_fresh_lists(self):
+        region = BoundingBox(0.0, 0.0, 0.3, 0.3)
+        first = cover_box(region, 4)
+        first.clear()
+        assert cover_box(region, 4) != []
+
+    def test_cover_circle_stable_across_cache_clear(self):
+        first = cover_circle(Point(0.5, 0.5), 0.2, 5)
+        covering_cache_clear()
+        assert cover_circle(Point(0.5, 0.5), 0.2, 5) == first
+
+    def test_invalid_arguments_raise_every_call(self):
+        for _ in range(2):
+            with pytest.raises(SpatialError):
+                cover_box(BoundingBox(0.0, 0.0, 1.0, 1.0), 99)
+            with pytest.raises(SpatialError):
+                cover_circle(Point(0.0, 0.0), -1.0, 4)
+
+
+class TestSpatialIndexCellMemo:
+    def test_memo_returns_consistent_cells(self):
+        table = SpatialIndexTable(BigtableEmulator(), storage_level=8)
+        location = Point(0.31, 0.64)
+        first = table.cell_for(location)
+        assert table.cell_for(location) is first  # memo hit: same object
+        assert first == CellId.from_point(location, 8)
+        assert table.row_key_for(location) == first.key()
+
+    def test_memo_survives_overflow_reset(self, monkeypatch):
+        monkeypatch.setattr(sit_module, "_CELL_MEMO_MAX", 4)
+        table = SpatialIndexTable(BigtableEmulator(), storage_level=8)
+        points = [Point(i / 16.0, i / 16.0) for i in range(12)]
+        expected = [CellId.from_point(point, 8) for point in points]
+        assert [table.cell_for(point) for point in points] == expected
+        assert len(table._cell_memo) <= 4 + 1
+        # Overflow dropped entries, never correctness.
+        assert [table.cell_for(point) for point in points] == expected
