@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MoistConfig, MoistIndexer, Point
+from repro import MoistConfig, MoistIndexer
 from repro.archive.ppp import PPPArchiver
 from repro.archive.sizing import optimise_disk_count
 from repro.disk.model import DiskModel

@@ -8,7 +8,7 @@ converted into simulated time with a per-page latency.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 

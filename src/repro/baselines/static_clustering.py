@@ -12,7 +12,7 @@ sheds no writes; it exists to measure exactly that difference.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.bigtable.cost import CostModel

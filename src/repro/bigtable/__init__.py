@@ -16,10 +16,27 @@ All operations are accounted against a :class:`~repro.bigtable.cost.CostModel`
 so experiments can report simulated service time (and therefore QPS) that
 reflects the *operation mix* of each algorithm rather than Python's
 interpreter speed.  See DESIGN.md Section 6.
+
+Since PR 4 every tablet is a full LSM engine: a sequence-numbered
+**commit log** with group-commit fsync batching, a **memtable**, immutable
+**SSTable runs** with key-range/Bloom metadata produced by minor compactions
+(memtable flushes) and consolidated by size-tiered/major compactions with
+tombstone garbage collection, and **crash recovery** that replays each
+tablet's log tail over its runs to bit-identical state.  Durability work is
+charged to a separate ledger so paper-facing service times stay calibrated.
 """
 
 from repro.bigtable.sorted_map import SortedMap
 from repro.bigtable.cost import CostModel, OpCounter, OpKind
+from repro.bigtable.lsm import (
+    MEMTABLE_SOURCE,
+    TOMBSTONE,
+    BloomFilter,
+    CommitLog,
+    RecoveryReport,
+    SSTable,
+    TableRecovery,
+)
 from repro.bigtable.scan import (
     BlockCache,
     BlockCacheOptions,
@@ -43,6 +60,13 @@ __all__ = [
     "CostModel",
     "OpCounter",
     "OpKind",
+    "MEMTABLE_SOURCE",
+    "TOMBSTONE",
+    "BloomFilter",
+    "CommitLog",
+    "SSTable",
+    "TableRecovery",
+    "RecoveryReport",
     "BlockCache",
     "BlockCacheOptions",
     "ScanPlan",

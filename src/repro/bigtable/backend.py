@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Protocol, Sequence, runtime_checkable
 
 from repro.bigtable.cost import OpCounter
+from repro.bigtable.lsm import RecoveryReport
 from repro.bigtable.scan import TabletCacheStats
 from repro.bigtable.table import ColumnFamily, Table
 from repro.bigtable.tablet import TabletStats
@@ -89,6 +90,31 @@ class StorageBackend(Protocol):
     @property
     def simulated_seconds(self) -> float:
         """Total simulated storage time accumulated so far."""
+        ...
+
+    # ------------------------------------------------------------------
+    # LSM durability plane.  Part of the protocol since PR 4, but consumed
+    # at two levels by design: ``isinstance`` checks against this protocol
+    # (and its ShardedBackend extension) require the methods — a durability
+    # -free backend can satisfy them with no-ops returning 0 / an empty
+    # RecoveryReport — while the MoistIndexer facade probes them tolerantly
+    # with ``getattr`` (the same pattern the cache hooks use), so a legacy
+    # backend that omits them still indexes; it just loses tablet-aware
+    # routing/contention and reports no durability.
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Flush every memtable into an SSTable run (minor compaction);
+        returns the rows written."""
+        ...
+
+    def compact(self, major: bool = False) -> int:
+        """Compact SSTable runs (``major`` merges whole run sets and
+        garbage-collects tombstones); returns the rows written."""
+        ...
+
+    def recover(self) -> RecoveryReport:
+        """Simulate a tablet-server crash and recover bit-identical state
+        from commit logs and SSTable runs."""
         ...
 
 

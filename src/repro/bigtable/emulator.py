@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bigtable.backend import TabletSkew
 from repro.bigtable.cost import CostModel, OpCounter
+from repro.bigtable.lsm import RecoveryReport
 from repro.bigtable.scan import BlockCacheOptions, TabletCacheStats
 from repro.bigtable.table import ColumnFamily, Table
 from repro.bigtable.tablet import TabletOptions, TabletStats
@@ -83,6 +84,58 @@ class BigtableEmulator:
     def simulated_seconds(self) -> float:
         """Total simulated storage time accumulated so far."""
         return self.counter.simulated_seconds
+
+    @property
+    def durability_seconds(self) -> float:
+        """Simulated durability time (commit log, flushes, compactions)
+        accumulated so far — additive to :attr:`simulated_seconds`."""
+        return self.counter.durability_seconds
+
+    # ------------------------------------------------------------------
+    # LSM durability: flush, compaction, crash recovery
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Flush every table's memtables into SSTable runs (minor
+        compactions); returns the total rows written."""
+        return sum(table.flush_memtables() for table in self._tables.values())
+
+    def compact(self, major: bool = False) -> int:
+        """Compact every table's runs (``major`` merges each tablet's whole
+        run set and garbage-collects all tombstones); returns rows written."""
+        return sum(
+            table.compact_runs(major=major) for table in self._tables.values()
+        )
+
+    def recover(self) -> RecoveryReport:
+        """Simulate a cluster-wide tablet-server crash and recover.
+
+        Memtables and block caches are lost; commit logs, SSTable runs and
+        tablet boundaries are durable.  Each table replays its tablets' log
+        tails over their runs, reconstructing bit-identical contents.
+        """
+        return RecoveryReport(
+            tables=tuple(
+                self._tables[name].recover() for name in sorted(self._tables)
+            )
+        )
+
+    def run_count(self) -> int:
+        """SSTable runs across every table."""
+        return sum(table.run_count() for table in self._tables.values())
+
+    def log_record_count(self) -> int:
+        """Unflushed commit-log records across every table."""
+        return sum(table.log_record_count() for table in self._tables.values())
+
+    def write_amplification(self) -> float:
+        """Physical rows written per logical row, cluster-wide."""
+        return self.counter.write_amplification()
+
+    def clear_block_caches(self) -> None:
+        """Drop every table's resident blocks and cache tallies (measurement
+        hygiene for experiments comparing configurations cold)."""
+        for table in self._tables.values():
+            table.cache.clear()
 
     # ------------------------------------------------------------------
     # Cluster-level tablet accounting

@@ -1,0 +1,343 @@
+"""LSM primitives of the tablet engine: commit log, SSTable runs, recovery.
+
+A real BigTable tablet is served from three structures (Section 5.3 of the
+original BigTable paper, which MOIST inherits wholesale):
+
+* a *commit log* absorbing every mutation durably before it is acknowledged,
+  with group commit batching many mutations into one fsync;
+* an in-memory *memtable* holding the recently committed state;
+* immutable *SSTables* on GFS — sorted runs produced by *minor compactions*
+  (memtable flushes) and consolidated by *merging/major compactions*.
+
+This module provides the durable half of that triple for the emulator:
+:class:`CommitLog` (sequence-numbered logical mutation records, partitionable
+by key so tablet splits can hand each child exactly its history),
+:class:`SSTable` (an immutable sorted run with key-range and Bloom-filter
+metadata, sliceable in O(1) for tablet splits) and the frozen recovery
+reports.  The live tablet machinery (memtable, merged reads, flush and
+compaction scheduling) lives in :mod:`repro.bigtable.tablet`; the charging
+of durability work to the cost ledgers lives in
+:mod:`repro.bigtable.table`.
+
+Everything here survives a simulated tablet-server crash: a crash destroys
+memtables (and the block cache), while commit logs, SSTable runs and tablet
+boundary metadata (BigTable's METADATA table, itself durable) persist and
+recovery replays each tablet's log tail over its runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+#: Cache/source identifier of rows served straight from a tablet's memtable
+#: (as opposed to an SSTable run's ``run_id``).
+MEMTABLE_SOURCE = "mem"
+
+#: Commit-log record opcodes.  Records are plain tuples
+#: ``(seqno, opcode, row_key, *payload)`` — the hottest write path appends
+#: one per mutation, so they stay allocation-light.
+LOG_WRITE = "w"        # (seq, "w", row_key, family, qualifier, value, ts)
+LOG_DELETE_CELL = "dc"  # (seq, "dc", row_key, family, qualifier)
+LOG_DELETE_ROW = "dr"   # (seq, "dr", row_key)
+LOG_AGE_ROW = "age"     # (seq, "age", row_key, source_family, target_family, cutoff)
+
+
+class _Tombstone:
+    """Singleton marker for a deleted row awaiting compaction GC.
+
+    A tombstone lives in the memtable (and in flushed runs) to shadow older
+    SSTable versions of its row; major compaction garbage-collects it once
+    nothing older remains to suppress.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class BloomFilter:
+    """A tiny Bloom filter over row keys (two CRC-derived probes).
+
+    SSTable point lookups consult the filter before binary-searching the
+    run, mirroring BigTable's per-SSTable Bloom filters ("allow us to ask
+    whether an SSTable might contain any data for a specified row").  CRC32
+    keeps membership deterministic across processes (``hash(str)`` is
+    salted), so recovery sees the same filter behaviour as the original run.
+    The bits live in a ``bytearray`` so probes index one byte — O(1)
+    regardless of filter size (a big-int representation would copy the
+    whole filter per shift).
+    """
+
+    __slots__ = ("bits", "mask")
+
+    def __init__(self, keys: Sequence[str], bits_per_key: int = 8) -> None:
+        size = 64
+        target = max(len(keys), 1) * bits_per_key
+        while size < target:
+            size <<= 1
+        self.mask = size - 1
+        bits = bytearray(size >> 3)
+        for key in keys:
+            h1 = crc32(key.encode("utf-8"))
+            h2 = (h1 * 0x9E3779B1) >> 7
+            b1 = h1 & self.mask
+            b2 = h2 & self.mask
+            bits[b1 >> 3] |= 1 << (b1 & 7)
+            bits[b2 >> 3] |= 1 << (b2 & 7)
+        self.bits = bits
+
+    def might_contain(self, key: str) -> bool:
+        """False means definitely absent; True means "probably present"."""
+        h1 = crc32(key.encode("utf-8"))
+        h2 = (h1 * 0x9E3779B1) >> 7
+        bits = self.bits
+        b1 = h1 & self.mask
+        if not bits[b1 >> 3] & (1 << (b1 & 7)):
+            return False
+        b2 = h2 & self.mask
+        return bool(bits[b2 >> 3] & (1 << (b2 & 7)))
+
+
+class SSTable:
+    """One immutable sorted run of ``(row_key, row-or-TOMBSTONE)`` entries.
+
+    A run is produced whole (by a memtable flush or a compaction) and never
+    mutated afterwards; tablet splits *slice* it in O(1) — both children
+    share the same key/value arrays through ``[lo, hi)`` views, exactly as
+    BigTable children initially share their parent's SSTables.  ``run_id``
+    survives slicing (it names the underlying file); the block cache keys
+    entries by ``(tablet, run, block)`` so shared slices never collide.
+    """
+
+    __slots__ = ("run_id", "max_seqno", "_keys", "_values", "_lo", "_hi", "bloom")
+
+    def __init__(
+        self,
+        run_id: str,
+        keys: List[str],
+        values: List[object],
+        max_seqno: int,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        bloom: Optional[BloomFilter] = None,
+    ) -> None:
+        self.run_id = run_id
+        self.max_seqno = max_seqno
+        self._keys = keys
+        self._values = values
+        self._lo = lo
+        self._hi = len(keys) if hi is None else hi
+        self.bloom = bloom if bloom is not None else BloomFilter(keys)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    @property
+    def min_key(self) -> Optional[str]:
+        return self._keys[self._lo] if self._hi > self._lo else None
+
+    @property
+    def max_key(self) -> Optional[str]:
+        return self._keys[self._hi - 1] if self._hi > self._lo else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTable({self.run_id!r}, rows={len(self)}, "
+            f"range=[{self.min_key!r}, {self.max_key!r}], seq={self.max_seqno})"
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[object]:
+        """The run's version of ``key`` (row or TOMBSTONE), or ``None``.
+
+        The Bloom filter rejects most absent keys without touching the
+        sorted array; a false positive just costs the bisect.
+        """
+        if not self.bloom.might_contain(key):
+            return None
+        index = bisect_left(self._keys, key, self._lo, self._hi)
+        if index < self._hi and self._keys[index] == key:
+            return self._values[index]
+        return None
+
+    def scan(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> Iterator[Tuple[str, object]]:
+        """Yield ``(key, value)`` over ``[start, end)`` within the slice."""
+        keys = self._keys
+        values = self._values
+        lo = self._lo if start is None else bisect_left(keys, start, self._lo, self._hi)
+        hi = self._hi if end is None else bisect_left(keys, end, self._lo, self._hi)
+        for index in range(lo, hi):
+            yield keys[index], values[index]
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Every entry of the slice in key order."""
+        return self.scan(None, None)
+
+    # ------------------------------------------------------------------
+    # Split / merge support
+    # ------------------------------------------------------------------
+    def slice(self, start: Optional[str], end: Optional[str]) -> "SSTable":
+        """A view of this run restricted to ``[start, end)`` (shares arrays)."""
+        lo = self._lo if start is None else bisect_left(self._keys, start, self._lo, self._hi)
+        hi = self._hi if end is None else bisect_left(self._keys, end, self._lo, self._hi)
+        return SSTable(
+            self.run_id, self._keys, self._values, self.max_seqno, lo, hi, self.bloom
+        )
+
+    def try_coalesce(self, other: "SSTable") -> Optional["SSTable"]:
+        """Rejoin two adjacent slices of the same underlying run.
+
+        A tablet merge can reunite the halves a split handed to each child;
+        coalescing restores the single view so the cache keys stay unique
+        per (tablet, run).  Returns ``None`` when the slices don't abut or
+        come from different runs.
+        """
+        if self.run_id != other.run_id or self._keys is not other._keys:
+            return None
+        first, second = (self, other) if self._lo <= other._lo else (other, self)
+        if first._hi != second._lo:
+            return None
+        return SSTable(
+            self.run_id,
+            self._keys,
+            self._values,
+            self.max_seqno,
+            first._lo,
+            second._hi,
+            self.bloom,
+        )
+
+
+class CommitLog:
+    """The sequence-numbered mutation log of one tablet.
+
+    Records are logical mutations (see the ``LOG_*`` opcodes) appended in
+    commit order; group commit batches the fsyncs, not the records.  The log
+    is truncated whole at every memtable flush — by then every record's
+    effect lives in the flushed run — and partitioned by row key when the
+    tablet splits, so each child's log is exactly the unflushed history of
+    the keys it owns.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: Optional[List[tuple]] = None) -> None:
+        self.records: List[tuple] = records if records is not None else []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: tuple) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Truncate the log (a flush made every record redundant)."""
+        self.records.clear()
+
+    def split_off(self, key: str) -> "CommitLog":
+        """Move every record whose row key is ``>= key`` into a new log.
+
+        Record order (== seqno order) is preserved on both sides; this is
+        the tablet-split primitive, mirroring how SSTable runs are sliced.
+        """
+        moved = [record for record in self.records if record[2] >= key]
+        self.records = [record for record in self.records if record[2] < key]
+        return CommitLog(moved)
+
+    def absorb(self, other: "CommitLog") -> None:
+        """Fold another tablet's log in, restoring global seqno order
+        (the tablet-merge primitive; ``other`` is emptied)."""
+        if other.records:
+            self.records.extend(other.records)
+            self.records.sort(key=lambda record: record[0])
+            other.records = []
+
+
+@dataclass(frozen=True)
+class TableRecovery:
+    """What recovering one table took."""
+
+    table: str
+    tablets: int
+    runs_opened: int
+    run_rows_loaded: int
+    log_records_replayed: int
+    simulated_seconds: float
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Aggregate outcome of one simulated crash-and-recover cycle."""
+
+    tables: Tuple[TableRecovery, ...] = field(default=())
+
+    @property
+    def runs_opened(self) -> int:
+        return sum(entry.runs_opened for entry in self.tables)
+
+    @property
+    def run_rows_loaded(self) -> int:
+        return sum(entry.run_rows_loaded for entry in self.tables)
+
+    @property
+    def log_records_replayed(self) -> int:
+        return sum(entry.log_records_replayed for entry in self.tables)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(entry.simulated_seconds for entry in self.tables)
+
+    def to_text(self) -> str:
+        """One-line-per-table console rendering."""
+        lines = ["crash recovery"]
+        for entry in self.tables:
+            lines.append(
+                f"  {entry.table}: {entry.tablets} tablets, "
+                f"{entry.runs_opened} runs ({entry.run_rows_loaded} rows) opened, "
+                f"{entry.log_records_replayed} log records replayed, "
+                f"{entry.simulated_seconds * 1e3:.3f} ms"
+            )
+        lines.append(
+            f"  total: {self.log_records_replayed} records replayed over "
+            f"{self.runs_opened} runs in {self.simulated_seconds * 1e3:.3f} ms"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def merge_runs(
+    selected: Sequence[SSTable],
+    drop_tombstones: bool,
+) -> Tuple[List[str], List[object]]:
+    """Merge contiguous runs (newest first) into one sorted key/value pair.
+
+    For every key the newest selected version wins.  ``drop_tombstones``
+    garbage-collects deletion markers — only sound when nothing older than
+    the selected window could still hold the key (i.e. the window reaches
+    the tablet's oldest run, or the compaction is major).
+    """
+    merged: Dict[str, object] = {}
+    for run in reversed(selected):  # oldest -> newest so newest wins
+        merged.update(run.items())
+    keys: List[str] = []
+    values: List[object] = []
+    for key in sorted(merged):
+        value = merged[key]
+        if drop_tombstones and value is TOMBSTONE:
+            continue
+        keys.append(key)
+        values.append(value)
+    return keys, values

@@ -18,10 +18,20 @@ bookkeeping itself.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigtable.cost import OpCounter, OpKind
+from repro.bigtable.lsm import (
+    LOG_AGE_ROW,
+    LOG_DELETE_CELL,
+    LOG_DELETE_ROW,
+    LOG_WRITE,
+    MEMTABLE_SOURCE,
+    TOMBSTONE,
+    TableRecovery,
+)
 from repro.bigtable.scan import (
     BlockCache,
     BlockCacheOptions,
@@ -74,6 +84,18 @@ class _Row:
             cells for qualifiers in self.families.values() for cells in qualifiers.values()
         )
 
+    def copy(self) -> "_Row":
+        """Structural copy for pulling a run-resident row back into the
+        memtable (cells are immutable and shared)."""
+        clone = _Row()
+        clone.families = {
+            family: {
+                qualifier: list(cells) for qualifier, cells in qualifiers.items()
+            }
+            for family, qualifiers in self.families.items()
+        }
+        return clone
+
 
 class _TabletTally:
     """Per-tablet row tally of one multi-row operation (scan or batch).
@@ -117,13 +139,16 @@ class _GroupCommit:
     split/merge checks for the touched tablets.
     """
 
-    __slots__ = ("pending", "tablets", "dirty", "calls")
+    __slots__ = ("pending", "tablets", "dirty", "calls", "log_appends")
 
     def __init__(self) -> None:
         self.pending: Dict[Tuple[str, OpKind], int] = {}
         self.tablets: Dict[str, Tablet] = {}
         self.dirty: Dict[str, Tablet] = {}
         self.calls = 0
+        #: Commit-log records appended per tablet inside this block: the
+        #: block's exit is the group fsync, charged once per tablet log.
+        self.log_appends: Dict[str, int] = {}
 
     def add(self, tablet: Tablet, kind: OpKind, structural: bool) -> None:
         key = (tablet.tablet_id, kind)
@@ -170,6 +195,12 @@ class Table:
         self._scanner = Scanner(self.counter, self._tablets, self.cache)
         self._group: Optional[_GroupCommit] = None
         self._group_depth = 0
+        #: Monotonic per-table mutation sequence: stamps commit-log records
+        #: and orders SSTable runs.
+        self._seq = 0
+        #: Active :meth:`deferred_log_syncs` tally (tablet -> records), or
+        #: ``None`` when point mutations sync their log individually.
+        self._log_sync_tally: Optional[Dict[str, Tuple[Tablet, int]]] = None
 
     # ------------------------------------------------------------------
     # Schema
@@ -220,6 +251,106 @@ class Table:
         if structural:
             self._tablets.maybe_split(tablet)
             self._tablets.maybe_merge(tablet)
+        self._maybe_flush(tablet)
+
+    def _log_mutation(
+        self, tablet: Tablet, opcode: str, row_key: str, *payload: object
+    ) -> bool:
+        """Append one logical mutation to the tablet's commit log.
+
+        The fsync is charged to the durability ledger: immediately (one
+        record per sync) outside a group commit, or batched per tablet at
+        group-commit flush — BigTable's group commit.  Returns whether a
+        record was appended (False with the log disabled); callers batching
+        their own fsyncs use :meth:`_log_batch_record` instead.
+        """
+        self._seq += 1
+        self.counter.logical_write_rows += 1
+        tablet.counter.logical_write_rows += 1
+        if not self.options.commit_log_enabled:
+            return False
+        tablet.log.append((self._seq, opcode, row_key) + payload)
+        group = self._group
+        if group is not None:
+            tablet_id = tablet.tablet_id
+            group.log_appends[tablet_id] = group.log_appends.get(tablet_id, 0) + 1
+            group.tablets[tablet_id] = tablet
+        elif self._log_sync_tally is not None:
+            tally = self._log_sync_tally
+            entry = tally.get(tablet.tablet_id)
+            tally[tablet.tablet_id] = (
+                tablet,
+                1 if entry is None else entry[1] + 1,
+            )
+        else:
+            self.counter.record_durability(OpKind.LOG_APPEND, rows=1)
+            tablet.counter.record_durability(OpKind.LOG_APPEND, rows=1)
+        return True
+
+    @contextmanager
+    def deferred_log_syncs(self):
+        """Batch the *fsync accounting* of point mutations issued inside the
+        block: one LOG_APPEND per touched tablet at exit instead of one per
+        record.  Unlike :meth:`group_commit` this changes nothing else — no
+        charging, split/merge or flush timing moves — so rewrite loops that
+        manage their own storage charging (the aging/archive drains) can
+        batch their commit-log syncs without perturbing table behaviour.
+        Re-entrant blocks and group commits simply keep the outer context.
+        """
+        if self._log_sync_tally is not None or self._group is not None:
+            yield
+            return
+        tally: Dict[str, Tuple[Tablet, int]] = {}
+        self._log_sync_tally = tally
+        try:
+            yield
+        finally:
+            self._log_sync_tally = None
+            self._charge_log_syncs(tally)
+
+    def _log_batch_record(
+        self,
+        tablet: Tablet,
+        appended: Dict[str, Tuple[Tablet, int]],
+        opcode: str,
+        row_key: str,
+        *payload: object,
+    ) -> None:
+        """Append a log record whose fsync the caller batches: the record
+        is tallied into ``appended`` (tablet -> record count) and
+        :meth:`_charge_log_syncs` later charges one group fsync per tablet
+        (the batch-RPC paths' group commit)."""
+        self._seq += 1
+        self.counter.logical_write_rows += 1
+        tablet.counter.logical_write_rows += 1
+        if not self.options.commit_log_enabled:
+            return
+        tablet.log.append((self._seq, opcode, row_key) + payload)
+        entry = appended.get(tablet.tablet_id)
+        appended[tablet.tablet_id] = (
+            tablet,
+            1 if entry is None else entry[1] + 1,
+        )
+
+    def _charge_log_syncs(self, appended: Dict[str, Tuple[Tablet, int]]) -> None:
+        """Charge one group fsync per tablet for deferred log appends."""
+        for tablet, count in appended.values():
+            self.counter.record_durability(OpKind.LOG_APPEND, rows=count)
+            tablet.counter.record_durability(OpKind.LOG_APPEND, rows=count)
+
+    def _maybe_flush(self, tablet: Tablet) -> None:
+        """Flush the memtable once it outgrew the configured threshold.
+
+        Both the memtable's row count and its unflushed log tail count
+        against the threshold: an overwrite-heavy tablet grows its log (and
+        therefore its recovery debt) without adding memtable keys, and a
+        real memtable grows per mutation, not per distinct key.
+        """
+        threshold = self.options.memtable_flush_rows
+        if threshold is None:
+            return
+        if len(tablet.rows) >= threshold or len(tablet.log) >= threshold:
+            self._flush_tablet(tablet)
 
     # ------------------------------------------------------------------
     # Group commit
@@ -254,9 +385,19 @@ class Table:
                 table._group = None
 
     def _flush_group(self) -> None:
-        """Charge every pending mutation and run deferred tablet checks."""
+        """Charge every pending mutation and run deferred tablet checks.
+
+        This is also the group-commit fsync point: every tablet whose log
+        gathered records inside the block is charged one LOG_APPEND (one
+        fsync batching all its records) on the durability ledger.
+        """
         group = self._group
-        if group is None or (group.calls == 0 and not group.dirty):
+        if group is None or (
+            group.calls == 0 and not group.dirty and not group.log_appends
+        ):
+            # log_appends alone still matters: a block of uncharged,
+            # non-structural mutations (e.g. an aging rewrite loop) must
+            # not drop its pending fsync accounting.
             return
         kind_totals: Dict[OpKind, int] = {}
         for (tablet_id, kind), calls in group.pending.items():
@@ -264,10 +405,16 @@ class Table:
             kind_totals[kind] = kind_totals.get(kind, 0) + calls
         for kind, calls in kind_totals.items():
             self.counter.record_many(kind, calls)
+        for tablet_id, appends in group.log_appends.items():
+            tablet = group.tablets[tablet_id]
+            self.counter.record_durability(OpKind.LOG_APPEND, rows=appends)
+            tablet.counter.record_durability(OpKind.LOG_APPEND, rows=appends)
         for tablet in group.dirty.values():
             self._tablets.maybe_split(tablet)
             while self._tablets.maybe_merge(tablet):
                 pass
+        for tablet in group.tablets.values():
+            self._maybe_flush(tablet)
         # Re-arm the buffer: the block may still be open (early flush).
         self._group = _GroupCommit() if self._group_depth > 0 else None
 
@@ -284,14 +431,15 @@ class Table:
         timestamp: float,
     ) -> bool:
         """Apply one cell write to an already-located tablet; returns whether
-        the row is new."""
+        the row is new.  Pure state transition: commit logging and charging
+        are the caller's business (recovery replays through here)."""
         declared = self.family(family)
         self.cache.invalidate_row(tablet.tablet_id, row_key)
-        row = tablet.rows.get(row_key)
+        row = tablet.ensure_writable(row_key)
         added_row = row is None
         if row is None:
             row = _Row()
-            tablet.rows.set(row_key, row)
+            tablet.memtable_put(row_key, row)
         qualifiers = row.families.setdefault(family, {})
         cells = qualifiers.setdefault(qualifier, [])
         cells.insert(0, Cell(timestamp=timestamp, value=value))
@@ -308,21 +456,39 @@ class Table:
         self, tablet: Tablet, row_key: str, family: str, qualifier: str
     ) -> Tuple[bool, bool]:
         """Apply one cell deletion to an already-located tablet; returns
-        ``(existed, removed_row)``."""
+        ``(existed, removed_row)``.  Pure state transition, like
+        :meth:`_write_into`.
+
+        Existence is checked on the merged read view first so a no-op
+        delete never pulls a run-resident row back into the memtable (the
+        copy would be re-flushed unchanged later, inflating write
+        amplification for zero logical change).
+        """
         self.family(family)
         self.cache.invalidate_row(tablet.tablet_id, row_key)
-        existed = False
-        removed_row = False
         row = tablet.rows.get(row_key)
-        if row is not None:
-            qualifiers = row.families.get(family)
-            if qualifiers and qualifier in qualifiers:
-                del qualifiers[qualifier]
-                existed = True
-                if row.is_empty():
-                    tablet.rows.delete(row_key)
-                    removed_row = True
-        return existed, removed_row
+        if row is None and tablet.runs:
+            # Check existence on the frozen run version before pulling it
+            # back: a no-op delete must not copy the row into the memtable
+            # (it would be re-flushed unchanged later).
+            value = tablet.run_lookup(row_key)
+            if (
+                value is not None
+                and value is not TOMBSTONE
+                and qualifier in value.families.get(family, ())
+            ):
+                row = tablet.pull_back(row_key, value)
+        if row is None or row is TOMBSTONE:
+            return False, False
+        qualifiers = row.families.get(family)
+        if not qualifiers or qualifier not in qualifiers:
+            return False, False
+        del qualifiers[qualifier]
+        removed_row = False
+        if row.is_empty():
+            tablet.drop_row(row_key)
+            removed_row = True
+        return True, removed_row
 
     def _note_uncharged_structural(self, tablet: Tablet, merge: bool) -> None:
         """Structural bookkeeping for a mutation whose charging the caller
@@ -348,6 +514,9 @@ class Table:
         added_row = self._write_into(
             tablet, row_key, family, qualifier, value, timestamp
         )
+        self._log_mutation(
+            tablet, LOG_WRITE, row_key, family, qualifier, value, timestamp
+        )
         if _charge:
             self._charge_write(OpKind.WRITE, tablet, structural=added_row)
         elif added_row:
@@ -363,6 +532,8 @@ class Table:
         existed, removed_row = self._delete_cell_from(
             tablet, row_key, family, qualifier
         )
+        if existed:
+            self._log_mutation(tablet, LOG_DELETE_CELL, row_key, family, qualifier)
         if _charge:
             self._charge_write(OpKind.DELETE, tablet, structural=removed_row)
         elif removed_row:
@@ -370,10 +541,13 @@ class Table:
         return existed
 
     def delete_row(self, row_key: str, _charge: bool = True) -> bool:
-        """Delete an entire row."""
+        """Delete an entire row (a tombstone shadows any run-resident
+        versions until compaction garbage-collects them)."""
         tablet = self._tablets.locate(row_key)
         self.cache.invalidate_row(tablet.tablet_id, row_key)
-        removed = tablet.rows.delete(row_key)
+        removed = tablet.drop_row(row_key)
+        if removed:
+            self._log_mutation(tablet, LOG_DELETE_ROW, row_key)
         if _charge:
             self._charge_write(OpKind.DELETE, tablet, structural=removed)
         elif removed:
@@ -391,7 +565,7 @@ class Table:
         tablet = self._tablets.locate(row_key)
         if _charge:
             self._charge_read(OpKind.READ, tablet)
-        row = tablet.rows.get(row_key)
+        row = tablet.live_row(row_key)
         if row is None:
             return None
         cells = row.families.get(family, {}).get(qualifier)
@@ -407,7 +581,7 @@ class Table:
         tablet = self._tablets.locate(row_key)
         if _charge:
             self._charge_read(OpKind.READ, tablet)
-        row = tablet.rows.get(row_key)
+        row = tablet.live_row(row_key)
         if row is None:
             return []
         return list(row.families.get(family, {}).get(qualifier, []))
@@ -422,7 +596,7 @@ class Table:
         tablet = self._tablets.locate(row_key)
         if _charge:
             self._charge_read(OpKind.READ, tablet)
-        row = tablet.rows.get(row_key)
+        row = tablet.live_row(row_key)
         if row is None:
             raise RowNotFoundError(f"row {row_key!r} not found in table {self.name!r}")
         return {
@@ -435,7 +609,7 @@ class Table:
         tablet = self._tablets.locate(row_key)
         if _charge:
             self._charge_read(OpKind.READ, tablet)
-        return row_key in tablet.rows
+        return tablet.live_row(row_key) is not None
 
     # ------------------------------------------------------------------
     # Scans and batches
@@ -535,7 +709,7 @@ class Table:
         for row_key in row_keys:
             tablet = self._tablets.locate(row_key)
             tally.add(tablet)
-            row = tablet.rows.get(row_key)
+            row = tablet.live_row(row_key)
             if row is None:
                 continue
             results[row_key] = {
@@ -554,26 +728,40 @@ class Table:
         Each mutation is ``(row_key, family, qualifier, value, timestamp)``.
         """
         tally = _TabletTally()
+        appended: Dict[str, Tuple[Tablet, int]] = {}
         for row_key, family, qualifier, value, timestamp in mutations:
             tablet = self._tablets.locate(row_key)
             self._write_into(tablet, row_key, family, qualifier, value, timestamp)
             tally.add(tablet)
+            self._log_batch_record(
+                tablet, appended, LOG_WRITE, row_key, family, qualifier, value,
+                timestamp,
+            )
         self.counter.record(OpKind.BATCH_WRITE, rows=max(len(mutations), 1))
         tally.charge(self._tablets, OpKind.BATCH_WRITE)
+        self._charge_log_syncs(appended)
         for tablet in tally.tablets():
             self._tablets.maybe_split(tablet)
+            self._maybe_flush(tablet)
 
     def batch_delete(self, deletes: Sequence[Tuple[str, str, str]]) -> None:
         """Apply several cell deletions in one RPC."""
         tally = _TabletTally()
+        appended: Dict[str, Tuple[Tablet, int]] = {}
         for row_key, family, qualifier in deletes:
             tablet = self._tablets.locate(row_key)
-            self._delete_cell_from(tablet, row_key, family, qualifier)
+            existed, _ = self._delete_cell_from(tablet, row_key, family, qualifier)
             tally.add(tablet)
+            if existed:
+                self._log_batch_record(
+                    tablet, appended, LOG_DELETE_CELL, row_key, family, qualifier
+                )
         self.counter.record(OpKind.BATCH_WRITE, rows=max(len(deletes), 1))
         tally.charge(self._tablets, OpKind.BATCH_WRITE)
+        self._charge_log_syncs(appended)
         for tablet in tally.tablets():
             self._tablets.maybe_merge(tablet)
+            self._maybe_flush(tablet)
 
     # ------------------------------------------------------------------
     # Aging
@@ -592,37 +780,219 @@ class Table:
         the affected rows.
         """
         self.family(source_family)
-        target = self.family(target_family)
+        self.family(target_family)
         moved = 0
         touched_rows = 0
         tally = _TabletTally()
-        for tablet, row_key, row in self._tablets.scan(None, None):
-            qualifiers = row.families.get(source_family)
-            if not qualifiers:
+        appended: Dict[str, Tuple[Tablet, int]] = {}
+        # Two passes: aging a run-resident row pulls it back into the
+        # memtable, which must not happen under the merged iterator.
+        candidates = [
+            (tablet, row_key)
+            for tablet, row_key, row in self._tablets.scan(None, None)
+            if self._has_aged_cells(row, source_family, cutoff_timestamp)
+        ]
+        for tablet, row_key in candidates:
+            row_moved = self._age_row(
+                tablet, row_key, source_family, target_family, cutoff_timestamp
+            )
+            if row_moved == 0:
                 continue
-            row_touched = False
-            for qualifier, cells in qualifiers.items():
-                fresh = [cell for cell in cells if cell.timestamp >= cutoff_timestamp]
-                aged = [cell for cell in cells if cell.timestamp < cutoff_timestamp]
-                if not aged:
-                    continue
-                row_touched = True
-                cells[:] = fresh
-                destination = row.families.setdefault(target_family, {}).setdefault(
-                    qualifier, []
-                )
-                destination.extend(aged)
-                destination.sort(key=lambda cell: cell.timestamp, reverse=True)
-                if target.max_versions > 0 and len(destination) > target.max_versions:
-                    del destination[target.max_versions:]
-                moved += len(aged)
-            if row_touched:
-                touched_rows += 1
-                tally.add(tablet)
-                self.cache.invalidate_row(tablet.tablet_id, row_key)
+            moved += row_moved
+            touched_rows += 1
+            tally.add(tablet)
+            self._log_batch_record(
+                tablet,
+                appended,
+                LOG_AGE_ROW,
+                row_key,
+                source_family,
+                target_family,
+                cutoff_timestamp,
+            )
         self.counter.record(OpKind.BATCH_WRITE, rows=max(touched_rows, 1))
         tally.charge(self._tablets, OpKind.BATCH_WRITE)
+        self._charge_log_syncs(appended)
+        for tablet in tally.tablets():
+            self._maybe_flush(tablet)
         return moved
+
+    @staticmethod
+    def _has_aged_cells(row, source_family: str, cutoff_timestamp: float) -> bool:
+        qualifiers = row.families.get(source_family)
+        if not qualifiers:
+            return False
+        return any(
+            cell.timestamp < cutoff_timestamp
+            for cells in qualifiers.values()
+            for cell in cells
+        )
+
+    def _age_row(
+        self,
+        tablet: Tablet,
+        row_key: str,
+        source_family: str,
+        target_family: str,
+        cutoff_timestamp: float,
+    ) -> int:
+        """Apply the per-row aging transform (also the AGE log replay path);
+        returns the number of cells moved."""
+        target = self.family(target_family)
+        row = tablet.ensure_writable(row_key)
+        if row is None:
+            return 0
+        qualifiers = row.families.get(source_family)
+        if not qualifiers:
+            return 0
+        moved = 0
+        for qualifier, cells in qualifiers.items():
+            fresh = [cell for cell in cells if cell.timestamp >= cutoff_timestamp]
+            aged = [cell for cell in cells if cell.timestamp < cutoff_timestamp]
+            if not aged:
+                continue
+            cells[:] = fresh
+            destination = row.families.setdefault(target_family, {}).setdefault(
+                qualifier, []
+            )
+            destination.extend(aged)
+            destination.sort(key=lambda cell: cell.timestamp, reverse=True)
+            if target.max_versions > 0 and len(destination) > target.max_versions:
+                del destination[target.max_versions:]
+            moved += len(aged)
+        if moved:
+            self.cache.invalidate_row(tablet.tablet_id, row_key)
+        return moved
+
+    # ------------------------------------------------------------------
+    # LSM durability: flush, compaction, crash recovery
+    # ------------------------------------------------------------------
+    def _flush_tablet(self, tablet: Tablet) -> int:
+        """Flush one memtable into a new run (minor compaction), charging
+        the durability ledgers and keeping the run count tiered."""
+        flushed = tablet.flush(self._seq)
+        if flushed:
+            # The flushed rows now live in the (cold) new run; their
+            # memtable blocks are gone.
+            self.cache.invalidate_source(tablet.tablet_id, MEMTABLE_SOURCE)
+            self.counter.record_durability(OpKind.COMPACTION_WRITE, rows=flushed)
+            tablet.counter.record_durability(OpKind.COMPACTION_WRITE, rows=flushed)
+            if len(tablet.runs) > self.options.compaction_max_runs:
+                self._compact_tablet(tablet)
+        return flushed
+
+    def _compact_tablet(self, tablet: Tablet, major: bool = False) -> int:
+        """Run one (size-tiered or major) compaction on a tablet; returns
+        rows written into the replacement run."""
+        if major:
+            window = list(tablet.runs)
+            if not window:
+                return 0
+        else:
+            window = tablet.compaction_window(self.options.compaction_max_runs)
+            if len(window) < 2:
+                return 0
+        consumed = {run.run_id for run in window}
+        rows_read, rows_written = tablet.compact(window, drop_all_tombstones=major)
+        for run_id in consumed:
+            self.cache.invalidate_source(tablet.tablet_id, run_id)
+        # One COMPACTION_READ call per compaction (its rows are the rows of
+        # every consumed run), so ``durability_count(COMPACTION_READ)`` is
+        # the number of compactions run — not runs consumed.
+        self.counter.record_durability(OpKind.COMPACTION_READ, rows=rows_read)
+        tablet.counter.record_durability(OpKind.COMPACTION_READ, rows=rows_read)
+        if rows_written:
+            self.counter.record_durability(OpKind.COMPACTION_WRITE, rows=rows_written)
+            tablet.counter.record_durability(
+                OpKind.COMPACTION_WRITE, rows=rows_written
+            )
+        return rows_written
+
+    def flush_memtables(self) -> int:
+        """Flush every tablet's memtable (an explicit minor compaction
+        across the table); returns the rows written to new runs."""
+        return sum(
+            self._flush_tablet(tablet) for tablet in self._tablets.tablets()
+        )
+
+    def compact_runs(self, major: bool = False) -> int:
+        """Compact every tablet's runs; ``major`` merges each tablet's whole
+        run set and garbage-collects every tombstone.  Returns rows written."""
+        return sum(
+            self._compact_tablet(tablet, major=major)
+            for tablet in self._tablets.tablets()
+        )
+
+    def recover(self) -> TableRecovery:
+        """Simulate a tablet-server crash and recover from durable state.
+
+        Every memtable (and the block cache — it lived in the crashed
+        server's memory) is discarded; tablet boundaries, SSTable runs and
+        commit logs are durable.  Each tablet re-opens its runs and replays
+        its log tail through the regular (uncharged) apply path, which
+        reconstructs the exact pre-crash memtable: the log holds precisely
+        the mutations since that tablet's last flush, in commit order.
+        """
+        self.cache.clear()
+        model = self.counter.model
+        runs_opened = 0
+        run_rows = 0
+        replayed = 0
+        for tablet in self._tablets.tablets():
+            tablet.crash()
+            runs_opened += len(tablet.runs)
+            run_rows += sum(len(run) for run in tablet.runs)
+            for record in tablet.log.records:
+                self._apply_log_record(tablet, record)
+            replayed += len(tablet.log.records)
+        # Recovery time = per-run open overhead (index + Bloom metadata, not
+        # the data blocks — those fault in lazily afterwards) plus the log
+        # replay.  It is reported through the RecoveryReport; the durability
+        # ledger keeps tracking only steady-state log/flush/compaction I/O,
+        # so write-amplification figures are not polluted by crashes.
+        simulated = (
+            runs_opened * model.run_open_rpc + replayed * model.log_replay_row
+        )
+        return TableRecovery(
+            table=self.name,
+            tablets=self.tablet_count(),
+            runs_opened=runs_opened,
+            run_rows_loaded=run_rows,
+            log_records_replayed=replayed,
+            simulated_seconds=simulated,
+        )
+
+    def _apply_log_record(self, tablet: Tablet, record: tuple) -> None:
+        """Re-apply one commit-log record during recovery (no charging, no
+        re-logging — the record is already durable)."""
+        opcode = record[1]
+        row_key = record[2]
+        if opcode == LOG_WRITE:
+            _, _, _, family, qualifier, value, timestamp = record
+            self._write_into(tablet, row_key, family, qualifier, value, timestamp)
+        elif opcode == LOG_DELETE_CELL:
+            _, _, _, family, qualifier = record
+            self._delete_cell_from(tablet, row_key, family, qualifier)
+        elif opcode == LOG_DELETE_ROW:
+            self.cache.invalidate_row(tablet.tablet_id, row_key)
+            tablet.drop_row(row_key)
+        elif opcode == LOG_AGE_ROW:
+            _, _, _, source_family, target_family, cutoff = record
+            self._age_row(tablet, row_key, source_family, target_family, cutoff)
+        else:  # pragma: no cover - corrupt log guard
+            raise ColumnFamilyError(f"unknown commit-log opcode {opcode!r}")
+
+    def run_count(self) -> int:
+        """SSTable runs currently held across every tablet."""
+        return sum(len(tablet.runs) for tablet in self._tablets.tablets())
+
+    def log_record_count(self) -> int:
+        """Unflushed commit-log records across every tablet."""
+        return sum(len(tablet.log) for tablet in self._tablets.tablets())
+
+    def write_amplification(self) -> float:
+        """Physical rows written per logical row across the whole table."""
+        return self.counter.write_amplification()
 
     # ------------------------------------------------------------------
     # Tablet introspection (not charged: administrative)
@@ -684,13 +1054,13 @@ class Table:
         """Every row key in order (test helper, not charged).
 
         Tablets are disjoint and in key order, so concatenating each
-        tablet's ``iter_keys`` run yields the global order without touching
+        tablet's live-key run yields the global order without touching
         row values.
         """
         return [
             key
             for tablet in self._tablets.tablets()
-            for key in tablet.rows.iter_keys()
+            for key in tablet.iter_live_keys()
         ]
 
     def memory_cell_count(self) -> int:

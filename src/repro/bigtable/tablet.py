@@ -24,9 +24,17 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from heapq import merge as heap_merge
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.bigtable.cost import CostModel, OpCounter
+from repro.bigtable.lsm import (
+    MEMTABLE_SOURCE,
+    TOMBSTONE,
+    CommitLog,
+    SSTable,
+    merge_runs,
+)
 from repro.bigtable.sorted_map import SortedMap
 from repro.errors import ConfigurationError
 
@@ -54,6 +62,24 @@ class TabletOptions:
     #: A group-commit buffer holding this many pending mutations flushes
     #: early instead of waiting for the batch to end.
     group_commit_size: int = 256
+    #: A memtable holding at least this many entries is flushed into an
+    #: immutable SSTable run (a *minor compaction*).  ``None`` — the
+    #: default — flushes only on demand (``Table.flush_memtables``), which
+    #: keeps the read path single-structure and every pre-LSM experiment
+    #: bit-identical; durability experiments dial it down to exercise the
+    #: flush/compaction/recovery machinery.
+    memtable_flush_rows: Optional[int] = None
+    #: After a flush, a tablet holding more runs than this merges its
+    #: cheapest contiguous window back down (size-tiered compaction).  Wide
+    #: enough that runs tier geometrically — a tighter cap forces the big
+    #: runs into merges constantly and write amplification climbs past the
+    #: ~3x budget the engine aims for.
+    compaction_max_runs: int = 8
+    #: Whether mutations append to the per-tablet commit log.  On by
+    #: default: log appends charge only the separate durability ledger, so
+    #: they are invisible to the calibrated service times while making
+    #: every tablet crash-recoverable.
+    commit_log_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.split_threshold <= 1:
@@ -69,6 +95,10 @@ class TabletOptions:
             raise ConfigurationError("max_tablets must be >= 1")
         if self.group_commit_size < 1:
             raise ConfigurationError("group_commit_size must be >= 1")
+        if self.memtable_flush_rows is not None and self.memtable_flush_rows < 1:
+            raise ConfigurationError("memtable_flush_rows must be >= 1 or None")
+        if self.compaction_max_runs < 1:
+            raise ConfigurationError("compaction_max_runs must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -84,33 +114,370 @@ class TabletStats:
     simulated_seconds: float
     read_seconds: float
     write_seconds: float
+    #: LSM engine state and durability accounting (additive to the
+    #: paper-facing fields above).
+    run_count: int = 0
+    log_records: int = 0
+    durability_seconds: float = 0.0
+    write_amplification: float = 1.0
 
 
 class Tablet:
-    """One contiguous row-key range ``[start_key, end_key)`` of a table.
+    """One contiguous row-key range ``[start_key, end_key)`` of a table,
+    served LSM-style.
+
+    The tablet's state is the classic BigTable triple: ``rows`` is the
+    *memtable* (recently committed rows, or :data:`TOMBSTONE` markers
+    shadowing deleted run rows), ``runs`` the immutable SSTables produced
+    by flushes and compactions (newest first), and ``log`` the commit log
+    holding every mutation since the last flush.  Reads merge the triple
+    with newest-version-wins semantics; a mutation of a run-resident row
+    first *pulls it back* into the memtable (copy-on-write), so runs are
+    never modified in place and a flushed row's newest version always lives
+    in exactly one place.
 
     The end key is owned by the locator (it is simply the next tablet's
-    start); a tablet only knows where it begins, its rows, and the operation
-    counter that accumulates the load it served.
+    start); the tablet only knows where it begins, its rows, and the
+    operation counter that accumulates the load it served.
     """
 
-    __slots__ = ("tablet_id", "start_key", "rows", "counter")
+    __slots__ = (
+        "tablet_id",
+        "start_key",
+        "rows",
+        "runs",
+        "log",
+        "counter",
+        "_tombstones",
+        "_run_extra",
+        "_next_run",
+    )
 
     def __init__(self, tablet_id: str, start_key: str, model: CostModel) -> None:
         self.tablet_id = tablet_id
         self.start_key = start_key
         self.rows = SortedMap()
+        self.runs: List[SSTable] = []
+        self.log = CommitLog()
         self.counter = OpCounter(model=model)
+        #: TOMBSTONE entries currently in the memtable.
+        self._tombstones = 0
+        #: Live rows whose newest version lives in a run (not shadowed by
+        #: any memtable entry).  ``row_count`` = memtable live + this.
+        self._run_extra = 0
+        self._next_run = 0
 
     @property
     def row_count(self) -> int:
-        return len(self.rows)
+        return len(self.rows) - self._tombstones + self._run_extra
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Tablet({self.tablet_id!r}, start={self.start_key!r}, "
-            f"rows={self.row_count})"
+            f"rows={self.row_count}, runs={len(self.runs)}, log={len(self.log)})"
         )
+
+    # ------------------------------------------------------------------
+    # Merged (LSM) reads
+    # ------------------------------------------------------------------
+    def run_lookup(self, key: str) -> Optional[object]:
+        """Newest run version of ``key`` (row or TOMBSTONE), or ``None``.
+
+        Runs are consulted newest-first; each run's Bloom filter rejects
+        most absent keys before the binary search.
+        """
+        for run in self.runs:
+            value = run.get(key)
+            if value is not None:
+                return value
+        return None
+
+    def live_row(self, key: str) -> Optional[object]:
+        """The current row of ``key`` across memtable and runs, or ``None``
+        (absent or deleted).  Never mutates: run rows are returned as-is and
+        must not be modified by the caller."""
+        row = self.rows.get(key)
+        if row is not None:
+            return None if row is TOMBSTONE else row
+        if self.runs:
+            value = self.run_lookup(key)
+            if value is not None and value is not TOMBSTONE:
+                return value
+        return None
+
+    def pull_back(self, key: str, value: object) -> object:
+        """Install a mutable copy of a run-resident row into the memtable.
+
+        ``value`` is the newest (live) run version the caller already
+        located via :meth:`run_lookup`; the copy shadows it from now on.
+        """
+        copy = value.copy()
+        self.rows.set(key, copy)
+        self._run_extra -= 1
+        return copy
+
+    def ensure_writable(self, key: str) -> Optional[object]:
+        """The memtable row of ``key`` ready for in-place mutation.
+
+        Pulls a run-resident row back into the memtable as a copy first
+        (runs are immutable).  Returns ``None`` when the row does not exist
+        (absent everywhere, or deleted) — the caller creates it and
+        registers it through :meth:`memtable_put`.
+        """
+        row = self.rows.get(key)
+        if row is not None:
+            return None if row is TOMBSTONE else row
+        if self.runs:
+            value = self.run_lookup(key)
+            if value is not None and value is not TOMBSTONE:
+                return self.pull_back(key, value)
+        return None
+
+    def memtable_put(self, key: str, row: object) -> None:
+        """Insert a freshly created row for a key :meth:`ensure_writable`
+        reported absent (replacing a tombstone if one shadowed the key)."""
+        if self.rows.get(key) is TOMBSTONE:
+            self._tombstones -= 1
+        self.rows.set(key, row)
+
+    def drop_row(self, key: str) -> bool:
+        """Delete ``key``'s row from the merged view; returns whether a live
+        row existed.  Writes a tombstone when any run still holds a live
+        version (removing only the memtable entry would resurrect it)."""
+        existing = self.rows.get(key)
+        if existing is TOMBSTONE:
+            return False
+        if existing is not None:
+            if self.runs and self._run_holds_live(key):
+                self.rows.set(key, TOMBSTONE)
+                self._tombstones += 1
+            else:
+                self.rows.delete(key)
+            return True
+        if not self.runs or not self._run_holds_live(key):
+            return False
+        self.rows.set(key, TOMBSTONE)
+        self._tombstones += 1
+        self._run_extra -= 1
+        return True
+
+    def _run_holds_live(self, key: str) -> bool:
+        value = self.run_lookup(key)
+        return value is not None and value is not TOMBSTONE
+
+    def merged_scan(
+        self,
+        start: Optional[str] = None,
+        end: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Tuple[str, object, str]]:
+        """Yield ``(key, row, source)`` over ``[start, end)`` in key order.
+
+        ``source`` is the run id serving the row's newest version, or
+        :data:`MEMTABLE_SOURCE` — the block cache prices rows by it.  The
+        caller must not mutate the tablet while iterating (pull-backs move
+        rows between structures).
+        """
+        if not self.runs:
+            # Fast path: no runs means no tombstones either — the memtable
+            # IS the merged view, exactly the pre-LSM behaviour.
+            for key, row in self.rows.scan(start, end, limit):
+                yield key, row, MEMTABLE_SOURCE
+            return
+        yield from self._merged_scan_runs(start, end, limit)
+
+    def _merged_scan_runs(
+        self, start: Optional[str], end: Optional[str], limit: Optional[int]
+    ) -> Iterator[Tuple[str, object, str]]:
+        # Decorate each stream with its shadowing rank (memtable = 0, then
+        # runs newest-first) so the heap merge yields the newest version of
+        # every key first; older duplicates are skipped.  The helper binds
+        # ``rank`` per stream (a bare genexp would close over the loop
+        # variable and give every stream the final rank).
+        def decorate(rank: int, stream: Iterator[Tuple[str, object]]):
+            return ((key, rank, value) for key, value in stream)
+
+        streams = [
+            decorate(rank, source.scan(start, end))
+            for rank, source in enumerate([self.rows] + self.runs)
+        ]
+        sources = [MEMTABLE_SOURCE] + [run.run_id for run in self.runs]
+        yielded = 0
+        last_key: Optional[str] = None
+        for key, rank, value in heap_merge(*streams):
+            if key == last_key:
+                continue
+            last_key = key
+            if value is TOMBSTONE:
+                continue
+            yield key, value, sources[rank]
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
+
+    def iter_live_keys(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> Iterator[str]:
+        """Every live row key in ``[start, end)`` across memtable and runs."""
+        if not self.runs:
+            return self.rows.iter_keys(start, end)
+        return (key for key, _, _ in self._merged_scan_runs(start, end, None))
+
+    def merged_count_range(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> int:
+        """Number of live rows in ``[start, end)``."""
+        if not self.runs:
+            return self.rows.count_range(start, end)
+        return sum(1 for _ in self._merged_scan_runs(start, end, None))
+
+    def median_key(self) -> str:
+        """The middle live key (the tablet-split point)."""
+        if not self.runs:
+            # key_at merges the memtable buffer and indexes the sorted run
+            # in place — no full key-list copy per split check.
+            return self.rows.key_at(len(self.rows) // 2)
+        keys = list(self.iter_live_keys())
+        return keys[len(keys) // 2]
+
+    # ------------------------------------------------------------------
+    # Flush (minor compaction) and merging compaction
+    # ------------------------------------------------------------------
+    def _make_run_id(self) -> str:
+        run_id = f"{self.tablet_id}/run-{self._next_run:04d}"
+        self._next_run += 1
+        return run_id
+
+    def flush(self, max_seqno: int) -> int:
+        """Freeze the memtable into a new SSTable run (minor compaction).
+
+        The run inherits every memtable entry — tombstones included when an
+        older run still holds the key they shadow — and the commit log is
+        truncated whole (each of its records' effects now lives in the run).
+        Returns the number of rows written (0 when the memtable is empty).
+        """
+        if len(self.rows) == 0:
+            # An empty memtable still truncates the log: every record since
+            # the last flush net-cancelled (a mutation shadowing a run row
+            # would have left a memtable entry), so replaying the tail
+            # reproduces exactly this empty memtable.  Without this, a
+            # write/delete cycle grows the log past the flush threshold
+            # that exists to bound it.
+            self.log.clear()
+            return 0
+        keys: List[str] = []
+        values: List[object] = []
+        live_moved = len(self.rows) - self._tombstones
+        for key, value in self.rows.items():
+            if value is TOMBSTONE and not self._run_holds_live(key):
+                # Nothing older left to shadow: GC the tombstone at flush.
+                continue
+            keys.append(key)
+            values.append(value)
+        if keys:
+            self.runs.insert(0, SSTable(self._make_run_id(), keys, values, max_seqno))
+        self.rows.clear()
+        self._tombstones = 0
+        self._run_extra += live_moved
+        self.log.clear()
+        return len(keys)
+
+    def compaction_window(self, max_runs: int) -> List[SSTable]:
+        """The contiguous run window a size-tiered compaction would merge.
+
+        Chooses the cheapest (fewest total rows) contiguous window just
+        large enough to bring the run count back to ``max_runs`` — merging
+        similarly sized neighbours first, which is what keeps write
+        amplification bounded.  Empty when no compaction is due.  Windows
+        are always contiguous in recency order: merging non-adjacent runs
+        would break newest-version-wins shadowing.
+        """
+        excess = len(self.runs) - max_runs
+        if excess <= 0:
+            return []
+        width = excess + 1
+        sizes = [len(run) for run in self.runs]
+        best_start = 0
+        best_cost = sum(sizes[:width])
+        window_cost = best_cost
+        for start in range(1, len(self.runs) - width + 1):
+            window_cost += sizes[start + width - 1] - sizes[start - 1]
+            if window_cost < best_cost:
+                best_cost = window_cost
+                best_start = start
+        return self.runs[best_start : best_start + width]
+
+    def compact(
+        self, selected: List[SSTable], drop_all_tombstones: bool
+    ) -> Tuple[int, int]:
+        """Merge a contiguous window of runs into one (newest wins).
+
+        Returns ``(rows_read, rows_written)``.  Tombstones are dropped when
+        the window reaches the tablet's oldest run (nothing below remains to
+        shadow) or the caller forces it (major compaction).
+        """
+        if not selected:
+            return 0, 0
+        first = self.runs.index(selected[0])
+        includes_oldest = first + len(selected) == len(self.runs)
+        rows_read = sum(len(run) for run in selected)
+        keys, values = merge_runs(
+            selected, drop_tombstones=drop_all_tombstones or includes_oldest
+        )
+        replacement: List[SSTable] = []
+        if keys:
+            run = SSTable(
+                self._make_run_id(), keys, values, selected[0].max_seqno
+            )
+            replacement.append(run)
+        self.runs[first : first + len(selected)] = replacement
+        if not self.runs and self._tombstones:
+            # Every run is gone: memtable tombstones shadow nothing anymore.
+            for key in [k for k, v in list(self.rows.items()) if v is TOMBSTONE]:
+                self.rows.delete(key)
+                self._tombstones -= 1
+        return rows_read, len(keys)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose the memtable (a tablet-server crash).  Runs, commit log and
+        boundary metadata are durable and survive."""
+        self.rows.clear()
+        self._tombstones = 0
+        self._run_extra = self._count_run_live()
+
+    def _count_run_live(self) -> int:
+        """Live keys across runs alone (newest version is not a tombstone)."""
+        if not self.runs:
+            return 0
+        seen: dict = {}
+        for run in self.runs:  # newest first: first sighting wins
+            for key, value in run.items():
+                if key not in seen:
+                    seen[key] = value is not TOMBSTONE
+        return sum(1 for live in seen.values() if live)
+
+    def recompute_counts(self) -> None:
+        """Rebuild the tombstone / run-extra tallies from scratch (used
+        after a split repartitioned all three structures)."""
+        self._tombstones = sum(
+            1 for _, value in self.rows.items() if value is TOMBSTONE
+        )
+        if not self.runs:
+            self._run_extra = 0
+            return
+        # run_extra counts keys whose newest run version is live and that no
+        # memtable entry (row or tombstone) shadows.
+        shadowed_live = sum(
+            1 for key, _ in self.rows.items() if self._run_holds_live(key)
+        )
+        self._run_extra = self._count_run_live() - shadowed_live
+
+    def write_amplification(self) -> float:
+        """Physical rows written (log + flush + compaction) per logical row."""
+        return self.counter.write_amplification()
 
 
 class TabletLocator:
@@ -194,12 +561,13 @@ class TabletLocator:
         limit: Optional[int] = None,
     ) -> Iterator[Tuple[Tablet, str, object]]:
         """Yield ``(tablet, row_key, row)`` over ``[start, end)`` in global
-        key order, crossing tablet boundaries transparently."""
+        key order, crossing tablet boundaries transparently (rows come from
+        each tablet's merged memtable + run view)."""
         remaining = limit
         for tablet in self.tablets_in_range(start, end):
             if remaining is not None and remaining <= 0:
                 return
-            for key, row in tablet.rows.scan(start, end, remaining):
+            for key, row, _ in tablet.merged_scan(start, end, remaining):
                 yield tablet, key, row
                 if remaining is not None:
                     remaining -= 1
@@ -207,9 +575,9 @@ class TabletLocator:
     def count_range(
         self, start: Optional[str] = None, end: Optional[str] = None
     ) -> int:
-        """Number of rows in ``[start, end)`` across every tablet."""
+        """Number of live rows in ``[start, end)`` across every tablet."""
         return sum(
-            tablet.rows.count_range(start, end)
+            tablet.merged_count_range(start, end)
             for tablet in self.tablets_in_range(start, end)
         )
 
@@ -235,13 +603,29 @@ class TabletLocator:
                 continue
             if len(self._tablets) >= self.options.max_tablets:
                 break
-            # key_at merges the memtable buffer and indexes the sorted run
-            # in place — no full key-list copy per split check.
-            mid_key = candidate.rows.key_at(candidate.row_count // 2)
+            mid_key = candidate.median_key()
             if mid_key <= candidate.start_key:
                 continue
             sibling = self._new_tablet(mid_key)
             sibling.rows = candidate.rows.split_off(mid_key)
+            if candidate.runs:
+                # Children initially share the parent's SSTables as O(1)
+                # sliced views (empty slices are dropped); the commit log is
+                # partitioned by key so each child owns exactly the
+                # unflushed history of its range.
+                sibling.runs = [
+                    piece
+                    for run in candidate.runs
+                    if len(piece := run.slice(mid_key, None))
+                ]
+                candidate.runs = [
+                    piece
+                    for run in candidate.runs
+                    if len(piece := run.slice(None, mid_key))
+                ]
+            sibling.log = candidate.log.split_off(mid_key)
+            candidate.recompute_counts()
+            sibling.recompute_counts()
             index = self._index_for(candidate.start_key)
             self._tablets.insert(index + 1, sibling)
             self._starts.insert(index + 1, mid_key)
@@ -272,6 +656,30 @@ class TabletLocator:
             if left.row_count + right.row_count > self.options.merge_threshold:
                 continue
             left.rows.absorb_after(right.rows)
+            if right.runs or left.runs:
+                # Union of the two (disjoint-range) run sets, newest first.
+                # Slices of the same underlying run — a split being undone —
+                # coalesce back into a single view so the (tablet, run)
+                # cache keys stay unique.  run_id is the seqno tiebreaker:
+                # sibling tablets flushed in one pass share max_seqno, and
+                # a foreign equal-seqno run sorted between two slices of
+                # the same run would defeat the adjacent-only coalesce.
+                combined = sorted(
+                    left.runs + right.runs,
+                    key=lambda run: (-run.max_seqno, run.run_id, run.min_key or ""),
+                )
+                merged_runs: List[SSTable] = []
+                for run in combined:
+                    if merged_runs:
+                        rejoined = merged_runs[-1].try_coalesce(run)
+                        if rejoined is not None:
+                            merged_runs[-1] = rejoined
+                            continue
+                    merged_runs.append(run)
+                left.runs = merged_runs
+                left._run_extra += right._run_extra
+                left._tombstones += right._tombstones
+            left.log.absorb(right.log)
             left.counter.absorb(right.counter)
             del self._tablets[right_index]
             del self._starts[right_index]
@@ -298,6 +706,10 @@ class TabletLocator:
                 simulated_seconds=tablet.counter.simulated_seconds,
                 read_seconds=tablet.counter.read_seconds,
                 write_seconds=tablet.counter.write_seconds,
+                run_count=len(tablet.runs),
+                log_records=len(tablet.log),
+                durability_seconds=tablet.counter.durability_seconds,
+                write_amplification=tablet.write_amplification(),
             )
             for tablet in self._tablets
         ]

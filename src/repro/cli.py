@@ -118,6 +118,7 @@ def _run_figures_inline(names: List[str]) -> int:
     )
     from repro.experiments.headline import run_headline
     from repro.experiments.mixed import run_mixed_sweep
+    from repro.experiments.recovery import run_recovery
     from repro.experiments.scaleout import run_scaleout
 
     catalogue = {
@@ -157,6 +158,13 @@ def _run_figures_inline(names: List[str]) -> int:
                 num_requests=3000,
             )
         ),
+        "recovery": lambda: [
+            run_recovery(
+                memtable_sizes=(256, 512, 1024, None),
+                num_objects=3000,
+                num_updates=4000,
+            )
+        ],
     }
     requested = names or list(catalogue)
     unknown = [name for name in requested if name not in catalogue]
@@ -198,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "figures to run (fig09 fig10 fig11 fig12 fig13 headline scaleout "
-            "mixed); default: all"
+            "mixed recovery); default: all"
         ),
     )
     figures.set_defaults(handler=lambda args: _run_figures_inline(args.names))

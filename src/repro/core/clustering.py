@@ -13,8 +13,8 @@ matching the breakdown of Figure 10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.bigtable.cost import OpCounter
 from repro.core.config import MoistConfig

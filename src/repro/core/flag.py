@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import MoistConfig
-from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.spatial.cell import CellId
 from repro.tables.spatial_index_table import SpatialIndexTable

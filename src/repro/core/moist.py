@@ -22,6 +22,7 @@ from repro.archive.ppp import PPPArchiver
 from repro.bigtable.backend import ShardedBackend, StorageBackend
 from repro.bigtable.cost import CostModel
 from repro.bigtable.emulator import BigtableEmulator
+from repro.bigtable.lsm import RecoveryReport
 from repro.bigtable.scan import BlockCacheOptions, TabletCacheStats
 from repro.bigtable.tablet import TabletOptions, TabletStats
 from repro.core.clustering import ClusteringReport, SchoolClusterer
@@ -441,3 +442,37 @@ class MoistIndexer:
         backends without a block cache)."""
         rate = getattr(self.emulator, "cache_hit_rate", None)
         return rate() if callable(rate) else 0.0
+
+    # ------------------------------------------------------------------
+    # Storage durability (the LSM plane)
+    # ------------------------------------------------------------------
+    def flush_storage(self) -> int:
+        """Flush every memtable into SSTable runs (minor compaction); 0 for
+        backends without an LSM plane."""
+        flush = getattr(self.emulator, "flush", None)
+        return flush() if callable(flush) else 0
+
+    def compact_storage(self, major: bool = False) -> int:
+        """Compact SSTable runs across the backend; 0 for backends without
+        an LSM plane."""
+        compact = getattr(self.emulator, "compact", None)
+        return compact(major=major) if callable(compact) else 0
+
+    def recover_storage(self) -> RecoveryReport:
+        """Crash-and-recover the storage layer (see
+        :meth:`BigtableEmulator.recover`)."""
+        recover = getattr(self.emulator, "recover", None)
+        if not callable(recover):
+            return RecoveryReport()
+        return recover()
+
+    def durability_seconds(self) -> float:
+        """Simulated durability time (log fsyncs, flushes, compactions)
+        accumulated by the backend, additive to :attr:`simulated_seconds`."""
+        counter = getattr(self.emulator, "counter", None)
+        return getattr(counter, "durability_seconds", 0.0)
+
+    def write_amplification(self) -> float:
+        """Physical rows written per logical row across the backend."""
+        amp = getattr(self.emulator, "write_amplification", None)
+        return amp() if callable(amp) else 1.0

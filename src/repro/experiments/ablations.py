@@ -14,7 +14,6 @@ import random
 from typing import List, Sequence, Tuple
 
 from repro.archive.ppp import ArchiveStats, PPPArchiver
-from repro.core.config import MoistConfig
 from repro.core.flag import FlagTuner
 from repro.core.hexgrid import HexGrid
 from repro.experiments.common import uniform_leader_indexer

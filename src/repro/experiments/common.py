@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Tuple
 
+from repro.bigtable.tablet import TabletOptions
 from repro.core.config import MoistConfig
 from repro.core.moist import MoistIndexer
 from repro.baselines.no_school import build_no_school_indexer
@@ -94,18 +95,21 @@ def uniform_leader_indexer(
     storage_level: int = 12,
     seed: int = 17,
     config: Optional[MoistConfig] = None,
+    tablet_options: Optional[TabletOptions] = None,
 ) -> MoistIndexer:
     """A no-school indexer preloaded with uniformly placed leader objects.
 
     This is the setup of the BigTable stress experiments (Figures 12-13):
     every object is a leader, positions and velocities are uniform in the
-    region.
+    region.  ``tablet_options`` tunes the storage engine (the recovery
+    experiment dials the memtable flush threshold down to exercise the
+    LSM flush/compaction machinery).
     """
     base = config or MoistConfig(
         world=BoundingBox(0.0, 0.0, region_size, region_size),
         storage_level=storage_level,
     )
-    indexer = build_no_school_indexer(base)
+    indexer = build_no_school_indexer(base, tablet_options=tablet_options)
     rng = random.Random(seed)
     for index in range(num_objects):
         location = Point(

@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.moist import MoistIndexer
 from repro.experiments.common import (

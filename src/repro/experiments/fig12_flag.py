@@ -29,6 +29,24 @@ def fixed_level_for_cell_size(cell_size_m: float, storage_level: int) -> int:
     return max(1, min(level, storage_level))
 
 
+def _cold_start(indexer: MoistIndexer) -> None:
+    """Reset warm query-path state so configurations measure independently.
+
+    Every fig12 configuration replays the *same* query locations against
+    the same indexer.  The block cache (PR 2) and FLAG's level cache
+    persist across configurations, so whichever configuration ran first
+    paid the cold misses and warmed the blocks for its competitors — a
+    measurement-order bias that had ``test_fig12_density`` failing since
+    PR 2 (FLAG always ran first).  Dropping the warm state before each
+    measurement restores a fair, cold comparison.
+    """
+    clear_caches = getattr(indexer.emulator, "clear_block_caches", None)
+    if callable(clear_caches):
+        clear_caches()
+    if indexer.flag is not None:
+        indexer.flag.invalidate()
+
+
 def measure_nn_query_cost(
     indexer: MoistIndexer,
     k: int,
@@ -84,6 +102,7 @@ def run_fig12_range(
         qps_values = []
         cost_values = []
         for range_limit in range_limits:
+            _cold_start(indexer)
             cost = measure_nn_query_cost(
                 indexer, k, range_limit, nn_level, use_flag, seed=seed
             )
@@ -124,6 +143,7 @@ def run_fig12_density(
             count, region_size=REGION_SIZE, storage_level=storage_level, seed=seed
         )
         for label, nn_level, use_flag in configurations:
+            _cold_start(indexer)
             costs[label].append(
                 measure_nn_query_cost(
                     indexer, k, range_limit, nn_level, use_flag, seed=seed

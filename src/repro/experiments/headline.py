@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from repro.baselines.bxtree import BxTree, BxTreeConfig
 from repro.core.moist import MoistIndexer
-from repro.experiments.common import dense_road_config, school_config, uniform_leader_indexer
+from repro.experiments.common import dense_road_config, school_config
 from repro.experiments.fig13_qps import measure_update_qps
 from repro.experiments.report import FigureResult
-from repro.server.cluster import ServerCluster
-from repro.server.loadtest import LoadTest
 from repro.workload.generator import RoadNetworkWorkload
 from repro.workload.uniform import UniformWorkload
 

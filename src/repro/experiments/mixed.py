@@ -48,12 +48,19 @@ def _mixed_harness(
     k: int,
     failure_probability: float,
     seed: int,
+    tablet_options=None,
 ):
     """Preloaded indexer, tablet-routing cluster and the two request
-    streams whose relative sizes realise ``query_fraction``."""
+    streams whose relative sizes realise ``query_fraction``.
+
+    ``tablet_options`` tunes the storage engine (the benchmark's
+    compaction-stress workload dials the memtable flush threshold down).
+    """
     if not 0.0 <= query_fraction <= 1.0:
         raise ValueError("query_fraction must be in [0, 1]")
-    indexer = uniform_leader_indexer(num_objects, seed=seed)
+    indexer = uniform_leader_indexer(
+        num_objects, seed=seed, tablet_options=tablet_options
+    )
     cluster = ServerCluster(indexer, num_servers=num_servers)
     load_test = LoadTest.with_fleet(
         cluster,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.bigtable.scan import TabletCacheStats
 from repro.bigtable.tablet import TabletStats
@@ -116,7 +116,19 @@ def tablet_load_report(stats: Sequence[TabletStats]) -> str:
     if not stats:
         return "(no tablets)\n"
     total_seconds = sum(entry.simulated_seconds for entry in stats)
-    header = ["table", "tablet", "start", "end", "rows", "calls", "ms", "share"]
+    header = [
+        "table",
+        "tablet",
+        "start",
+        "end",
+        "rows",
+        "calls",
+        "ms",
+        "share",
+        "runs",
+        "log",
+        "wamp",
+    ]
     rows: List[List[str]] = []
     for entry in stats:
         share = entry.simulated_seconds / total_seconds if total_seconds > 0 else 0.0
@@ -130,6 +142,9 @@ def tablet_load_report(stats: Sequence[TabletStats]) -> str:
                 str(entry.op_calls),
                 f"{entry.simulated_seconds * 1e3:.3f}",
                 f"{share:.1%}",
+                str(entry.run_count),
+                str(entry.log_records),
+                f"{entry.write_amplification:.2f}x",
             ]
         )
     lines = ["per-tablet storage accounting"]
@@ -142,6 +157,13 @@ def tablet_load_report(stats: Sequence[TabletStats]) -> str:
     lines.append(
         f"skew: hottest tablet serves {hot_share:.1%} of storage time "
         f"({len(stats)} tablets, max/mean imbalance {imbalance:.2f}x)"
+    )
+    durability_ms = sum(entry.durability_seconds for entry in stats) * 1e3
+    worst_amplification = max(entry.write_amplification for entry in stats)
+    lines.append(
+        f"durability: {durability_ms:.3f} ms of log/flush/compaction work "
+        f"(additive); worst tablet write amplification "
+        f"{worst_amplification:.2f}x"
     )
     return "\n".join(lines) + "\n"
 

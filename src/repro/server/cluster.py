@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence
 from zlib import crc32
 
 from repro.bigtable.backend import ShardedBackend
+from repro.bigtable.lsm import RecoveryReport
 from repro.core.moist import MoistIndexer
 from repro.core.nn_search import NNQueryStats
 from repro.core.update import UpdateResult
@@ -188,6 +189,32 @@ class ServerCluster:
             use_flag=use_flag,
             stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def crash_and_recover(self) -> RecoveryReport:
+        """Crash every tablet server and recover from durable state.
+
+        Memtables and block caches are lost; commit logs, SSTable runs and
+        tablet boundaries survive.  Recovery replays each tablet's log tail
+        over its runs, after which table contents, tablet boundaries and
+        every subsequent query result are bit-identical to the uncrashed
+        run.  The front-end servers themselves are stateless (Section
+        4.3.3), so their counters and the indexer facade carry over; the
+        contention model is invalidated because tablet load concentrations
+        were re-read from a cold start.
+        """
+        backend = self.indexer.emulator
+        recover = getattr(backend, "recover", None)
+        if not callable(recover):
+            raise ConfigurationError(
+                "the storage backend does not support crash recovery"
+            )
+        report = recover()
+        if self.contention is not None:
+            self.contention.invalidate()
+        return report
 
     # ------------------------------------------------------------------
     # Metrics

@@ -170,24 +170,30 @@ class LocationTable:
             for cell in aged:
                 drained.append((object_id, cell.value))
             rewrites.append((object_id, cutoff_timestamp))
-        for object_id, cutoff in rewrites:
-            kept = [
-                cell
-                for cell in self._table.read_versions(
+        # The rewrite loop manages its own storage charging (one batch write
+        # below); batch its commit-log fsync accounting the same way —
+        # without this every rewritten cell would bill an individual fsync.
+        with self._table.deferred_log_syncs():
+            for object_id, cutoff in rewrites:
+                kept = [
+                    cell
+                    for cell in self._table.read_versions(
+                        object_id, family, RECORD_QUALIFIER, _charge=False
+                    )
+                    if cell.timestamp >= cutoff
+                ]
+                self._table.delete_cell(
                     object_id, family, RECORD_QUALIFIER, _charge=False
                 )
-                if cell.timestamp >= cutoff
-            ]
-            self._table.delete_cell(object_id, family, RECORD_QUALIFIER, _charge=False)
-            for cell in reversed(kept):
-                self._table.write(
-                    object_id,
-                    family,
-                    RECORD_QUALIFIER,
-                    cell.value,
-                    cell.timestamp,
-                    _charge=False,
-                )
+                for cell in reversed(kept):
+                    self._table.write(
+                        object_id,
+                        family,
+                        RECORD_QUALIFIER,
+                        cell.value,
+                        cell.timestamp,
+                        _charge=False,
+                    )
         if rewrites:
             self._table.counter.record(OpKind.BATCH_WRITE, rows=len(rewrites))
         return drained

@@ -9,7 +9,7 @@ once object schools are active (Section 3.1.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.bigtable.backend import StorageBackend
 from repro.bigtable.scan import ScanPlan

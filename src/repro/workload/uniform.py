@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import WorkloadError
 from repro.geometry.bbox import BoundingBox

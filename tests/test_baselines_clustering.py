@@ -7,7 +7,6 @@ from repro.baselines.no_school import build_no_school_indexer
 from repro.baselines.static_clustering import StaticClusteringIndex, default_prototypes
 from repro.core.config import MoistConfig
 from repro.core.moist import MoistIndexer
-from repro.core.update import UpdateOutcome
 from repro.errors import ConfigurationError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point

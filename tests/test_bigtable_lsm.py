@@ -1,0 +1,364 @@
+"""Tests for the LSM primitives: commit log, SSTables, flush, compaction,
+merged reads and the durability ledger."""
+
+import pytest
+
+from repro.bigtable.cost import CostModel, OpCounter, OpKind
+from repro.bigtable.lsm import (
+    MEMTABLE_SOURCE,
+    TOMBSTONE,
+    BloomFilter,
+    CommitLog,
+    SSTable,
+)
+from repro.bigtable.table import ColumnFamily, Table
+from repro.bigtable.tablet import TabletOptions
+from repro.errors import ConfigurationError
+
+LSM = TabletOptions(
+    split_threshold=16,
+    merge_threshold=6,
+    group_commit_size=8,
+    memtable_flush_rows=8,
+    compaction_max_runs=3,
+)
+
+
+def make_table(options=LSM, name="t"):
+    return Table(name, [ColumnFamily("f", max_versions=2)], options=options)
+
+
+def fill(table, count, prefix="k", base=0):
+    for index in range(count):
+        table.write(f"{prefix}{index:04d}", "f", "q", base + index, float(index))
+
+
+def latest_values(table):
+    return {
+        key: row["f"]["q"][0].value
+        for key, row in table.scan()
+        if row.get("f", {}).get("q")
+    }
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [f"key-{i}" for i in range(500)]
+        bloom = BloomFilter(keys)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_mostly_rejects_absent_keys(self):
+        bloom = BloomFilter([f"key-{i}" for i in range(500)])
+        false_positives = sum(
+            1 for i in range(500) if bloom.might_contain(f"other-{i}")
+        )
+        assert false_positives < 100  # ~2 probes over 8 bits/key: well under 20%
+
+    def test_empty_filter(self):
+        bloom = BloomFilter([])
+        assert not bloom.might_contain("anything")
+
+
+class TestSSTable:
+    def run(self):
+        keys = [f"k{i:02d}" for i in range(10)]
+        return SSTable("run-0", keys, list(range(10)), max_seqno=10)
+
+    def test_get_and_range_metadata(self):
+        run = self.run()
+        assert len(run) == 10
+        assert run.min_key == "k00" and run.max_key == "k09"
+        assert run.get("k03") == 3
+        assert run.get("absent") is None
+
+    def test_scan_bounds(self):
+        run = self.run()
+        assert [k for k, _ in run.scan("k02", "k05")] == ["k02", "k03", "k04"]
+
+    def test_slice_shares_arrays_and_id(self):
+        run = self.run()
+        left = run.slice(None, "k05")
+        right = run.slice("k05", None)
+        assert len(left) == 5 and len(right) == 5
+        assert left.run_id == right.run_id == run.run_id
+        assert left.get("k04") == 4 and left.get("k07") is None
+        assert right.get("k07") == 7 and right.get("k04") is None
+
+    def test_coalesce_rejoins_adjacent_slices(self):
+        run = self.run()
+        left = run.slice(None, "k05")
+        right = run.slice("k05", None)
+        rejoined = left.try_coalesce(right)
+        assert rejoined is not None and len(rejoined) == 10
+        assert rejoined.get("k00") == 0 and rejoined.get("k09") == 9
+
+    def test_coalesce_refuses_disjoint_or_foreign(self):
+        run = self.run()
+        other = SSTable("run-1", ["z1"], [1], max_seqno=11)
+        assert run.slice(None, "k03").try_coalesce(run.slice("k05", None)) is None
+        assert run.try_coalesce(other) is None
+
+
+class TestCommitLog:
+    def test_split_preserves_order(self):
+        log = CommitLog()
+        for seq, key in enumerate(["b", "d", "a", "c", "b"]):
+            log.append((seq, "w", key, "f", "q", seq, 0.0))
+        upper = log.split_off("c")
+        assert [record[2] for record in log.records] == ["b", "a", "b"]
+        assert [record[2] for record in upper.records] == ["d", "c"]
+        assert [record[0] for record in upper.records] == [1, 3]
+
+    def test_absorb_restores_seqno_order(self):
+        left, right = CommitLog(), CommitLog()
+        left.append((0, "w", "a", "f", "q", 0, 0.0))
+        right.append((1, "w", "z", "f", "q", 1, 0.0))
+        left.append((2, "w", "b", "f", "q", 2, 0.0))
+        left.absorb(right)
+        assert [record[0] for record in left.records] == [0, 1, 2]
+        assert len(right) == 0
+
+
+class TestFlushAndMergedReads:
+    def test_flush_moves_rows_into_a_run(self):
+        table = make_table()
+        fill(table, 5)
+        flushed = table.flush_memtables()
+        assert flushed == 5
+        (tablet,) = table.tablets()
+        assert len(tablet.rows) == 0
+        assert table.run_count() == 1
+        assert table.log_record_count() == 0  # flush truncates the log
+        # Reads span the run transparently.
+        assert table.row_count() == 5
+        assert table.read_latest("k0003", "f", "q").value == 3
+        assert latest_values(table) == {f"k{i:04d}": i for i in range(5)}
+
+    def test_overwrite_pulls_row_back_into_memtable(self):
+        table = make_table()
+        fill(table, 5)
+        table.flush_memtables()
+        table.write("k0002", "f", "q", 99, 10.0)
+        (tablet,) = table.tablets()
+        assert len(tablet.rows) == 1  # only the overwritten row came back
+        assert table.read_latest("k0002", "f", "q").value == 99
+        assert table.row_count() == 5
+        # The run's frozen copy is shadowed, not modified.
+        assert tablet.runs[0].get("k0002").families["f"]["q"][0].value == 2
+
+    def test_auto_flush_and_compaction_keep_run_count_tiered(self):
+        table = make_table()
+        fill(table, 120)
+        assert table.run_count() <= 3 * table.tablet_count()
+        assert latest_values(table) == {f"k{i:04d}": i for i in range(120)}
+
+    def test_major_compaction_collapses_to_one_run_per_tablet(self):
+        table = make_table()
+        fill(table, 40)
+        table.flush_memtables()
+        table.compact_runs(major=True)
+        for tablet in table.tablets():
+            assert len(tablet.runs) <= 1
+        assert latest_values(table) == {f"k{i:04d}": i for i in range(40)}
+
+    def test_point_reads_prefer_newest_version_across_runs(self):
+        table = make_table(
+            TabletOptions(memtable_flush_rows=4, compaction_max_runs=10)
+        )
+        for round_base in (0, 100, 200):
+            fill(table, 4, base=round_base)
+            table.flush_memtables()
+        assert table.run_count() >= 3
+        for index in range(4):
+            assert table.read_latest(f"k{index:04d}", "f", "q").value == 200 + index
+
+
+class TestDurabilityLedger:
+    def test_log_appends_charge_only_the_durability_ledger(self):
+        table = make_table(TabletOptions())
+        before = table.counter.snapshot()
+        fill(table, 10)
+        delta = table.counter.snapshot().delta(before)
+        assert delta.durability_rows.get(OpKind.LOG_APPEND) == 10
+        assert delta.durability_seconds > 0.0
+        # The paper-facing ledger never sees durability kinds.
+        assert OpKind.LOG_APPEND not in delta.counts
+        assert delta.simulated_seconds == pytest.approx(
+            delta.read_seconds + delta.write_seconds
+        )
+
+    def test_group_commit_batches_log_fsyncs(self):
+        grouped = make_table(TabletOptions())
+        with grouped.group_commit():
+            fill(grouped, 10)
+        solo = make_table(TabletOptions())
+        fill(solo, 10)
+        # Same records durably logged, far fewer fsyncs.
+        assert grouped.counter.durability_rows_touched(OpKind.LOG_APPEND) == 10
+        assert solo.counter.durability_count(OpKind.LOG_APPEND) == 10
+        assert (
+            grouped.counter.durability_count(OpKind.LOG_APPEND)
+            < solo.counter.durability_count(OpKind.LOG_APPEND)
+        )
+        assert (
+            grouped.counter.durability_seconds < solo.counter.durability_seconds
+        )
+
+    def test_record_durability_rejects_standard_kinds(self):
+        counter = OpCounter(model=CostModel())
+        with pytest.raises(ConfigurationError):
+            counter.record_durability(OpKind.WRITE)
+        with pytest.raises(ConfigurationError):
+            counter.record(OpKind.LOG_APPEND)
+
+    def test_write_amplification_tracks_flush_and_compaction(self):
+        table = make_table(TabletOptions())
+        fill(table, 20)
+        assert table.write_amplification() == pytest.approx(1.0)  # log only
+        table.flush_memtables()
+        assert table.write_amplification() == pytest.approx(2.0)  # log + flush
+        stats = table.tablet_stats()
+        assert all(entry.write_amplification >= 1.0 for entry in stats)
+
+    def test_disabled_commit_log_skips_logging(self):
+        table = make_table(TabletOptions(commit_log_enabled=False))
+        fill(table, 5)
+        assert table.log_record_count() == 0
+        assert table.counter.durability_seconds == 0.0
+
+    def test_write_amplification_is_honest_with_log_disabled(self):
+        table = make_table(
+            TabletOptions(commit_log_enabled=False, memtable_flush_rows=4)
+        )
+        fill(table, 40)
+        # Flushes rewrote rows even though nothing was logged: amplification
+        # must reflect the physical writes, not fall back to 1.0.
+        assert table.counter.durability_rows_touched(OpKind.COMPACTION_WRITE) > 0
+        assert table.write_amplification() > 1.0
+
+    def test_noop_cell_delete_never_pulls_run_rows_back(self):
+        table = make_table(
+            TabletOptions(memtable_flush_rows=1024, compaction_max_runs=8)
+        )
+        fill(table, 10)
+        table.flush_memtables()
+        for index in range(10):
+            assert table.delete_cell(f"k{index:04d}", "f", "absent") is False
+        (tablet,) = table.tablets()
+        assert len(tablet.rows) == 0  # misses copied nothing into the memtable
+        assert table.log_record_count() == 0
+
+
+class TestSplitMergeWithRuns:
+    def test_split_slices_runs_and_partitions_log(self):
+        table = make_table(
+            TabletOptions(
+                split_threshold=16,
+                merge_threshold=4,
+                memtable_flush_rows=64,
+                compaction_max_runs=8,
+            )
+        )
+        fill(table, 10)
+        table.flush_memtables()
+        fill(table, 30, base=1000)  # overwrites + growth forces a split
+        assert table.tablet_count() >= 2
+        total_run_rows = sum(
+            len(run) for tablet in table.tablets() for run in tablet.runs
+        )
+        assert total_run_rows == 10  # sliced, not copied or lost
+        assert latest_values(table) == {f"k{i:04d}": 1000 + i for i in range(30)}
+        # Per-tablet logs hold exactly their own key ranges.
+        for tablet in table.tablets():
+            end = None
+            tablets = table.tablets()
+            position = tablets.index(tablet)
+            if position + 1 < len(tablets):
+                end = tablets[position + 1].start_key
+            for record in tablet.log.records:
+                assert record[2] >= tablet.start_key
+                if end is not None:
+                    assert record[2] < end
+
+    def test_merge_reunites_run_slices(self):
+        options = TabletOptions(
+            split_threshold=8, merge_threshold=6, memtable_flush_rows=64
+        )
+        table = make_table(options)
+        fill(table, 12)
+        table.flush_memtables()
+        assert table.tablet_count() >= 2
+        # Delete most rows so the tablets shrink below the merge threshold.
+        for index in range(12):
+            if index not in (0, 11):
+                table.delete_row(f"k{index:04d}")
+        table.batch_delete([])  # no-op; merges ran on the delete path already
+        if table.tablet_count() == 1:
+            (tablet,) = table.tablets()
+            # The parent run's two slices coalesced back into one view.
+            run_ids = [run.run_id for run in tablet.runs]
+            assert len(run_ids) == len(set(run_ids))
+        assert set(table.all_keys()) == {"k0000", "k0011"}
+
+
+class TestScannerCacheWithRuns:
+    def test_scan_sources_blocks_by_run(self):
+        table = make_table(
+            TabletOptions(memtable_flush_rows=1024, compaction_max_runs=8)
+        )
+        fill(table, 12)
+        table.flush_memtables()
+        fill(table, 6, base=500)  # first half now memtable-resident
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        # One scan RPC; all rows cold on first touch.
+        assert delta.counts[OpKind.SCAN] == 1
+        assert delta.rows[OpKind.SCAN] == 12
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        # Second scan: warm blocks from both the memtable and the run.
+        assert delta.rows.get(OpKind.CACHE_READ) == 12
+        assert delta.rows.get(OpKind.SCAN, 0) == 0
+
+    def test_flush_evicts_memtable_blocks(self):
+        table = make_table(
+            TabletOptions(memtable_flush_rows=1024, compaction_max_runs=8)
+        )
+        fill(table, 8)
+        table.scan()  # warm the memtable blocks
+        table.flush_memtables()
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        # Rows now come from the (cold) run: scanned, not cache-read.
+        assert delta.rows[OpKind.SCAN] == 8
+        assert delta.rows.get(OpKind.CACHE_READ, 0) == 0
+
+    def test_compaction_evicts_consumed_run_blocks(self):
+        table = make_table(
+            TabletOptions(memtable_flush_rows=1024, compaction_max_runs=8)
+        )
+        fill(table, 8)
+        table.flush_memtables()
+        table.scan()  # warm the run's blocks
+        table.compact_runs(major=True)
+        before = table.counter.snapshot()
+        table.scan()
+        delta = table.counter.snapshot().delta(before)
+        assert delta.rows[OpKind.SCAN] == 8
+        assert delta.rows.get(OpKind.CACHE_READ, 0) == 0
+
+
+class TestOptionsValidation:
+    def test_new_knobs_validate(self):
+        with pytest.raises(ConfigurationError):
+            TabletOptions(memtable_flush_rows=0)
+        with pytest.raises(ConfigurationError):
+            TabletOptions(compaction_max_runs=0)
+        assert TabletOptions(memtable_flush_rows=None).memtable_flush_rows is None
+
+    def test_tombstone_repr_and_identity(self):
+        assert repr(TOMBSTONE) == "<TOMBSTONE>"
+        assert MEMTABLE_SOURCE == "mem"

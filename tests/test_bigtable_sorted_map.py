@@ -1,6 +1,5 @@
 """Tests for the sorted map underlying the BigTable emulator."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.bigtable.sorted_map import SortedMap

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.flag import FlagTuner, LevelCacheRecord
-from repro.core.moist import MoistIndexer
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.model import UpdateMessage, format_object_id

@@ -6,9 +6,6 @@ from repro.core.moist import MoistIndexer
 from repro.core.update import UpdateOutcome
 from repro.errors import QueryError
 from repro.geometry.point import Point
-from repro.geometry.vector import Vector
-from repro.model import UpdateMessage
-from repro.tables.affiliation_table import Role
 
 from helpers import make_update
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.moist import MoistIndexer
 from repro.core.update import UpdateOutcome, UpdateStats, UpdateResult
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
@@ -129,7 +128,6 @@ class TestFollowerUpdates:
         assert follower_id in indexer.spatial_table.objects_in_cell(cell)
 
     def test_schools_disabled_never_sheds(self, small_config):
-        from dataclasses import replace
         from repro.baselines.no_school import build_no_school_indexer
 
         indexer = build_no_school_indexer(small_config)

@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 from repro.errors import SpatialError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
-from repro.spatial.cell import CellId, MAX_LEVEL, WORLD_UNIT_BOX
+from repro.spatial.cell import CellId, MAX_LEVEL
 
 WORLD = BoundingBox(0.0, 0.0, 100.0, 100.0)
 
