@@ -1,0 +1,58 @@
+"""Benchmark guard for the tablet-master control plane.
+
+Under a skewed hot-school workload the master-balanced cluster must meet or
+beat the static-affinity cluster on *simulated* throughput — the claim the
+rebalance experiment makes, locked in as a regression guard.  All compared
+numbers are simulated (deterministic), so the guard is machine-independent:
+``benchmarks/baseline_rebalance.json`` records the reference values and the
+minimum master/static speedup the control plane must keep delivering.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.rebalance import measure_rebalance
+
+from conftest import run_once
+
+BASELINE_PATH = Path(__file__).parent / "baseline_rebalance.json"
+
+
+def _measure(baseline):
+    kwargs = dict(
+        num_objects=baseline["num_objects"],
+        num_requests=baseline["num_requests"],
+        batch_size=baseline["batch_size"],
+        seed=baseline["seed"],
+    )
+    static = measure_rebalance(baseline["hot_fraction"], balanced=False, **kwargs)
+    master = measure_rebalance(baseline["hot_fraction"], balanced=True, **kwargs)
+    return static, master
+
+
+def test_bench_master_balanced_beats_static_affinity(benchmark):
+    baseline = json.loads(BASELINE_PATH.read_text())
+    static, master = run_once(benchmark, _measure, baseline)
+    speedup = master.qps / static.qps if static.qps > 0 else float("inf")
+    print(
+        f"\nhot-school skew {baseline['hot_fraction']}: static "
+        f"{static.qps:.0f} QPS, master {master.qps:.0f} QPS "
+        f"({speedup:.2f}x, {master.migrations} migrations, "
+        f"{master.replications} replicas)"
+    )
+    # The control plane must never lose to static affinity under skew...
+    assert master.qps >= static.qps
+    # ...and must keep the committed speedup margin.
+    assert speedup >= baseline["min_speedup"]
+    # The simulated numbers are deterministic; drift means the routing,
+    # contention or cost model changed and the baseline needs a deliberate
+    # refresh.
+    assert static.qps == pytest.approx(baseline["static_qps"], rel=1e-6)
+    assert master.qps == pytest.approx(baseline["master_qps"], rel=1e-6)
+    # Balancing moves work between servers; it must not change how much
+    # work the clients asked for.
+    assert master.total_requests == static.total_requests

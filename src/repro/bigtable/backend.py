@@ -12,7 +12,7 @@ MOIST tables unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence, runtime_checkable
+from typing import List, Mapping, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.bigtable.cost import OpCounter
 from repro.bigtable.lsm import RecoveryReport
@@ -37,6 +37,11 @@ class TabletSkew:
     write_share: float
     read_seconds: float
     write_seconds: float
+    #: Identity of the hottest read / write tablet (``None`` when no load of
+    #: that class exists yet).  The control plane uses these to discount the
+    #: read skew of tablets it has replicated for query fan-out.
+    hot_read_tablet: Optional[str] = None
+    hot_write_tablet: Optional[str] = None
 
     @property
     def blended_share(self) -> float:
@@ -47,6 +52,23 @@ class TabletSkew:
             return 1.0
         return (
             self.read_share * self.read_seconds
+            + self.write_share * self.write_seconds
+        ) / total
+
+    def replica_adjusted_share(self, replica_counts: Mapping[str, int]) -> float:
+        """Blended share with the hot *read* tablet's skew divided by its
+        replica count: a tablet replicated for query fan-out spreads its
+        read load over every replica, so it no longer concentrates
+        contention the way a single-copy hot tablet does.  Write skew is
+        never discounted — writes always go to the primary."""
+        total = self.read_seconds + self.write_seconds
+        if total <= 0.0:
+            return 1.0
+        read_share = self.read_share
+        if self.hot_read_tablet is not None:
+            read_share /= max(replica_counts.get(self.hot_read_tablet, 1), 1)
+        return (
+            read_share * self.read_seconds
             + self.write_share * self.write_seconds
         ) / total
 

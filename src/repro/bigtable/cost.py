@@ -46,6 +46,13 @@ class OpKind(enum.Enum):
     #: Rows written into a new SSTable run by a memtable flush (minor
     #: compaction) or a merging/major compaction.  Durability ledger.
     COMPACTION_WRITE = "compaction_write"
+    #: A tablet hand-off between front-end servers (live migration or
+    #: replica seeding): one call is one hand-off, its rows are the SSTable
+    #: rows and commit-log records shipped to the target.  Control-plane
+    #: work, not a storage RPC — it accrues to the durability ledger so
+    #: simulated query/update service times stay comparable across
+    #: static-affinity and master-balanced clusters.
+    MIGRATION = "migration"
 
     # Members are singletons, so identity hashing is correct — and C-level,
     # unlike Enum's default name-based ``__hash__``.  Every counter update
@@ -90,6 +97,10 @@ class CostModel:
     compaction_read_row: float = 0.4e-6
     compaction_write_row: float = 0.8e-6
     run_open_rpc: float = 20e-6
+    #: Tablet migration / replica seeding: one METADATA commit per hand-off
+    #: plus a per-row copy cost for the shipped SSTable rows and log tail.
+    migration_rpc: float = 30e-6
+    migration_row: float = 0.6e-6
 
     def __post_init__(self) -> None:
         for name in (
@@ -108,6 +119,8 @@ class CostModel:
             "compaction_read_row",
             "compaction_write_row",
             "run_open_rpc",
+            "migration_rpc",
+            "migration_row",
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"cost model field {name} must be >= 0")
@@ -143,6 +156,7 @@ class CostModel:
                 OpKind.LOG_APPEND: (self.log_fsync, self.log_append_row, 1.0),
                 OpKind.COMPACTION_READ: (0.0, self.compaction_read_row, 1.0),
                 OpKind.COMPACTION_WRITE: (0.0, self.compaction_write_row, 1.0),
+                OpKind.MIGRATION: (self.migration_rpc, self.migration_row, 1.0),
             },
         )
 

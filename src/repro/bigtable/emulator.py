@@ -182,6 +182,8 @@ class BigtableEmulator:
         hot_write = 0.0
         read_total = 0.0
         write_total = 0.0
+        hot_read_tablet = None
+        hot_write_tablet = None
         for table in self._tables.values():
             for tablet in table.tablets():
                 read = tablet.counter.read_seconds
@@ -190,13 +192,17 @@ class BigtableEmulator:
                 write_total += write
                 if read > hot_read:
                     hot_read = read
+                    hot_read_tablet = tablet.tablet_id
                 if write > hot_write:
                     hot_write = write
+                    hot_write_tablet = tablet.tablet_id
         return TabletSkew(
             read_share=hot_read / read_total if read_total > 0.0 else 1.0,
             write_share=hot_write / write_total if write_total > 0.0 else 1.0,
             read_seconds=read_total,
             write_seconds=write_total,
+            hot_read_tablet=hot_read_tablet,
+            hot_write_tablet=hot_write_tablet,
         )
 
     # ------------------------------------------------------------------

@@ -962,6 +962,46 @@ class Table:
             simulated_seconds=simulated,
         )
 
+    def recover_tablet(self, tablet: Tablet) -> TableRecovery:
+        """Crash-and-recover a single tablet (a per-server failover).
+
+        The tablet's memtable and its resident cache blocks are lost (they
+        lived in the crashed tablet server's memory); its SSTable runs,
+        commit log and boundary metadata are durable.  Replaying the log
+        tail over the runs reconstructs the exact pre-crash memtable — the
+        same invariant :meth:`recover` provides table-wide, scoped to the
+        tablets one crashed front-end actually served.
+        """
+        self.cache.invalidate_tablet(tablet.tablet_id)
+        tablet.crash()
+        for record in tablet.log.records:
+            self._apply_log_record(tablet, record)
+        model = self.counter.model
+        replayed = len(tablet.log.records)
+        simulated = (
+            len(tablet.runs) * model.run_open_rpc + replayed * model.log_replay_row
+        )
+        return TableRecovery(
+            table=self.name,
+            tablets=1,
+            runs_opened=len(tablet.runs),
+            run_rows_loaded=sum(len(run) for run in tablet.runs),
+            log_records_replayed=replayed,
+            simulated_seconds=simulated,
+        )
+
+    def flush_tablet(self, tablet: Tablet) -> int:
+        """Flush one tablet's memtable into an SSTable run (the freeze step
+        of a live migration); returns the rows written."""
+        return self._flush_tablet(tablet)
+
+    def find_tablet(self, tablet_id: str) -> Optional[Tablet]:
+        """The live tablet with that id, or ``None`` (split/merged away)."""
+        for tablet in self._tablets.tablets():
+            if tablet.tablet_id == tablet_id:
+                return tablet
+        return None
+
     def _apply_log_record(self, tablet: Tablet, record: tuple) -> None:
         """Re-apply one commit-log record during recovery (no charging, no
         re-logging — the record is already durable)."""

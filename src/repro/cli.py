@@ -118,6 +118,7 @@ def _run_figures_inline(names: List[str]) -> int:
     )
     from repro.experiments.headline import run_headline
     from repro.experiments.mixed import run_mixed_sweep
+    from repro.experiments.rebalance import run_rebalance
     from repro.experiments.recovery import run_recovery
     from repro.experiments.scaleout import run_scaleout
 
@@ -165,6 +166,13 @@ def _run_figures_inline(names: List[str]) -> int:
                 num_updates=4000,
             )
         ],
+        "rebalance": lambda: [
+            run_rebalance(
+                hot_fractions=(0.0, 0.5, 0.9),
+                num_objects=4000,
+                num_requests=4000,
+            )
+        ],
     }
     requested = names or list(catalogue)
     unknown = [name for name in requested if name not in catalogue]
@@ -206,7 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "figures to run (fig09 fig10 fig11 fig12 fig13 headline scaleout "
-            "mixed recovery); default: all"
+            "mixed recovery rebalance); default: all"
         ),
     )
     figures.set_defaults(handler=lambda args: _run_figures_inline(args.names))

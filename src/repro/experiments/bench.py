@@ -17,7 +17,11 @@ cluster (tablet routing, group commit, block cache, batched shared reads):
 * ``update_compaction`` — the update stream with a small memtable flush
   threshold, so the LSM engine's flush/compaction machinery runs inside the
   measured section (its compaction stats are the payload's durability
-  section; the other workloads run with the default log-only durability).
+  section; the other workloads run with the default log-only durability);
+* ``rebalance_hotschool`` — the hot-school skewed mixed workload through a
+  master-balanced cluster (live tablet migrations and read-replica fan-out
+  run inside the measured section; migration hand-off counters join the
+  durability section).
 
 Each workload reports best-of-``repeats`` wall-clock, client requests per
 wall-clock second, the simulated QPS of the same run, the storage RPC
@@ -98,6 +102,8 @@ def _durability_stats(indexer) -> Dict[str, object]:
         "compaction_write_rows": counter.durability_rows_touched(
             OpKind.COMPACTION_WRITE
         ),
+        "migrations": counter.durability_count(OpKind.MIGRATION),
+        "migration_rows": counter.durability_rows_touched(OpKind.MIGRATION),
         "sstable_runs": indexer.emulator.run_count(),
         "write_amplification": counter.write_amplification(),
         "durability_seconds": counter.durability_seconds,
@@ -151,6 +157,49 @@ def run_workload(
     )
 
 
+def run_rebalance_workload(
+    name: str,
+    num_objects: int,
+    num_requests: int,
+    repeats: int = 3,
+    seed: int = 59,
+    hot_fraction: float = 0.9,
+) -> BenchResult:
+    """Benchmark the master-balanced hot-school workload end to end.
+
+    The measured section covers the full control loop: skewed mixed
+    batches through the tablet-routed paths, the master's rebalance ticks,
+    live migrations and replica seeding.
+    """
+    from repro.experiments.rebalance import hot_school_streams, rebalance_harness
+
+    best_wall = float("inf")
+    outcome = None
+    indexer = None
+    for _ in range(max(repeats, 1)):
+        indexer, _, _, load_test = rebalance_harness(
+            num_objects, 5, balanced=True, seed=seed, record_service_times=False
+        )
+        messages, queries = hot_school_streams(
+            num_objects, num_requests, hot_fraction, seed=seed
+        )
+        start = time.perf_counter()
+        outcome = load_test.run_mixed_batches(messages, queries, batch_size=256)
+        best_wall = min(best_wall, time.perf_counter() - start)
+    counter = indexer.emulator.counter
+    return BenchResult(
+        name=name,
+        requests=outcome.total_requests,
+        wall_seconds=best_wall,
+        ops_per_sec=outcome.total_requests / best_wall if best_wall > 0 else 0.0,
+        simulated_qps=outcome.qps,
+        simulated_storage_seconds=counter.simulated_seconds,
+        storage_rpc_count=counter.storage_rpc_count(),
+        cache_hit_rate=outcome.cache_hit_rate,
+        durability=_durability_stats(indexer),
+    )
+
+
 def run_bench(
     quick: bool = False,
     label: str = "PR3",
@@ -172,6 +221,14 @@ def run_bench(
             tablet_options=tablet_options,
         )
         workloads[name] = result.as_dict()
+    rebalance = run_rebalance_workload(
+        "rebalance_hotschool",
+        num_objects=profile["num_objects"],
+        num_requests=profile["num_requests"],
+        repeats=effective_repeats,
+        seed=seed,
+    )
+    workloads[rebalance.name] = rebalance.as_dict()
     return {
         "label": label,
         "created_unix": time.time(),

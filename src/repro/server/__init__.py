@@ -1,4 +1,5 @@
-"""Front-end servers, multi-server clusters and load testing.
+"""Front-end servers, multi-server clusters, the tablet master and load
+testing.
 
 The paper's Figures 13(a)-(c) measure update QPS for one, five and ten MOIST
 front-end servers sharing a single BigTable.  The model here mirrors that
@@ -8,20 +9,53 @@ service time of the requests it handled (per-request server overhead plus the
 storage time, inflated by a shared-store contention factor that grows mildly
 with the number of servers), and the cluster's throughput over an interval is
 the requests completed divided by the busiest server's simulated time.
+
+Since PR 5 the cluster also carries a control plane: a
+:class:`~repro.server.master.TabletMaster` that watches per-tablet load,
+migrates hot tablets between front-ends, replicates read-hot tablets for
+query fan-out and fails crashed servers over — with a deterministic
+:class:`~repro.server.loadtest.FaultPlan` injector driving crashes through
+the load tests.
 """
 
 from repro.server.contention import TabletContentionModel
 from repro.server.frontend import FrontendServer
-from repro.server.cluster import ServerCluster
+from repro.server.cluster import (
+    ServerCluster,
+    ServerFailoverReport,
+    TabletRoutingTable,
+)
 from repro.server.client import ClientSimulator
-from repro.server.loadtest import LoadTest, LoadTestResult, TimelinePoint
+from repro.server.loadtest import (
+    FaultEvent,
+    FaultPlan,
+    LoadTest,
+    LoadTestResult,
+    TimelinePoint,
+)
+from repro.server.master import (
+    MasterOptions,
+    MigrationRecord,
+    RebalanceReport,
+    ReplicationRecord,
+    TabletMaster,
+)
 
 __all__ = [
     "TabletContentionModel",
     "FrontendServer",
     "ServerCluster",
+    "ServerFailoverReport",
+    "TabletRoutingTable",
     "ClientSimulator",
+    "FaultEvent",
+    "FaultPlan",
     "LoadTest",
     "LoadTestResult",
     "TimelinePoint",
+    "MasterOptions",
+    "MigrationRecord",
+    "RebalanceReport",
+    "ReplicationRecord",
+    "TabletMaster",
 ]

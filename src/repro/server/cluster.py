@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
 
 from repro.bigtable.backend import ShardedBackend
-from repro.bigtable.lsm import RecoveryReport
+from repro.bigtable.lsm import RecoveryReport, TableRecovery
 from repro.core.moist import MoistIndexer
 from repro.core.nn_search import NNQueryStats
 from repro.core.update import UpdateResult
@@ -15,6 +16,132 @@ from repro.geometry.point import Point
 from repro.model import NeighborResult, UpdateMessage
 from repro.server.contention import TabletContentionModel
 from repro.server.frontend import FrontendServer
+
+
+class TabletRoutingTable:
+    """Dynamic tablet → server assignment (BigTable's METADATA role).
+
+    Every tablet starts with a *default* assignment — the stable hash
+    affinity the cluster has always used — and the control plane overrides
+    it with explicit assignments when it migrates tablets or fails servers
+    over.  Read-hot tablets can additionally carry *replicas*: extra
+    servers that serve that tablet's query batches round-robin while writes
+    keep going to the primary.
+    """
+
+    def __init__(self, num_servers: int) -> None:
+        if num_servers <= 0:
+            raise ConfigurationError("a routing table needs at least one server")
+        self.num_servers = num_servers
+        self._primary: Dict[str, int] = {}
+        self._replicas: Dict[str, Tuple[int, ...]] = {}
+
+    def default_index(self, tablet_id: str) -> int:
+        """The hash-affinity default assignment of a tablet."""
+        return crc32(tablet_id.encode("utf-8")) % self.num_servers
+
+    def primary_index(self, tablet_id: str) -> int:
+        """Current primary assignment (explicit override or hash default)."""
+        explicit = self._primary.get(tablet_id)
+        return explicit if explicit is not None else self.default_index(tablet_id)
+
+    def is_pinned(self, tablet_id: str) -> bool:
+        """Whether the control plane explicitly assigned this tablet."""
+        return tablet_id in self._primary
+
+    def assign(self, tablet_id: str, server_index: int) -> None:
+        """Pin a tablet's primary to one server (a migration commit)."""
+        if not 0 <= server_index < self.num_servers:
+            raise ConfigurationError(f"no server {server_index} in the cluster")
+        self._primary[tablet_id] = server_index
+        replicas = self._replicas.get(tablet_id)
+        if replicas is not None:
+            # The new primary may have been serving as a replica; replicas
+            # only list *extra* servers.
+            trimmed = tuple(index for index in replicas if index != server_index)
+            if trimmed:
+                self._replicas[tablet_id] = trimmed
+            else:
+                del self._replicas[tablet_id]
+
+    def add_replica(self, tablet_id: str, server_index: int) -> bool:
+        """Register an extra read replica; returns whether it was new."""
+        if not 0 <= server_index < self.num_servers:
+            raise ConfigurationError(f"no server {server_index} in the cluster")
+        if server_index == self.primary_index(tablet_id):
+            return False
+        existing = self._replicas.get(tablet_id, ())
+        if server_index in existing:
+            return False
+        self._replicas[tablet_id] = existing + (server_index,)
+        return True
+
+    def drop_replicas(self, tablet_id: str) -> None:
+        """Remove every replica of one tablet (primary keeps serving)."""
+        self._replicas.pop(tablet_id, None)
+
+    def read_indices(self, tablet_id: str) -> Tuple[int, ...]:
+        """Every server serving this tablet's reads: primary first, then
+        replicas in registration order."""
+        primary = self.primary_index(tablet_id)
+        return (primary,) + self._replicas.get(tablet_id, ())
+
+    def replica_counts(self) -> Dict[str, int]:
+        """``tablet_id -> total serving copies`` for replicated tablets."""
+        return {
+            tablet_id: 1 + len(replicas)
+            for tablet_id, replicas in self._replicas.items()
+        }
+
+    def replicated_tablets(self) -> List[str]:
+        """Ids of tablets currently carrying read replicas, sorted."""
+        return sorted(self._replicas)
+
+    def drop_server(self, server_index: int) -> None:
+        """Forget a crashed server's replica memberships.  Primary
+        assignments are the caller's business: the tablets a dead primary
+        served need recovery before they can be reassigned."""
+        for tablet_id in list(self._replicas):
+            trimmed = tuple(
+                index for index in self._replicas[tablet_id] if index != server_index
+            )
+            if trimmed:
+                self._replicas[tablet_id] = trimmed
+            else:
+                del self._replicas[tablet_id]
+
+    def assignments(self) -> Dict[str, int]:
+        """Copy of the explicit (non-default) primary assignments."""
+        return dict(self._primary)
+
+
+@dataclass(frozen=True)
+class ServerFailoverReport:
+    """Outcome of failing over one crashed front-end server."""
+
+    server_id: int
+    #: Per-table recovery of every tablet the dead server was primary for.
+    tablets: Tuple[TableRecovery, ...] = field(default=())
+    #: ``(tablet_id, new_server_index)`` for every reassigned primary.
+    reassigned: Tuple[Tuple[str, int], ...] = field(default=())
+    #: Replicated tablets that lost a replica on the dead server.
+    replicas_dropped: Tuple[str, ...] = field(default=())
+
+    @property
+    def tablets_recovered(self) -> int:
+        return len(self.tablets)
+
+    @property
+    def log_records_replayed(self) -> int:
+        return sum(entry.log_records_replayed for entry in self.tablets)
+
+    @property
+    def runs_opened(self) -> int:
+        return sum(entry.runs_opened for entry in self.tablets)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(entry.simulated_seconds for entry in self.tablets)
 
 
 class ServerCluster:
@@ -31,13 +158,20 @@ class ServerCluster:
       over single requests;
     * :meth:`submit_update_batch` — the batched write path: messages are
       grouped by the Location Table tablet their row lives in, each tablet
-      is pinned to one server (hash affinity, BigTable's tablet-server
-      assignment), and every group goes down the group-commit write path;
+      is routed to its current primary server (hash affinity until the
+      tablet master reassigns it), and every group goes down the
+      group-commit write path;
     * :meth:`submit_query_batch` — the batched read path: queries are
       grouped by the Spatial Index tablet owning their location's storage
-      row, pinned to that tablet's server and executed with batch-scoped
-      read sharing (``handle_query_batch``), so overlapping queries issue
-      their cell scans once.
+      row and executed with batch-scoped read sharing
+      (``handle_query_batch``); a tablet the master replicated fans its
+      query group out over every serving replica.
+
+    Tablet→server assignment lives in a :class:`TabletRoutingTable`: by
+    default it degrades to the stable hash affinity of the pre-control-plane
+    cluster, and the :class:`~repro.server.master.TabletMaster` overrides it
+    when it migrates hot tablets, replicates read-hot ones or fails a
+    crashed server over (:meth:`fail_server`).
 
     Contention is tablet-aware when the backend shards: the storage-time
     inflation scales with the hottest tablet's share of total load instead
@@ -52,6 +186,7 @@ class ServerCluster:
         request_overhead_s: float = 12e-6,
         contention_alpha: float = 0.025,
         tablet_aware: bool = True,
+        record_service_times: bool = False,
     ) -> None:
         if num_servers <= 0:
             raise ConfigurationError("a cluster needs at least one server")
@@ -74,9 +209,11 @@ class ServerCluster:
                 request_overhead_s=request_overhead_s,
                 storage_contention_factor=static_factor,
                 contention=self.contention,
+                record_service_times=record_service_times,
             )
             for index in range(num_servers)
         ]
+        self.routing = TabletRoutingTable(num_servers)
         self._next = 0
 
     # ------------------------------------------------------------------
@@ -86,25 +223,55 @@ class ServerCluster:
     def num_servers(self) -> int:
         return len(self.servers)
 
+    def alive_server_indices(self) -> List[int]:
+        """Indices of the servers currently accepting traffic."""
+        return [index for index, server in enumerate(self.servers) if server.alive]
+
     def _pick_server(self) -> FrontendServer:
-        server = self.servers[self._next]
-        self._next = (self._next + 1) % len(self.servers)
-        return server
+        for _ in range(len(self.servers)):
+            server = self.servers[self._next]
+            self._next = (self._next + 1) % len(self.servers)
+            if server.alive:
+                return server
+        raise ConfigurationError("every server in the cluster is down")
 
     def submit_update(self, message: UpdateMessage) -> UpdateResult:
         """Route one update to the next server."""
         return self._pick_server().handle_update(message)
 
+    def server_index_for_tablet(self, tablet_id: str) -> int:
+        """The index of the front-end owning a tablet's writes.
+
+        Resolves the routing table's primary assignment, falling forward
+        deterministically (ring order) past crashed servers so routing
+        never targets a dead front-end.
+        """
+        index = self.routing.primary_index(tablet_id)
+        for offset in range(len(self.servers)):
+            candidate = (index + offset) % len(self.servers)
+            if self.servers[candidate].alive:
+                return candidate
+        raise ConfigurationError("every server in the cluster is down")
+
     def server_for_tablet(self, tablet_id: str) -> FrontendServer:
-        """The front-end that owns a tablet (stable hash affinity)."""
-        index = crc32(tablet_id.encode("utf-8")) % len(self.servers)
-        return self.servers[index]
+        """The front-end that owns a tablet (routing table, hash default)."""
+        return self.servers[self.server_index_for_tablet(tablet_id)]
+
+    def read_servers_for_tablet(self, tablet_id: str) -> List[FrontendServer]:
+        """Every alive front-end serving a tablet's reads (primary plus
+        replicas; at least the resolved primary)."""
+        alive = [
+            self.servers[index]
+            for index in self.routing.read_indices(tablet_id)
+            if self.servers[index].alive
+        ]
+        return alive or [self.server_for_tablet(tablet_id)]
 
     def submit_update_batch(self, messages: Sequence[UpdateMessage]) -> int:
         """Route a batch of updates by tablet affinity.
 
         Messages are partitioned by the Location Table tablet that owns
-        their row key; each partition is handled by that tablet's pinned
+        their row key; each partition is handled by that tablet's primary
         server through the group-commit path.  Falls back to one round-robin
         batch when the backend does not shard.  Returns the number of
         messages processed.
@@ -134,13 +301,15 @@ class ServerCluster:
         """Route a batch of NN queries by spatial-index tablet affinity.
 
         Queries are partitioned by the Spatial Index tablet that owns their
-        location's storage row; each partition runs on that tablet's pinned
-        server through :meth:`FrontendServer.handle_query_batch`.  Falls
-        back to one round-robin batch when the backend does not shard.
-        Results are returned in request order and are identical to
-        sequential :meth:`submit_nn_query` calls.  ``queries`` carry
-        ``location``, ``k`` and ``range_limit`` attributes
-        (:class:`repro.workload.queries.NNQuery` fits).
+        location's storage row; each partition runs on that tablet's
+        serving server(s) through :meth:`FrontendServer.handle_query_batch`.
+        A tablet the master replicated splits its partition stride-wise
+        over every alive replica — the query fan-out that divides a
+        read-hot tablet's load.  Falls back to one round-robin batch when
+        the backend does not shard.  Results are returned in request order
+        and are identical to sequential :meth:`submit_nn_query` calls.
+        ``queries`` carry ``location``, ``k`` and ``range_limit``
+        attributes (:class:`repro.workload.queries.NNQuery` fits).
         """
         if not queries:
             return []
@@ -160,15 +329,19 @@ class ServerCluster:
         results: List[Optional[List[NeighborResult]]] = [None] * len(queries)
         for tablet_id in sorted(groups):
             indices = groups[tablet_id]
-            server = self.server_for_tablet(tablet_id)
-            batch_results = server.handle_query_batch(
-                [queries[index] for index in indices],
-                at_time=at_time,
-                use_flag=use_flag,
-                include_followers=include_followers,
-            )
-            for index, result in zip(indices, batch_results):
-                results[index] = result
+            replicas = self.read_servers_for_tablet(tablet_id)
+            for shard, server in enumerate(replicas):
+                shard_indices = indices[shard :: len(replicas)]
+                if not shard_indices:
+                    continue
+                batch_results = server.handle_query_batch(
+                    [queries[index] for index in shard_indices],
+                    at_time=at_time,
+                    use_flag=use_flag,
+                    include_followers=include_followers,
+                )
+                for index, result in zip(shard_indices, batch_results):
+                    results[index] = result
         return results  # type: ignore[return-value]
 
     def submit_nn_query(
@@ -216,6 +389,76 @@ class ServerCluster:
             self.contention.invalidate()
         return report
 
+    def fail_server(self, server_id: int) -> ServerFailoverReport:
+        """Crash one front-end server and fail its tablets over.
+
+        Unlike :meth:`crash_and_recover` (a whole-cluster power loss), this
+        models the paper's deployment reality: individual tablet servers
+        die while the cluster keeps serving.  Every tablet whose primary
+        was the dead server loses its memtable (it lived in that server's
+        memory) and is recovered from its durable commit log and SSTable
+        runs — no acknowledged write is lost — then reassigned to the next
+        alive server in ring order (the tablet master typically rebalances
+        properly afterwards).  Replicas hold no authoritative state, so a
+        replica lost with the server is simply dropped from the routing
+        table.
+        """
+        if not 0 <= server_id < len(self.servers):
+            raise ConfigurationError(f"no server {server_id} in the cluster")
+        server = self.servers[server_id]
+        if not server.alive:
+            raise ConfigurationError(f"server {server_id} is already down")
+        if len(self.alive_server_indices()) <= 1:
+            raise ConfigurationError("cannot fail the last alive server")
+        backend = self.indexer.emulator
+        if not isinstance(backend, ShardedBackend):
+            raise ConfigurationError(
+                "per-server failover needs a sharded backend with tablets"
+            )
+        # Resolve ownership before marking the server dead: the fallback
+        # resolution must see the pre-crash routing.
+        owned: List[Tuple[str, object]] = []
+        for name in backend.table_names():
+            table = backend.table(name)
+            for tablet in table.tablets():
+                if self.server_index_for_tablet(tablet.tablet_id) == server_id:
+                    owned.append((name, tablet))
+        replicas_dropped = tuple(
+            tablet_id
+            for tablet_id in self.routing.replicated_tablets()
+            if server_id in self.routing.read_indices(tablet_id)
+        )
+        server.alive = False
+        self.routing.drop_server(server_id)
+        recoveries: List[TableRecovery] = []
+        reassigned: List[Tuple[str, int]] = []
+        for name, tablet in owned:
+            table = backend.table(name)
+            recoveries.append(table.recover_tablet(tablet))
+            target = self.server_index_for_tablet(tablet.tablet_id)
+            self.routing.assign(tablet.tablet_id, target)
+            reassigned.append((tablet.tablet_id, target))
+        if self.contention is not None:
+            self.contention.invalidate()
+        return ServerFailoverReport(
+            server_id=server_id,
+            tablets=tuple(recoveries),
+            reassigned=tuple(reassigned),
+            replicas_dropped=replicas_dropped,
+        )
+
+    def revive_server(self, server_id: int) -> None:
+        """Bring a crashed front-end back into rotation.
+
+        The revived server starts empty-handed: its previous tablets were
+        failed over and stay where they are until the master rebalances.
+        """
+        if not 0 <= server_id < len(self.servers):
+            raise ConfigurationError(f"no server {server_id} in the cluster")
+        self.servers[server_id].alive = True
+        if self.contention is not None:
+            self.contention.invalidate()
+
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
@@ -234,6 +477,25 @@ class ServerCluster:
         if makespan <= 0:
             return 0.0
         return self.total_requests() / makespan
+
+    def service_time_percentile(self, quantile: float) -> float:
+        """Simulated per-request service-time percentile across servers.
+
+        Needs ``record_service_times`` (0.0 otherwise): servers then record
+        one sample per request, batches contributing their per-request
+        mean.  ``quantile`` is in (0, 1] — 0.99 is the p99 the rebalance
+        experiment reports.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ConfigurationError("quantile must be in (0, 1]")
+        samples: List[float] = []
+        for server in self.servers:
+            samples.extend(server.service_time_samples)
+        if not samples:
+            return 0.0
+        samples.sort()
+        rank = max(int(len(samples) * quantile) - 1, 0)
+        return samples[rank]
 
     def reset_metrics(self) -> None:
         """Zero every server's accounting."""

@@ -31,7 +31,7 @@ balanced write load could dilute it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Mapping, Optional
 
 from repro.bigtable.backend import ShardedBackend
 from repro.errors import ConfigurationError
@@ -67,9 +67,22 @@ class TabletContentionModel:
         if callable(skew):
             # Symmetric read/write skew: hottest read tablet and hottest
             # write tablet each weighted by their class's traffic share.
-            self._hot_share = lambda: skew().blended_share
+            # A control plane that replicates read-hot tablets registers a
+            # replica-count provider; the hot read tablet's skew is then
+            # divided by its fan-out (reads spread over every replica).
+            def hot_share() -> float:
+                current = skew()
+                if self.replica_counts is not None:
+                    return current.replica_adjusted_share(self.replica_counts())
+                return current.blended_share
+
+            self._hot_share = hot_share
         else:
             self._hot_share = backend.hot_tablet_share
+        #: Optional callable returning ``tablet_id -> replica count``
+        #: (primary included), set by the tablet master when it replicates
+        #: read-hot tablets for query fan-out.
+        self.replica_counts: Optional[Callable[[], Mapping[str, int]]] = None
         self.num_servers = num_servers
         self.alpha = alpha
         self.refresh_every = refresh_every

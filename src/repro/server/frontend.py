@@ -41,6 +41,9 @@ class FrontendServer:
     #: Dynamic tablet-aware contention; multiplies the static factor when
     #: present.
     contention: Optional[TabletContentionModel] = None
+    #: Record one service-time sample per request (off by default — the
+    #: rebalance experiments enable it to report tail latency percentiles).
+    record_service_times: bool = False
 
     #: Busy time split by request class, so read/write asymmetry is visible
     #: in reports instead of blending into one mean.
@@ -48,6 +51,12 @@ class FrontendServer:
     query_busy_seconds: float = field(default=0.0, init=False)
     updates_handled: int = field(default=0, init=False)
     queries_handled: int = field(default=0, init=False)
+    #: Per-request simulated service times (batch requests record the batch
+    #: mean each), populated only when ``record_service_times`` is set.
+    service_time_samples: List[float] = field(default_factory=list, init=False)
+    #: A crashed front-end stops receiving traffic until revived; the
+    #: metrics it accumulated before the crash stay (that work happened).
+    alive: bool = field(default=True, init=False)
 
     def __post_init__(self) -> None:
         if self.request_overhead_s < 0:
@@ -71,10 +80,11 @@ class FrontendServer:
         before = counter.simulated_seconds
         result = self.indexer.update(message)
         storage = counter.simulated_seconds - before
-        self.update_busy_seconds += (
-            self.request_overhead_s + storage * self.current_contention_factor()
-        )
+        service = self.request_overhead_s + storage * self.current_contention_factor()
+        self.update_busy_seconds += service
         self.updates_handled += 1
+        if self.record_service_times:
+            self.service_time_samples.append(service)
         return result
 
     def handle_update_batch(self, messages: Sequence[UpdateMessage]) -> int:
@@ -91,11 +101,14 @@ class FrontendServer:
         before = counter.simulated_seconds
         self.indexer.update_many(list(messages))
         storage = counter.simulated_seconds - before
-        self.update_busy_seconds += (
+        service = (
             len(messages) * self.request_overhead_s
             + storage * self.current_contention_factor()
         )
+        self.update_busy_seconds += service
         self.updates_handled += len(messages)
+        if self.record_service_times:
+            self.service_time_samples.extend([service / len(messages)] * len(messages))
         return len(messages)
 
     def handle_nn_query(
@@ -119,10 +132,11 @@ class FrontendServer:
             stats=stats,
         )
         storage = counter.simulated_seconds - before
-        self.query_busy_seconds += (
-            self.request_overhead_s + storage * self.current_contention_factor()
-        )
+        service = self.request_overhead_s + storage * self.current_contention_factor()
+        self.query_busy_seconds += service
         self.queries_handled += 1
+        if self.record_service_times:
+            self.service_time_samples.append(service)
         return results
 
     def handle_query_batch(
@@ -156,11 +170,14 @@ class FrontendServer:
             context=context,
         )
         storage = counter.simulated_seconds - before
-        self.query_busy_seconds += (
+        service = (
             len(queries) * self.request_overhead_s
             + storage * self.current_contention_factor()
         )
+        self.query_busy_seconds += service
         self.queries_handled += len(queries)
+        if self.record_service_times:
+            self.service_time_samples.extend([service / len(queries)] * len(queries))
         return results
 
     # ------------------------------------------------------------------
@@ -201,3 +218,4 @@ class FrontendServer:
         self.query_busy_seconds = 0.0
         self.updates_handled = 0
         self.queries_handled = 0
+        self.service_time_samples.clear()

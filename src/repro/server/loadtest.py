@@ -1,4 +1,13 @@
-"""Load tests producing the QPS figures of Section 4.3."""
+"""Load tests producing the QPS figures of Section 4.3, plus the
+deterministic fault injector driving the control-plane experiments.
+
+The batched load-test loops double as the cluster's "wall clock": between
+request batches they give the tablet master its rebalance ticks and apply
+the :class:`FaultPlan`'s scheduled faults (server crashes, revivals and
+migrations crashed mid-flight).  Everything is seeded and simulated, so two
+identical plans produce byte-identical :meth:`LoadTestResult.to_report`
+renderings — the determinism guard the test suite enforces.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +19,126 @@ from repro.errors import ConfigurationError
 from repro.model import UpdateMessage
 from repro.server.client import ClientSimulator, build_client_fleet
 from repro.server.cluster import ServerCluster
+from repro.server.master import CRASH_AFTER_FLUSH, CRASH_AFTER_HANDOFF, TabletMaster
+
+#: Fault kinds a :class:`FaultPlan` can schedule.
+CRASH_SERVER = "crash_server"
+REVIVE_SERVER = "revive_server"
+MIGRATION_CRASH = "migration_crash"
+_FAULT_KINDS = (CRASH_SERVER, REVIVE_SERVER, MIGRATION_CRASH)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fires before the batch round ``at_batch``."""
+
+    at_batch: int
+    kind: str
+    server_id: Optional[int] = None
+    crash_point: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+        if self.at_batch < 0:
+            raise ConfigurationError("at_batch must be >= 0")
+        if self.kind in (CRASH_SERVER, REVIVE_SERVER):
+            if self.server_id is None:
+                raise ConfigurationError(f"{self.kind} needs a server_id")
+            if self.server_id < 0:
+                raise ConfigurationError("server_id must be >= 0")
+        if self.crash_point is not None and self.crash_point not in (
+            CRASH_AFTER_FLUSH,
+            CRASH_AFTER_HANDOFF,
+        ):
+            raise ConfigurationError(
+                f"unknown migration crash point {self.crash_point!r}"
+            )
+
+    def describe(self) -> str:
+        if self.kind == MIGRATION_CRASH:
+            return f"batch {self.at_batch}: {self.kind} ({self.crash_point})"
+        return f"batch {self.at_batch}: {self.kind} server {self.server_id}"
+
+
+class FaultPlan:
+    """A deterministic fault schedule for one load test.
+
+    Events are sorted and applied at batch-round boundaries; the same plan
+    against the same workload replays bit-identically.  Build one
+    explicitly from :class:`FaultEvent` tuples, or let :meth:`seeded`
+    derive a reproducible plan from a seed.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: List[FaultEvent] = sorted(
+            events,
+            key=lambda event: (
+                event.at_batch,
+                event.kind,
+                -1 if event.server_id is None else event.server_id,
+            ),
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_batches: int,
+        num_servers: int,
+        crashes: int = 1,
+        migration_crashes: int = 1,
+        revive: bool = True,
+    ) -> "FaultPlan":
+        """A reproducible random plan: ``crashes`` server crashes (each
+        followed by a revival a few rounds later when ``revive``) and
+        ``migration_crashes`` migrations aborted mid-flight."""
+        if num_batches < 1:
+            raise ConfigurationError("num_batches must be >= 1")
+        if num_servers < 1:
+            raise ConfigurationError("num_servers must be >= 1")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        for _ in range(crashes):
+            at_batch = rng.randrange(num_batches)
+            server_id = rng.randrange(num_servers)
+            events.append(
+                FaultEvent(at_batch=at_batch, kind=CRASH_SERVER, server_id=server_id)
+            )
+            if revive:
+                events.append(
+                    FaultEvent(
+                        # Clamp to the last fireable round: rounds are
+                        # 0-indexed, so num_batches itself never fires.
+                        at_batch=min(
+                            at_batch + 1 + rng.randrange(3), num_batches - 1
+                        ),
+                        kind=REVIVE_SERVER,
+                        server_id=server_id,
+                    )
+                )
+        for _ in range(migration_crashes):
+            events.append(
+                FaultEvent(
+                    at_batch=rng.randrange(num_batches),
+                    kind=MIGRATION_CRASH,
+                    crash_point=rng.choice(
+                        (CRASH_AFTER_FLUSH, CRASH_AFTER_HANDOFF)
+                    ),
+                )
+            )
+        return cls(events)
+
+    def events_at(self, batch_index: int) -> List[FaultEvent]:
+        """Events scheduled to fire before batch round ``batch_index``
+        (events beyond the last processed round never fire)."""
+        return [event for event in self.events if event.at_batch == batch_index]
+
+    def describe(self) -> str:
+        """One-line-per-event rendering (part of the load-test report)."""
+        if not self.events:
+            return "(no faults scheduled)"
+        return "\n".join(event.describe() for event in self.events)
 
 
 @dataclass(frozen=True)
@@ -41,6 +170,17 @@ class LoadTestResult:
     #: backends without a block cache, and for write-only tests that never
     #: scanned).
     cache_hit_rate: float = 0.0
+    #: Simulated p99 per-request service time (0.0 unless the cluster was
+    #: built with ``record_service_times``).
+    p99_service_time_s: float = 0.0
+    #: Control-plane activity over the test (0 without a tablet master).
+    migrations: int = 0
+    replications: int = 0
+    failovers: int = 0
+    #: Human-readable log of the faults the plan actually applied (events
+    #: that could not fire — e.g. crashing the last alive server — are
+    #: recorded as skipped).
+    faults_applied: List[str] = field(default_factory=list)
 
     @property
     def mean_latency_s(self) -> float:
@@ -48,6 +188,43 @@ class LoadTestResult:
         if self.total_requests == 0:
             return 0.0
         return self.simulated_seconds / self.total_requests
+
+    def to_report(self) -> str:
+        """Deterministic plain-text rendering of the whole result.
+
+        Every number is simulated (no wall clock enters), so two identical
+        seeded runs — same workload, same :class:`FaultPlan` — render
+        byte-identical reports; the determinism test locks this in.
+        """
+        lines = [
+            "load test report",
+            f"requests: {self.total_requests} completed, "
+            f"{self.failed_requests} failed",
+            f"simulated seconds: {self.simulated_seconds:.12g}",
+            f"qps: {self.qps:.12g}",
+            f"mean latency s: {self.mean_latency_s:.12g}",
+            f"p99 service time s: {self.p99_service_time_s:.12g}",
+            f"tablets: {self.tablet_count}, hot share: "
+            f"{self.hot_tablet_share:.12g}",
+            f"cache hit rate: {self.cache_hit_rate:.12g}",
+            f"control plane: {self.migrations} migrations, "
+            f"{self.replications} replications, {self.failovers} failovers",
+        ]
+        lines.append("per-server qps:")
+        for index, qps in enumerate(self.per_server_qps):
+            lines.append(f"  server {index}: {qps:.12g}")
+        lines.append("faults applied:")
+        if self.faults_applied:
+            lines.extend(f"  {entry}" for entry in self.faults_applied)
+        else:
+            lines.append("  (none)")
+        lines.append("timeline:")
+        for point in self.timeline:
+            lines.append(
+                f"  t={point.time_s:.12g} qps={point.qps:.12g} "
+                f"failed={point.failed_qps:.12g}"
+            )
+        return "\n".join(lines) + "\n"
 
 
 class _TimelineBucket:
@@ -110,13 +287,108 @@ class LoadTest:
         clients: Optional[Sequence[ClientSimulator]] = None,
         failure_probability: float = 0.002,
         seed: int = 404,
+        master: Optional[TabletMaster] = None,
+        rebalance_every: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not 0.0 <= failure_probability < 1.0:
             raise ConfigurationError("failure_probability must be in [0, 1)")
+        if rebalance_every < 0:
+            raise ConfigurationError("rebalance_every must be >= 0")
+        if rebalance_every > 0 and master is None:
+            raise ConfigurationError("rebalance_every needs a tablet master")
+        if fault_plan is not None and master is None:
+            raise ConfigurationError("a fault plan needs a tablet master")
         self.cluster = cluster
         self.clients = list(clients) if clients is not None else []
         self.failure_probability = failure_probability
         self.rng = random.Random(seed)
+        #: Optional control plane: the batched load-test loops give the
+        #: master a rebalance tick every ``rebalance_every`` batches (0 =
+        #: never) and apply the fault plan's scheduled events at batch
+        #: boundaries.
+        self.master = master
+        self.rebalance_every = rebalance_every
+        self.fault_plan = fault_plan
+        self._faults_applied: List[str] = []
+        self._master_baseline = (0, 0, 0)
+
+    def _begin_run(self) -> None:
+        """Per-run bookkeeping reset: cluster metrics, the applied-fault
+        log, and a snapshot of the master's cumulative action counts so
+        each result reports only the actions of *its* run."""
+        self.cluster.reset_metrics()
+        self._faults_applied = []
+        master = self.master
+        self._master_baseline = (
+            (len(master.migrations), len(master.replications), len(master.failovers))
+            if master is not None
+            else (0, 0, 0)
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane ticks
+    # ------------------------------------------------------------------
+    def _apply_fault(self, event: FaultEvent) -> None:
+        """Apply one scheduled fault, recording what actually happened.
+
+        Unfireable events (crashing the last alive server, reviving an
+        alive one, a migration crash with nowhere to migrate) are recorded
+        as skipped instead of failing the run: a seeded plan cannot know
+        the cluster's state at schedule time.
+        """
+        master = self.master
+        assert master is not None  # guarded by the constructor
+        cluster = self.cluster
+        if (
+            event.server_id is not None
+            and event.server_id >= cluster.num_servers
+        ):
+            # A seeded plan built for a bigger cluster: nothing to do.
+            self._faults_applied.append(f"{event.describe()} [skipped]")
+            return
+        if event.kind == CRASH_SERVER:
+            server = cluster.servers[event.server_id]
+            if not server.alive or len(cluster.alive_server_indices()) <= 1:
+                self._faults_applied.append(f"{event.describe()} [skipped]")
+                return
+            report = master.fail_over(event.server_id)
+            self._faults_applied.append(
+                f"{event.describe()} [{report.tablets_recovered} tablets "
+                f"recovered, {report.log_records_replayed} records replayed]"
+            )
+        elif event.kind == REVIVE_SERVER:
+            if cluster.servers[event.server_id].alive:
+                self._faults_applied.append(f"{event.describe()} [skipped]")
+                return
+            cluster.revive_server(event.server_id)
+            self._faults_applied.append(event.describe())
+        else:  # MIGRATION_CRASH
+            record = master.inject_migration_crash(
+                event.crash_point or CRASH_AFTER_HANDOFF
+            )
+            if record is None:
+                self._faults_applied.append(f"{event.describe()} [skipped]")
+            else:
+                self._faults_applied.append(
+                    f"{event.describe()} [{record.tablet_id} "
+                    f"{record.source}->{record.target} aborted]"
+                )
+
+    def _control_step(self, batch_index: int) -> None:
+        """One batch-boundary tick: scheduled faults, then the rebalance
+        cadence."""
+        if self.master is None:
+            return
+        if self.fault_plan is not None:
+            for event in self.fault_plan.events_at(batch_index):
+                self._apply_fault(event)
+        if (
+            self.rebalance_every > 0
+            and batch_index > 0
+            and batch_index % self.rebalance_every == 0
+        ):
+            self.master.rebalance()
 
     def _admit(self, items: Sequence) -> Tuple[list, int]:
         """Split one request slice into ``(admitted, dropped)``.
@@ -151,11 +423,19 @@ class LoadTest:
         """
         if bucket_requests <= 0:
             raise ConfigurationError("bucket_requests must be positive")
-        self.cluster.reset_metrics()
+        self._begin_run()
         bucket = _TimelineBucket(bucket_requests)
         failed = 0
         completed = 0
-        for message in messages:
+        # On the single-request path one control round == one timeline
+        # bucket of requests, so fault plans and rebalance ticks work here
+        # too (at bucket granularity rather than batch granularity).
+        control_round = -1
+        for index, message in enumerate(messages):
+            round_index = index // bucket_requests
+            if round_index != control_round:
+                control_round = round_index
+                self._control_step(round_index)
             # Failures are checked per message (not pre-filtered) so each
             # one lands in the timeline bucket where it occurred.
             if self.failure_probability and self.rng.random() < self.failure_probability:
@@ -188,11 +468,12 @@ class LoadTest:
             raise ConfigurationError("batch_size must be positive")
         if bucket_batches <= 0:
             raise ConfigurationError("bucket_batches must be positive")
-        self.cluster.reset_metrics()
+        self._begin_run()
         bucket = _TimelineBucket(bucket_batches)
         failed = 0
         completed = 0
-        for start in range(0, len(messages), batch_size):
+        for batch_index, start in enumerate(range(0, len(messages), batch_size)):
+            self._control_step(batch_index)
             batch, dropped = self._admit(messages[start : start + batch_size])
             failed += dropped
             completed += self.cluster.submit_update_batch(batch)
@@ -223,13 +504,16 @@ class LoadTest:
             raise ConfigurationError("batch_size must be positive")
         if bucket_batches <= 0:
             raise ConfigurationError("bucket_batches must be positive")
-        self.cluster.reset_metrics()
+        self._begin_run()
         bucket = _TimelineBucket(bucket_batches)
         failed = 0
         completed = 0
         update_offset = 0
         query_offset = 0
+        batch_index = 0
         while update_offset < len(messages) or query_offset < len(queries):
+            self._control_step(batch_index)
+            batch_index += 1
             update_batch, dropped_updates = self._admit(
                 messages[update_offset : update_offset + batch_size]
             )
@@ -264,6 +548,7 @@ class LoadTest:
             for server in self.cluster.servers
         ]
         indexer = self.cluster.indexer
+        master = self.master
         return LoadTestResult(
             total_requests=completed,
             failed_requests=failed,
@@ -274,6 +559,23 @@ class LoadTest:
             tablet_count=indexer.tablet_count(),
             hot_tablet_share=indexer.hot_tablet_share(),
             cache_hit_rate=indexer.cache_hit_rate(),
+            p99_service_time_s=self.cluster.service_time_percentile(0.99),
+            migrations=(
+                len(master.migrations) - self._master_baseline[0]
+                if master is not None
+                else 0
+            ),
+            replications=(
+                len(master.replications) - self._master_baseline[1]
+                if master is not None
+                else 0
+            ),
+            failovers=(
+                len(master.failovers) - self._master_baseline[2]
+                if master is not None
+                else 0
+            ),
+            faults_applied=list(self._faults_applied),
         )
 
     def run_client_bursts(

@@ -1,0 +1,83 @@
+"""The rebalance experiment harness: skewed streams and the sweep figure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.rebalance import (
+    _SCHOOL_CENTER,
+    _SCHOOL_RADIUS,
+    hot_school_streams,
+    measure_rebalance,
+    run_rebalance,
+)
+
+
+class TestHotSchoolStreams:
+    def test_fully_hot_streams_stay_inside_the_school(self):
+        messages, queries = hot_school_streams(1000, 400, hot_fraction=1.0, seed=5)
+        assert len(messages) == 200
+        assert len(queries) == 200
+        for message in messages:
+            assert abs(message.location.x - _SCHOOL_CENTER.x) <= _SCHOOL_RADIUS
+            assert abs(message.location.y - _SCHOOL_CENTER.y) <= _SCHOOL_RADIUS
+            # The hot cohort is the first 5% of object ids.
+            assert int(message.object_id.replace("obj", "")) < 50
+        for query in queries:
+            assert abs(query.location.x - _SCHOOL_CENTER.x) <= _SCHOOL_RADIUS
+
+    def test_cold_streams_are_uniform(self):
+        messages, _ = hot_school_streams(1000, 400, hot_fraction=0.0, seed=5)
+        outside = sum(
+            1
+            for message in messages
+            if abs(message.location.x - _SCHOOL_CENTER.x) > _SCHOOL_RADIUS
+        )
+        assert outside > len(messages) // 2
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hot_school_streams(100, 100, hot_fraction=1.5)
+
+
+class TestRebalanceSweep:
+    def test_master_beats_static_under_heavy_skew(self):
+        kwargs = dict(
+            num_objects=2000, num_requests=3000, batch_size=128, seed=59
+        )
+        static = measure_rebalance(0.9, balanced=False, **kwargs)
+        master = measure_rebalance(0.9, balanced=True, **kwargs)
+        assert master.qps > static.qps
+        assert master.migrations > 0
+        # Static affinity has no control plane at all.
+        assert static.migrations == 0
+        assert static.replications == 0
+
+    def test_master_matches_static_without_skew(self):
+        kwargs = dict(
+            num_objects=1000, num_requests=1500, batch_size=128, seed=59
+        )
+        static = measure_rebalance(0.0, balanced=False, **kwargs)
+        master = measure_rebalance(0.0, balanced=True, **kwargs)
+        # The control plane never hurts a balanced workload (beyond noise
+        # in which tablets its occasional housekeeping migrations touch).
+        assert master.qps >= static.qps * 0.98
+        assert master.total_requests == static.total_requests
+
+    def test_sweep_figure_shape(self):
+        figure = run_rebalance(
+            hot_fractions=(0.0, 0.9),
+            num_objects=1500,
+            num_requests=2000,
+            batch_size=128,
+        )
+        static_qps = figure.get_series("static QPS")
+        master_qps = figure.get_series("master QPS")
+        assert len(static_qps.ys) == 2
+        assert len(master_qps.ys) == 2
+        # The headline acceptance claim: master-balanced wins under skew.
+        assert master_qps.ys[1] > static_qps.ys[1]
+        assert figure.get_series("static p99 ms").ys[1] > 0.0
+        assert figure.get_series("migrations").ys[1] > 0
+        rendered = figure.to_table()
+        assert "rebalance" in rendered
+        assert "master QPS" in rendered

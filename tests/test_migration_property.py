@@ -1,0 +1,180 @@
+"""Property test: the control plane is invisible to clients.
+
+The PR 4 recovery-property pattern, lifted to the cluster level: generate a
+random batched update/query workload, run it twice against identically
+configured clusters, and on one of them interleave random control-plane
+activity — live migrations (sometimes crashed mid-flight at a random
+phase), read-replica seeding, server crashes with failover, revivals and
+master rebalance passes — at random points between batches.  The final
+states must be indistinguishable: same tablet boundaries, same keys, same
+full row contents, same NN results for a fixed query sample.  Simulated
+*costs* are allowed to differ (migrations charge the durability ledger and
+chill block caches); *state* is not.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.common import uniform_leader_indexer
+from repro.experiments.recovery import _nn_signature, _state_signature
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+from repro.server.cluster import ServerCluster
+from repro.server.master import (
+    CRASH_AFTER_FLUSH,
+    CRASH_AFTER_HANDOFF,
+    MasterOptions,
+    TabletMaster,
+)
+from repro.workload.queries import NNQueryWorkload
+
+
+def update_batches(rng, num_objects, num_batches, batch_size):
+    """A reproducible batched update stream over known objects."""
+    batches = []
+    step = 0
+    for _ in range(num_batches):
+        batch = []
+        for _ in range(batch_size):
+            batch.append(
+                UpdateMessage(
+                    object_id=format_object_id(rng.randrange(num_objects)),
+                    location=Point(
+                        rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)
+                    ),
+                    velocity=Vector(1.0, 0.5),
+                    timestamp=float(step) / 10.0,
+                )
+            )
+            step += 1
+        batches.append(batch)
+    return batches
+
+
+def full_row_signature(indexer):
+    """State fingerprint down to full row contents (stronger than the
+    boundary/key signature the recovery experiment uses)."""
+    emulator = indexer.emulator
+    out = []
+    for name in emulator.table_names():
+        table = emulator.table(name)
+        for key in table.all_keys():
+            out.append((name, key, repr(table.read_row(key, _charge=False))))
+    return tuple(out)
+
+
+def control_actions(rng, master, cluster):
+    """One random slice of control-plane activity between two batches."""
+    roll = rng.random()
+    if roll < 0.35:
+        # A live migration of a random tablet, sometimes crashed mid-flight.
+        stats = master.backend.tablet_stats()
+        if not stats:
+            return
+        entry = stats[rng.randrange(len(stats))]
+        source = cluster.server_index_for_tablet(entry.tablet_id)
+        targets = [
+            index
+            for index in cluster.alive_server_indices()
+            if index != source
+        ]
+        if not targets:
+            return
+        crash_point = rng.choice(
+            [None, None, CRASH_AFTER_FLUSH, CRASH_AFTER_HANDOFF]
+        )
+        master.migrate_tablet(
+            entry.table,
+            entry.tablet_id,
+            targets[rng.randrange(len(targets))],
+            crash_point=crash_point,
+        )
+    elif roll < 0.5:
+        # Replicate a random tablet for query fan-out.
+        stats = master.backend.tablet_stats()
+        if not stats:
+            return
+        entry = stats[rng.randrange(len(stats))]
+        alive = cluster.alive_server_indices()
+        master.replicate_tablet(
+            entry.table, entry.tablet_id, alive[rng.randrange(len(alive))]
+        )
+    elif roll < 0.7:
+        # Crash a random server (failover), unless it is the last one.
+        victim = rng.randrange(cluster.num_servers)
+        if (
+            cluster.servers[victim].alive
+            and len(cluster.alive_server_indices()) > 1
+        ):
+            master.fail_over(victim, rebalance=rng.random() < 0.5)
+    elif roll < 0.85:
+        # Revive whichever server has been down the longest.
+        for index, server in enumerate(cluster.servers):
+            if not server.alive:
+                cluster.revive_server(index)
+                break
+    else:
+        master.rebalance()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_migrated_faulted_cluster_equals_unmigrated_reference(seed):
+    rng = random.Random(3000 + seed)
+    num_objects = rng.choice([400, 800])
+    num_servers = rng.choice([3, 4, 5])
+    batch_size = rng.choice([64, 128, 256])
+    batches = update_batches(rng, num_objects, num_batches=10, batch_size=batch_size)
+    queries = NNQueryWorkload(
+        uniform_leader_indexer(10, seed=1).config.world, k=8, seed=seed
+    ).batch(25)
+
+    reference = uniform_leader_indexer(num_objects, seed=11)
+    reference_cluster = ServerCluster(reference, num_servers=num_servers)
+    for batch in batches:
+        reference_cluster.submit_update_batch(batch)
+        reference_cluster.submit_query_batch(queries[:5])
+
+    subject = uniform_leader_indexer(num_objects, seed=11)
+    cluster = ServerCluster(subject, num_servers=num_servers)
+    master = TabletMaster(cluster, MasterOptions(replicate_read_share=0.10))
+    for batch in batches:
+        control_actions(rng, master, cluster)
+        cluster.submit_update_batch(batch)
+        # Query batches exercise replica fan-out mid-fault; results checked
+        # wholesale at the end via the NN signature.
+        cluster.submit_query_batch(queries[:5])
+
+    assert _state_signature(subject) == _state_signature(reference), (
+        f"seed {seed}: boundaries/keys diverged"
+    )
+    assert full_row_signature(subject) == full_row_signature(reference), (
+        f"seed {seed}: row contents diverged"
+    )
+    assert _nn_signature(subject, queries) == _nn_signature(
+        reference, queries
+    ), f"seed {seed}: NN results diverged"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_replicated_query_batches_match_sequential_results(seed):
+    """Replica fan-out must return exactly what per-query dispatch returns,
+    even while migrations churn underneath."""
+    rng = random.Random(7000 + seed)
+    indexer = uniform_leader_indexer(600, seed=13)
+    cluster = ServerCluster(indexer, num_servers=4)
+    master = TabletMaster(cluster, MasterOptions(replicate_read_share=0.05))
+    batches = update_batches(rng, 600, num_batches=4, batch_size=128)
+    for batch in batches:
+        cluster.submit_update_batch(batch)
+    master.rebalance()
+    queries = NNQueryWorkload(indexer.config.world, k=10, seed=seed).batch(40)
+    batched = cluster.submit_query_batch(queries)
+    for query, result in zip(queries, batched):
+        sequential = indexer.nearest_neighbors(
+            query.location, query.k, range_limit=query.range_limit
+        )
+        assert [(n.object_id, n.distance) for n in result] == [
+            (n.object_id, n.distance) for n in sequential
+        ]
