@@ -1,0 +1,108 @@
+"""Machine-independent guards for the multiprocess scale-out path (PR 6).
+
+Wall-clock speedup from forked workers depends entirely on how many cores
+the host exposes, so — unlike the hot-path guards — nothing here asserts
+on elapsed time.  What *is* asserted holds on any machine:
+
+1. **Worker-count invariance** — the quick mixed workload driven through a
+   :class:`~repro.server.scaleout.ScaleOutCluster` must produce exactly
+   equal request counts, simulated QPS, merged storage-RPC ledgers and
+   load-test reports whether the shard federation runs in-process or
+   across 1, 2 or 4 forked workers.  Among the forked variants the wire
+   byte volume must match too: the framing is deterministic, only which
+   OS process executes a shard changes.
+
+2. **Committed record shape** — the repository's ``BENCH_PR6.json`` must
+   carry the ``scaleout_multiproc`` section with every variant present
+   and its simulated-side columns bit-identical across variants, so the
+   committed trajectory record itself proves the determinism claim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.scaleout import multiproc_load_run
+
+from conftest import run_once
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_PR6.json"
+
+#: Quick shape: small enough for a 1-core CI runner, 4 shards so the
+#: shard→worker mapping differs at every worker count under test.
+NUM_SHARDS = 4
+NUM_OBJECTS = 600
+NUM_REQUESTS = 600
+
+#: The simulated-side columns that must never move with the worker count.
+INVARIANT_COLUMNS = (
+    "requests",
+    "simulated_qps",
+    "storage_rpc_count",
+    "simulated_storage_seconds",
+)
+
+
+def _fingerprint(backend: str, num_workers: int):
+    outcome, _wall, transport, report = multiproc_load_run(
+        backend=backend,
+        num_workers=num_workers,
+        num_shards=NUM_SHARDS,
+        num_objects=NUM_OBJECTS,
+        num_requests=NUM_REQUESTS,
+    )
+    simulated = (
+        outcome.total_requests,
+        outcome.qps,
+        transport["storage_rpc_count"],
+        transport["simulated_storage_seconds"],
+        report,
+    )
+    wire = (transport["serialized_bytes"], transport["rpc_frames"])
+    return simulated, wire
+
+
+def _all_fingerprints():
+    plans = [("inprocess", 1), ("process", 1), ("process", 2), ("process", 4)]
+    return {
+        (backend, workers): _fingerprint(backend, workers)
+        for backend, workers in plans
+    }
+
+
+def test_worker_count_is_invisible(benchmark):
+    results = run_once(benchmark, _all_fingerprints)
+    reference_simulated, _ = results[("inprocess", 1)]
+    process_wires = []
+    for (backend, workers), (simulated, wire) in results.items():
+        assert simulated == reference_simulated, (
+            f"{backend} w={workers} diverged from the in-process baseline"
+        )
+        if backend == "process":
+            process_wires.append(((backend, workers), wire))
+    reference_wire = process_wires[0][1]
+    for key, wire in process_wires:
+        assert wire == reference_wire, f"wire accounting moved at {key}"
+
+
+def test_committed_bench_record_proves_the_claim():
+    payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    multiproc = payload["scaleout_multiproc"]
+    variants = multiproc["variants"]
+    expected = ["inprocess"] + [
+        f"workers_{count}" for count in multiproc["worker_counts"]
+    ]
+    assert sorted(variants) == sorted(expected)
+    assert multiproc["host_cpu_count"] >= 1
+    reference = variants["inprocess"]
+    for name, row in variants.items():
+        for column in INVARIANT_COLUMNS:
+            assert row[column] == reference[column], (
+                f"{name}.{column} drifted from the in-process record"
+            )
+        assert row["wall_seconds"] > 0.0
+        if name != "inprocess":
+            assert row["speedup_vs_inprocess"] > 0.0
+            assert row["serialized_bytes"] > 0
+            assert row["rpc_frames"] > 0

@@ -24,6 +24,12 @@ Since PR 4 every tablet is a full LSM engine: a sequence-numbered
 tombstone garbage collection, and **crash recovery** that replays each
 tablet's log tail over its runs to bit-identical state.  Durability work is
 charged to a separate ledger so paper-facing service times stay calibrated.
+
+Since PR 6 the backend protocols have multiple implementations: besides
+the in-process emulator, :mod:`repro.bigtable.process_backend` federates
+shard groups running in-process (:class:`LocalShardedBackend`) or in
+forked worker processes (:class:`ProcessShardedBackend`) behind batched
+RPC framing, with bit-identical merged accounting at every worker count.
 """
 
 from repro.bigtable.sorted_map import SortedMap
@@ -55,6 +61,27 @@ from repro.bigtable.backend import (
 )
 from repro.bigtable.emulator import BigtableEmulator
 
+#: The federated backends live behind a lazy import (PEP 562):
+#: ``process_backend`` pulls in the server package (RPC framing, shard
+#: services), which itself imports this package — importing it eagerly
+#: here would close that cycle during interpreter start-up.
+_FEDERATED_EXPORTS = (
+    "LocalShardedBackend",
+    "ProcessShardedBackend",
+    "WorkerPool",
+    "build_recipes",
+    "make_scaleout_backend",
+)
+
+
+def __getattr__(name: str):
+    if name in _FEDERATED_EXPORTS:
+        from repro.bigtable import process_backend
+
+        return getattr(process_backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "SortedMap",
     "CostModel",
@@ -85,4 +112,9 @@ __all__ = [
     "CacheAwareBackend",
     "TabletSkew",
     "BigtableEmulator",
+    "LocalShardedBackend",
+    "ProcessShardedBackend",
+    "WorkerPool",
+    "build_recipes",
+    "make_scaleout_backend",
 ]

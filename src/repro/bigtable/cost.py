@@ -303,6 +303,29 @@ class OpCounter:
             return 1.0
         return physical / logical
 
+    def absorb_snapshot(self, snapshot: "OpCounterSnapshot") -> None:
+        """Fold a frozen snapshot's totals into this counter.
+
+        The per-worker ledger merge of the multiprocess backend: each worker
+        ships an :class:`OpCounterSnapshot` of its shard's counter and the
+        parent folds them, in fixed shard order, into one cluster-wide
+        ledger.  Summation order is deterministic, so merged simulated
+        seconds are bit-identical run to run.
+        """
+        for kind, count in snapshot.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+        for kind, rows in snapshot.rows.items():
+            self.rows[kind] = self.rows.get(kind, 0) + rows
+        for kind, count in snapshot.durability_counts.items():
+            self.durability_counts[kind] = self.durability_counts.get(kind, 0) + count
+        for kind, rows in snapshot.durability_rows.items():
+            self.durability_rows[kind] = self.durability_rows.get(kind, 0) + rows
+        self.simulated_seconds += snapshot.simulated_seconds
+        self.read_seconds += snapshot.read_seconds
+        self.write_seconds += snapshot.write_seconds
+        self.durability_seconds += snapshot.durability_seconds
+        self.logical_write_rows += snapshot.logical_write_rows
+
     def absorb(self, other: "OpCounter") -> None:
         """Fold another counter's totals into this one.
 
@@ -389,6 +412,15 @@ class OpCounterSnapshot:
     durability_rows: Dict[OpKind, int] = field(default_factory=dict)
     durability_seconds: float = 0.0
     logical_write_rows: int = 0
+
+    def storage_rpc_count(self) -> int:
+        """Storage RPC round trips in this snapshot (``CACHE_READ``
+        excluded, exactly like :meth:`OpCounter.storage_rpc_count`)."""
+        return sum(
+            count
+            for kind, count in self.counts.items()
+            if kind is not OpKind.CACHE_READ
+        )
 
     def delta(self, earlier: "OpCounterSnapshot") -> "OpCounterSnapshot":
         """Difference between this snapshot and an ``earlier`` one."""

@@ -1,0 +1,660 @@
+"""Shared-nothing multiprocess storage backends.
+
+:class:`ProcessShardedBackend` satisfies the existing
+:class:`~repro.bigtable.backend.ShardedBackend` /
+:class:`~repro.bigtable.backend.CacheAwareBackend` protocols by federating
+a fixed set of shard groups, each a complete MOIST stack running inside a
+worker process behind the :mod:`repro.server.rpc` framing.
+:class:`LocalShardedBackend` runs the *same* shard services in-process with
+zero RPC — the baseline every scale-out run must match bit for bit.
+
+Determinism model: the shard count is the unit of determinism, the worker
+count is the unit of parallelism.  Shard contents and every per-shard
+computation depend only on the :class:`~repro.server.worker.ShardRecipe`;
+the parent merges per-shard ledgers, tablet stats and cache tallies in
+fixed shard order, so merged simulated seconds, RPC counts and skew
+reports are identical at every worker count — and identical between the
+process and in-process backends.
+
+Worker lifecycle: :class:`WorkerPool` spawns forked daemon workers over
+``socket.socketpair``, health-checks them (ping + liveness), drains
+pipelined work and shuts down gracefully (shutdown frame → join →
+terminate).  Pools are context managers and register an ``atexit`` hook,
+so pytest and ``repro bench`` never leak zombie workers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import socket
+import struct
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+
+from repro.bigtable.backend import TabletSkew
+from repro.bigtable.cost import CostModel, OpCounter, OpCounterSnapshot
+from repro.bigtable.lsm import RecoveryReport
+from repro.errors import ConfigurationError, TableNotFoundError, WorkerDiedError
+from repro.server import rpc
+from repro.server.worker import ShardRecipe, ShardService, worker_main
+
+_UPDATE_RESULT = struct.Struct("!Id")
+_MAKESPAN = struct.Struct("!d")
+
+
+def _child_main(child_sock: socket.socket, parent_sock: socket.socket) -> None:
+    # The fork duplicated the parent's end into this process; close it so
+    # the pair delivers EOF when either side goes away.
+    parent_sock.close()
+    worker_main(child_sock)
+
+
+class WorkerPool:
+    """A fixed set of forked worker processes with framed connections.
+
+    Workers are daemons (the OS reaps them if the parent dies hard), and
+    the pool registers an ``atexit`` shutdown besides being usable as a
+    context manager — belt and braces against zombie processes.
+    """
+
+    def __init__(self, num_workers: int, timeout_s: float = 120.0) -> None:
+        if num_workers < 1:
+            raise ConfigurationError("a worker pool needs at least one worker")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "the process backend needs POSIX fork; use the in-process "
+                "backend on this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        self.connections: List[rpc.RpcConnection] = []
+        self.processes: List[multiprocessing.process.BaseProcess] = []
+        self._closed = False
+        for _ in range(num_workers):
+            parent_sock, child_sock = socket.socketpair()
+            process = context.Process(
+                target=_child_main, args=(child_sock, parent_sock), daemon=True
+            )
+            process.start()
+            child_sock.close()
+            self.connections.append(rpc.RpcConnection(parent_sock, timeout_s))
+            self.processes.append(process)
+        atexit.register(self.shutdown)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.processes)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Health / drain
+    # ------------------------------------------------------------------
+    def alive_workers(self) -> List[bool]:
+        return [process.is_alive() for process in self.processes]
+
+    def health_check(self) -> None:
+        """Ping every worker; raises :class:`WorkerDiedError` on a dead or
+        unresponsive one."""
+        if self._closed:
+            raise ConfigurationError("the worker pool is shut down")
+        for index, (process, connection) in enumerate(
+            zip(self.processes, self.connections)
+        ):
+            if not process.is_alive():
+                raise WorkerDiedError(f"worker {index} is not running")
+            request_id = connection.send_request(0, rpc.OP_PING, b"")
+            connection.wait(request_id)
+
+    def drain(self) -> None:
+        """Wait until every worker has processed all pipelined requests.
+
+        Workers serve frames FIFO, so a ping answered means everything
+        sent before it was already executed.
+        """
+        self.health_check()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, join_timeout_s: float = 5.0) -> None:
+        """Graceful stop: shutdown frame → join → terminate stragglers.
+
+        Idempotent; also runs from ``atexit`` and ``__exit__``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.shutdown)
+        for connection in self.connections:
+            try:
+                connection.send_request(0, rpc.OP_SHUTDOWN, b"")
+            except Exception:
+                pass
+        for process in self.processes:
+            process.join(timeout=join_timeout_s)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=join_timeout_s)
+        for connection in self.connections:
+            connection.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Transport accounting (the bench's serialized-bytes column)
+    # ------------------------------------------------------------------
+    def bytes_sent(self) -> int:
+        return sum(connection.bytes_sent for connection in self.connections)
+
+    def bytes_received(self) -> int:
+        return sum(connection.bytes_received for connection in self.connections)
+
+    def frames_sent(self) -> int:
+        return sum(connection.frames_sent for connection in self.connections)
+
+
+class _ReadyResult:
+    """Pending-result shim for the in-process client (already computed)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class _RemoteResult:
+    """One in-flight pipelined request on a worker connection."""
+
+    __slots__ = ("_connection", "_request_id", "_decode")
+
+    def __init__(
+        self,
+        connection: rpc.RpcConnection,
+        request_id: int,
+        decode: Callable[[bytes], Any],
+    ) -> None:
+        self._connection = connection
+        self._request_id = request_id
+        self._decode = decode
+
+    def result(self) -> Any:
+        _opcode, body = self._connection.wait(self._request_id)
+        return self._decode(body)
+
+
+def _decode_update_result(body: bytes) -> Tuple[int, float]:
+    return _UPDATE_RESULT.unpack(body)
+
+
+def _decode_query_result(body: bytes) -> Tuple[list, float]:
+    (makespan,) = _MAKESPAN.unpack_from(body)
+    return rpc.decode_neighbor_batches(body[_MAKESPAN.size:]), makespan
+
+
+class LocalShardClient:
+    """In-process shard client: the service runs right here, no RPC.
+
+    The comparison baseline: identical shard computations, zero transport.
+    """
+
+    def __init__(self) -> None:
+        self.service = ShardService()
+
+    def call(self, method: str, *args, **kwargs) -> Any:
+        return getattr(self.service, method)(*args, **kwargs)
+
+    def begin_call(self, method: str, *args, **kwargs) -> _ReadyResult:
+        return _ReadyResult(self.call(method, *args, **kwargs))
+
+    def begin_update_batch(self, messages) -> _ReadyResult:
+        return _ReadyResult(self.service.update_batch(messages))
+
+    def begin_query_batch(self, queries) -> _ReadyResult:
+        return _ReadyResult(self.service.query_batch(queries))
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessShardClient:
+    """RPC shard client: requests frame onto one worker's connection.
+
+    ``begin_*`` methods only *send*; collecting the :class:`_RemoteResult`
+    later is what gives a scatter round its pipelining — every shard's
+    request is on the wire before the first response is read.
+    """
+
+    def __init__(self, connection: rpc.RpcConnection, shard_id: int) -> None:
+        self.connection = connection
+        self.shard_id = shard_id
+
+    def call(self, method: str, *args, **kwargs) -> Any:
+        return self.begin_call(method, *args, **kwargs).result()
+
+    def begin_call(self, method: str, *args, **kwargs) -> _RemoteResult:
+        request_id = self.connection.send_request(
+            self.shard_id, rpc.OP_CALL, rpc.encode_call(method, args, kwargs)
+        )
+        return _RemoteResult(self.connection, request_id, rpc.decode_result)
+
+    def begin_update_batch(self, messages) -> _RemoteResult:
+        request_id = self.connection.send_request(
+            self.shard_id, rpc.OP_UPDATE_BATCH, rpc.encode_update_batch(messages)
+        )
+        return _RemoteResult(self.connection, request_id, _decode_update_result)
+
+    def begin_query_batch(self, queries) -> _RemoteResult:
+        request_id = self.connection.send_request(
+            self.shard_id, rpc.OP_QUERY_BATCH, rpc.encode_query_batch(queries)
+        )
+        return _RemoteResult(self.connection, request_id, _decode_query_result)
+
+    def close(self) -> None:
+        pass
+
+
+class FederatedTable:
+    """Lightweight cross-shard table handle.
+
+    The federation's :meth:`FederatedShardedBackend.table` returns these;
+    they answer the aggregate questions callers ask of a table without
+    proxying the whole data-plane API (per-row access belongs to the shard
+    that owns the row, through its own stack).
+    """
+
+    def __init__(self, backend: "FederatedShardedBackend", name: str) -> None:
+        self.backend = backend
+        self.name = name
+
+    def all_keys(self) -> List[str]:
+        merged: List[str] = []
+        for keys in self.backend.scatter("table_keys", self.name):
+            merged.extend(keys)
+        merged.sort()
+        return merged
+
+    def row_count(self) -> int:
+        return sum(self.backend.scatter("table_row_count", self.name))
+
+
+class FederatedShardedBackend:
+    """``ShardedBackend``/``CacheAwareBackend`` over a set of shard clients.
+
+    Every aggregate is merged in fixed shard order (ledger absorption,
+    tablet-stat concatenation, strict-``>`` hottest scans), mirroring the
+    single-emulator semantics — the reason merged accounting is
+    bit-identical between backends and across worker counts.
+    """
+
+    def __init__(self, clients: Sequence[object], recipes: Sequence[ShardRecipe]) -> None:
+        if not clients:
+            raise ConfigurationError("a federation needs at least one shard")
+        if len(clients) != len(recipes):
+            raise ConfigurationError("one recipe per shard client required")
+        self.clients = list(clients)
+        self.recipes = list(recipes)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.clients)
+
+    # ------------------------------------------------------------------
+    # Scatter helpers
+    # ------------------------------------------------------------------
+    def scatter(self, method: str, *args, **kwargs) -> List[Any]:
+        """Pipelined broadcast of one call; results in shard order."""
+        pending = [
+            client.begin_call(method, *args, **kwargs) for client in self.clients
+        ]
+        return [entry.result() for entry in pending]
+
+    def build_all(self) -> List[Dict[str, int]]:
+        """Build every shard's indexer from its recipe (pipelined, so a
+        multi-worker pool preloads shards in parallel)."""
+        pending = [
+            client.begin_call("build_indexer", recipe)
+            for client, recipe in zip(self.clients, self.recipes)
+        ]
+        return [entry.result() for entry in pending]
+
+    def begin_query_broadcast(self, queries) -> List[Any]:
+        """One probe set to every shard; pending results in shard order."""
+        return [client.begin_query_batch(queries) for client in self.clients]
+
+    def begin_update_scatter(self, buckets) -> List[Tuple[int, Any]]:
+        """Dispatch per-shard update batches; ``(shard_id, pending)`` pairs
+        in bucket order."""
+        return [
+            (shard_id, self.clients[shard_id].begin_update_batch(messages))
+            for shard_id, messages in buckets
+        ]
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    @property
+    def counter(self) -> OpCounter:
+        """Merged cluster-wide ledger (snapshot merge in shard order)."""
+        merged = OpCounter(model=CostModel())
+        for snapshot in self.counter_snapshots():
+            merged.absorb_snapshot(snapshot)
+        return merged
+
+    def counter_snapshots(self) -> List[OpCounterSnapshot]:
+        return self.scatter("counter_snapshot")
+
+    def create_table(self, name: str, families) -> FederatedTable:
+        self.scatter("create_table", name, families)
+        return FederatedTable(self, name)
+
+    def table(self, name: str) -> FederatedTable:
+        if not self.has_table(name):
+            raise TableNotFoundError(f"table {name!r} does not exist")
+        return FederatedTable(self, name)
+
+    def has_table(self, name: str) -> bool:
+        return self.clients[0].call("has_table", name)
+
+    def drop_table(self, name: str) -> None:
+        self.scatter("drop_table", name)
+
+    def table_names(self) -> List[str]:
+        return self.clients[0].call("table_names")
+
+    def reset_counters(self) -> None:
+        self.scatter("reset_counters")
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(self.scatter("simulated_seconds"))
+
+    @property
+    def durability_seconds(self) -> float:
+        return sum(
+            snapshot.durability_seconds for snapshot in self.counter_snapshots()
+        )
+
+    def flush(self) -> int:
+        return sum(self.scatter("flush"))
+
+    def compact(self, major: bool = False) -> int:
+        return sum(self.scatter("compact", major=major))
+
+    def recover(self) -> RecoveryReport:
+        tables: List[Any] = []
+        for report in self.scatter("recover"):
+            tables.extend(report.tables)
+        return RecoveryReport(tables=tuple(tables))
+
+    def run_count(self) -> int:
+        return sum(self.scatter("run_count"))
+
+    def log_record_count(self) -> int:
+        return sum(self.scatter("log_record_count"))
+
+    def write_amplification(self) -> float:
+        return self.counter.write_amplification()
+
+    # ------------------------------------------------------------------
+    # ShardedBackend protocol
+    # ------------------------------------------------------------------
+    def tablet_stats(self) -> list:
+        stats: List[Any] = []
+        for shard_stats in self.scatter("tablet_stats"):
+            stats.extend(shard_stats)
+        return stats
+
+    def tablet_count(self) -> int:
+        return sum(self.scatter("tablet_count"))
+
+    def hot_tablet_share(self) -> float:
+        hottest = 0.0
+        total = 0.0
+        for entry in self.tablet_stats():
+            seconds = entry.simulated_seconds
+            total += seconds
+            if seconds > hottest:
+                hottest = seconds
+        if total <= 0.0:
+            return 1.0
+        return hottest / total
+
+    # ------------------------------------------------------------------
+    # CacheAwareBackend protocol
+    # ------------------------------------------------------------------
+    def tablet_skew(self) -> TabletSkew:
+        hot_read = 0.0
+        hot_write = 0.0
+        read_total = 0.0
+        write_total = 0.0
+        hot_read_tablet: Optional[str] = None
+        hot_write_tablet: Optional[str] = None
+        for entry in self.tablet_stats():
+            read = entry.read_seconds
+            write = entry.write_seconds
+            read_total += read
+            write_total += write
+            if read > hot_read:
+                hot_read = read
+                hot_read_tablet = entry.tablet_id
+            if write > hot_write:
+                hot_write = write
+                hot_write_tablet = entry.tablet_id
+        return TabletSkew(
+            read_share=hot_read / read_total if read_total > 0.0 else 1.0,
+            write_share=hot_write / write_total if write_total > 0.0 else 1.0,
+            read_seconds=read_total,
+            write_seconds=write_total,
+            hot_read_tablet=hot_read_tablet,
+            hot_write_tablet=hot_write_tablet,
+        )
+
+    def block_cache_stats(self) -> list:
+        stats: List[Any] = []
+        for shard_stats in self.scatter("block_cache_stats"):
+            stats.extend(shard_stats)
+        return stats
+
+    def cache_hit_rate(self) -> float:
+        hits = 0
+        lookups = 0
+        for shard_hits, shard_lookups in self.scatter("cache_totals"):
+            hits += shard_hits
+            lookups += shard_lookups
+        if lookups == 0:
+            return 0.0
+        return hits / lookups
+
+    # ------------------------------------------------------------------
+    # Lifecycle / transport
+    # ------------------------------------------------------------------
+    def serialized_bytes(self) -> int:
+        """Bytes moved over the RPC transport (0 for the in-process
+        federation — there is no transport)."""
+        return 0
+
+    def rpc_frame_count(self) -> int:
+        """Request frames sent over the transport (0 in-process)."""
+        return 0
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+    def __enter__(self) -> "FederatedShardedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalShardedBackend(FederatedShardedBackend):
+    """The same shard federation executed in-process with zero RPC."""
+
+    def __init__(self, recipes: Sequence[ShardRecipe], build: bool = True) -> None:
+        super().__init__([LocalShardClient() for _ in recipes], recipes)
+        if build:
+            self.build_all()
+
+
+class ProcessShardedBackend(FederatedShardedBackend):
+    """The shard federation with each shard in a forked worker process."""
+
+    def __init__(
+        self,
+        recipes: Sequence[ShardRecipe],
+        num_workers: int = 1,
+        timeout_s: float = 120.0,
+        build: bool = True,
+    ) -> None:
+        if num_workers > len(recipes):
+            num_workers = len(recipes)
+        self.pool = WorkerPool(num_workers, timeout_s=timeout_s)
+        clients = [
+            ProcessShardClient(
+                self.pool.connections[shard_id % num_workers], shard_id
+            )
+            for shard_id in range(len(recipes))
+        ]
+        super().__init__(clients, recipes)
+        if build:
+            self.build_all()
+
+    @property
+    def num_workers(self) -> int:
+        return self.pool.num_workers
+
+    def _shards_by_connection(self):
+        """Shard ids grouped by owning connection, in shard order."""
+        grouped: Dict[rpc.RpcConnection, List[int]] = {}
+        for shard_id, client in enumerate(self.clients):
+            grouped.setdefault(client.connection, []).append(shard_id)
+        return grouped.items()
+
+    def begin_query_broadcast(self, queries) -> List[Any]:
+        """Encode the probe set once for the whole federation and flush each
+        connection's share of the broadcast as one batched ``sendall``."""
+        body = rpc.encode_query_batch(queries)
+        pending: List[Any] = [None] * len(self.clients)
+        for connection, shard_ids in self._shards_by_connection():
+            request_ids = connection.send_requests(
+                (shard_id, rpc.OP_QUERY_BATCH, body) for shard_id in shard_ids
+            )
+            for shard_id, request_id in zip(shard_ids, request_ids):
+                pending[shard_id] = _RemoteResult(
+                    connection, request_id, _decode_query_result
+                )
+        return pending
+
+    def begin_update_scatter(self, buckets) -> List[Tuple[int, Any]]:
+        """Per-shard update batches, framed together per connection."""
+        grouped: Dict[rpc.RpcConnection, List[Tuple[int, bytes]]] = {}
+        order: List[int] = []
+        for shard_id, messages in buckets:
+            connection = self.clients[shard_id].connection
+            grouped.setdefault(connection, []).append(
+                (shard_id, rpc.encode_update_batch(messages))
+            )
+            order.append(shard_id)
+        results: Dict[int, _RemoteResult] = {}
+        for connection, entries in grouped.items():
+            request_ids = connection.send_requests(
+                (shard_id, rpc.OP_UPDATE_BATCH, body)
+                for shard_id, body in entries
+            )
+            for (shard_id, _), request_id in zip(entries, request_ids):
+                results[shard_id] = _RemoteResult(
+                    connection, request_id, _decode_update_result
+                )
+        return [(shard_id, results[shard_id]) for shard_id in order]
+
+    def serialized_bytes(self) -> int:
+        return self.pool.bytes_sent() + self.pool.bytes_received()
+
+    def rpc_frame_count(self) -> int:
+        return self.pool.frames_sent()
+
+    def health_check(self) -> None:
+        self.pool.health_check()
+
+    def drain(self) -> None:
+        self.pool.drain()
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+
+# --------------------------------------------------------------------------
+# Builders
+# --------------------------------------------------------------------------
+
+
+def build_recipes(num_shards: int, **recipe_kwargs) -> List[ShardRecipe]:
+    """One :class:`ShardRecipe` per shard group, shard ids assigned."""
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be >= 1")
+    base = ShardRecipe(num_shards=num_shards, shard_id=0, **recipe_kwargs)
+    return [base.sibling(shard_id) for shard_id in range(num_shards)]
+
+
+def make_scaleout_backend(
+    backend: str,
+    num_shards: int,
+    num_workers: int = 1,
+    timeout_s: float = 120.0,
+    **recipe_kwargs,
+) -> FederatedShardedBackend:
+    """Build a preloaded shard federation.
+
+    ``backend="inprocess"`` runs every shard in the parent (zero RPC);
+    ``backend="process"`` spreads the shards over ``num_workers`` forked
+    workers.  Same recipes either way, so results match bit for bit.
+    """
+    recipes = build_recipes(num_shards, **recipe_kwargs)
+    if backend == "inprocess":
+        return LocalShardedBackend(recipes)
+    if backend == "process":
+        return ProcessShardedBackend(
+            recipes, num_workers=num_workers, timeout_s=timeout_s
+        )
+    raise ConfigurationError(
+        f"unknown backend {backend!r} (expected 'inprocess' or 'process')"
+    )
+
+
+@contextmanager
+def single_shard_client(
+    backend: str, recipe: Optional[ShardRecipe] = None, timeout_s: float = 120.0
+) -> Iterator[object]:
+    """One shard client for the cross-backend property suites.
+
+    Yields a :class:`LocalShardClient` or a :class:`ProcessShardClient`
+    backed by a freshly spawned (and reliably shut down) single worker;
+    when ``recipe`` is given the shard's indexer is built before yielding.
+    """
+    if backend == "inprocess":
+        client: object = LocalShardClient()
+        if recipe is not None:
+            client.call("build_indexer", recipe)
+        yield client
+    elif backend == "process":
+        with WorkerPool(1, timeout_s=timeout_s) as pool:
+            client = ProcessShardClient(pool.connections[0], 0)
+            if recipe is not None:
+                client.call("build_indexer", recipe)
+            yield client
+    else:
+        raise ConfigurationError(
+            f"unknown backend {backend!r} (expected 'inprocess' or 'process')"
+        )

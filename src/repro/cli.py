@@ -76,11 +76,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    worker_counts = tuple(
+        int(entry) for entry in args.workers.split(",") if entry.strip()
+    )
     payload = run_bench(
         quick=args.quick,
         label=args.label,
         repeats=args.repeats,
         seed=args.seed,
+        worker_counts=worker_counts,
     )
     if args.baseline:
         compare_with_baseline(payload, args.baseline)
@@ -260,6 +264,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock repeats per workload (default: profile-dependent)",
     )
     bench.add_argument("--seed", type=int, default=59, help="workload random seed")
+    bench.add_argument(
+        "--workers",
+        default="1,2,4",
+        help=(
+            "comma-separated worker counts for the scaleout_multiproc "
+            "workload (each runs the same seeded stream; results must be "
+            "bit-identical, only wall-clock may move)"
+        ),
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     return parser

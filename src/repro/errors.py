@@ -54,3 +54,11 @@ class ConfigurationError(ReproError):
 
 class QueryError(ReproError):
     """A query (NN, history, point) was malformed or unanswerable."""
+
+
+class RpcError(ReproError):
+    """A cross-process RPC failed (framing, dispatch or transport)."""
+
+
+class WorkerDiedError(RpcError):
+    """A tablet worker process died or stopped answering mid-conversation."""

@@ -118,6 +118,99 @@ def run_scaleout(
     return result
 
 
+# --------------------------------------------------------------------------
+# Multiprocess scale-out (shared-nothing shard federation)
+# --------------------------------------------------------------------------
+
+
+def multiproc_streams(num_objects: int, num_requests: int, seed: int):
+    """A reproducible 50/50 update/NN-query stream for the scale-out runs.
+
+    Built parent-side from one seeded rng so every backend and worker count
+    consumes exactly the same requests.
+    """
+    import random
+
+    from repro.geometry.point import Point
+    from repro.geometry.vector import Vector
+    from repro.model import UpdateMessage, format_object_id
+    from repro.workload.queries import NNQuery
+
+    rng = random.Random(seed)
+    num_updates = num_requests // 2
+    num_queries = num_requests - num_updates
+    messages = [
+        UpdateMessage(
+            object_id=format_object_id(rng.randrange(num_objects)),
+            location=Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)),
+            velocity=Vector(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)),
+            timestamp=float(index) / 10.0,
+        )
+        for index in range(num_updates)
+    ]
+    queries = [
+        NNQuery(
+            location=Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)),
+            k=10,
+        )
+        for _ in range(num_queries)
+    ]
+    return messages, queries
+
+
+def multiproc_load_run(
+    backend: str,
+    num_workers: int,
+    num_shards: int,
+    num_objects: int,
+    num_requests: int,
+    seed: int = 59,
+    batch_size: int = 256,
+    num_servers: int = 2,
+):
+    """One measured scale-out run: build, drive, account, tear down.
+
+    Returns ``(outcome, wall_seconds, transport, report)`` where ``wall``
+    covers only the request loop (builds are excluded, like every other
+    bench harness), ``transport`` holds the merged-ledger and RPC-framing
+    counters, and ``report`` is the byte-deterministic
+    :meth:`~repro.server.loadtest.LoadTestResult.to_report` rendering the
+    determinism guards compare across worker counts.
+    """
+    import time
+
+    from repro.server.loadtest import ScaleOutLoadTest
+    from repro.server.scaleout import ScaleOutCluster
+
+    cluster = ScaleOutCluster.build(
+        num_shards,
+        backend=backend,
+        num_workers=num_workers,
+        num_objects=num_objects,
+        seed=seed,
+        num_servers=num_servers,
+    )
+    try:
+        messages, queries = multiproc_streams(num_objects, num_requests, seed)
+        load_test = ScaleOutLoadTest(cluster, failure_probability=0.0, seed=seed)
+        start = time.perf_counter()
+        outcome = load_test.run_mixed_batches(
+            messages, queries, batch_size=batch_size
+        )
+        wall = time.perf_counter() - start
+        snapshot = cluster.backend.counter.snapshot()
+        transport = {
+            "storage_rpc_count": snapshot.storage_rpc_count(),
+            "simulated_storage_seconds": snapshot.simulated_seconds,
+            "serialized_bytes": cluster.backend.serialized_bytes(),
+            "rpc_frames": cluster.backend.rpc_frame_count(),
+        }
+        report = outcome.to_report()
+    finally:
+        cluster.close()
+    return outcome, wall, transport, report
+
+
 def scaleout_tablet_report(
     num_objects: int = 20000,
     num_servers: int = 5,

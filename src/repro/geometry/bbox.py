@@ -26,6 +26,11 @@ class BoundingBox:
     max_x: float
     max_y: float
 
+    def __reduce__(self):
+        # Frozen + __slots__ defeats default pickling; reconstruct through
+        # the constructor (query regions cross the multiprocess RPC wire).
+        return (BoundingBox, (self.min_x, self.min_y, self.max_x, self.max_y))
+
     def __post_init__(self) -> None:
         if self.min_x > self.max_x or self.min_y > self.max_y:
             raise SpatialError(

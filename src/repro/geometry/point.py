@@ -23,6 +23,12 @@ class Point:
     x: float
     y: float
 
+    def __reduce__(self):
+        # Frozen + __slots__ defeats default pickling (state restoration
+        # would need setattr); reconstruct through the constructor instead.
+        # Needed to ship points across the multiprocess RPC boundary.
+        return (Point, (self.x, self.y))
+
     def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y

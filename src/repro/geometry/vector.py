@@ -21,6 +21,11 @@ class Vector:
     dx: float
     dy: float
 
+    def __reduce__(self):
+        # Frozen + __slots__ defeats default pickling; reconstruct through
+        # the constructor (multiprocess RPC ships vectors inside messages).
+        return (Vector, (self.dx, self.dy))
+
     def __iter__(self) -> Iterator[float]:
         yield self.dx
         yield self.dy

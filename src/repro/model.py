@@ -47,6 +47,11 @@ class LocationRecord:
         if not self.location.is_finite() or not self.velocity.is_finite():
             raise SchemaError("location records require finite coordinates")
 
+    def __reduce__(self):
+        # Frozen + __slots__ defeats default pickling; reconstruct through
+        # the constructor so records survive the multiprocess RPC boundary.
+        return (LocationRecord, (self.location, self.velocity, self.timestamp))
+
     def extrapolated(self, at_time: float) -> Point:
         """Linear dead-reckoning of the object's position at ``at_time``.
 
@@ -78,6 +83,12 @@ class UpdateMessage:
         if not self.location.is_finite() or not self.velocity.is_finite():
             raise SchemaError("update messages require finite coordinates")
 
+    def __reduce__(self):
+        return (
+            UpdateMessage,
+            (self.object_id, self.location, self.velocity, self.timestamp),
+        )
+
     def as_record(self) -> LocationRecord:
         """The location record this update contributes."""
         return LocationRecord(
@@ -106,3 +117,9 @@ class HistoryRecord:
     location: Point
     velocity: Vector
     timestamp: float
+
+    def __reduce__(self):
+        return (
+            HistoryRecord,
+            (self.object_id, self.location, self.velocity, self.timestamp),
+        )

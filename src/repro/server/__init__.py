@@ -16,6 +16,13 @@ migrates hot tablets between front-ends, replicates read-hot tablets for
 query fan-out and fails crashed servers over — with a deterministic
 :class:`~repro.server.loadtest.FaultPlan` injector driving crashes through
 the load tests.
+
+Since PR 6 the deployment also scales *out*: a
+:class:`~repro.server.scaleout.ScaleOutCluster` scatter-gathers the same
+request paths over a shared-nothing federation of shard groups — each a
+complete stack built from a :class:`~repro.server.worker.ShardRecipe`,
+in-process or in forked workers behind the :mod:`repro.server.rpc`
+framing — with worker-count-invariant, bit-identical results.
 """
 
 from repro.server.contention import TabletContentionModel
@@ -40,6 +47,18 @@ from repro.server.master import (
     ReplicationRecord,
     TabletMaster,
 )
+from repro.server.loadtest import ScaleOutLoadTest
+from repro.server.worker import ShardRecipe, ShardService, shard_of
+
+
+def __getattr__(name: str):
+    # Lazy (PEP 562): ``scaleout`` imports the federated backends, which
+    # import this package's RPC framing — eager import would cycle.
+    if name == "ScaleOutCluster":
+        from repro.server.scaleout import ScaleOutCluster
+
+        return ScaleOutCluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "TabletContentionModel",
@@ -58,4 +77,9 @@ __all__ = [
     "RebalanceReport",
     "ReplicationRecord",
     "TabletMaster",
+    "ScaleOutLoadTest",
+    "ScaleOutCluster",
+    "ShardRecipe",
+    "ShardService",
+    "shard_of",
 ]

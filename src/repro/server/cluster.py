@@ -497,6 +497,15 @@ class ServerCluster:
         rank = max(int(len(samples) * quantile) - 1, 0)
         return samples[rank]
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Plain-data accounting view (makespan plus one
+        :meth:`FrontendServer.metrics_snapshot` row per server), shippable
+        over the multiprocess RPC boundary for the per-shard merge."""
+        return {
+            "makespan": self.makespan_seconds(),
+            "servers": [server.metrics_snapshot() for server in self.servers],
+        }
+
     def reset_metrics(self) -> None:
         """Zero every server's accounting."""
         for server in self.servers:

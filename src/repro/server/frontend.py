@@ -212,6 +212,17 @@ class FrontendServer:
             return 0.0
         return self.query_busy_seconds / self.queries_handled
 
+    def metrics_snapshot(self) -> tuple:
+        """Plain-data view of this server's accounting, shippable over the
+        multiprocess RPC boundary for the per-worker metrics merge."""
+        return (
+            self.updates_handled,
+            self.queries_handled,
+            self.update_busy_seconds,
+            self.query_busy_seconds,
+            self.alive,
+        )
+
     def reset_metrics(self) -> None:
         """Zero the per-server accounting (between experiment intervals)."""
         self.update_busy_seconds = 0.0

@@ -628,3 +628,116 @@ class LoadTest:
             failure_probability=failure_probability,
             seed=seed,
         )
+
+
+class ScaleOutLoadTest(LoadTest):
+    """The load-test loops, pointed at a shared-nothing shard federation.
+
+    Takes a :class:`repro.server.scaleout.ScaleOutCluster` (duck-typed —
+    anything with the batched submit surface plus the scale-out control
+    hooks fits) and reuses the parent's batch loops verbatim: the admit
+    RNG, the timeline buckets and the control-step cadence consume state
+    in *exactly* the same order as the single-cluster
+    :class:`LoadTest`, so reports are byte-comparable across backends and
+    bit-identical across worker counts.
+
+    Differences from the single-cluster build are confined to the result
+    assembly: per-server QPS flattens the shard clusters in
+    ``(shard, server)`` order, control-plane counts sum over the shard
+    masters, and ``p99_service_time_s`` is reported as 0.0 (service-time
+    samples stay shard-side; shipping every sample over RPC would defeat
+    the batched framing).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        failure_probability: float = 0.002,
+        seed: int = 404,
+        rebalance_every: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if not 0.0 <= failure_probability < 1.0:
+            raise ConfigurationError("failure_probability must be in [0, 1)")
+        if rebalance_every < 0:
+            raise ConfigurationError("rebalance_every must be >= 0")
+        if rebalance_every > 0 and not cluster.has_master:
+            raise ConfigurationError("rebalance_every needs shard tablet masters")
+        if fault_plan is not None and not cluster.has_master:
+            raise ConfigurationError("a fault plan needs shard tablet masters")
+        self.cluster = cluster
+        self.clients = []
+        self.failure_probability = failure_probability
+        self.rng = random.Random(seed)
+        self.master = None
+        self.rebalance_every = rebalance_every
+        self.fault_plan = fault_plan
+        self._faults_applied: List[str] = []
+        self._master_baseline = (0, 0, 0)
+
+    def _begin_run(self) -> None:
+        self.cluster.reset_metrics()
+        self._faults_applied = []
+        self._master_baseline = self.cluster.master_action_counts()
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        """Broadcast the fault to every shard; each shard applies its own
+        skip semantics and reports what actually happened there."""
+        self._faults_applied.extend(
+            self.cluster.apply_fault(
+                event.kind,
+                server_id=event.server_id,
+                crash_point=event.crash_point,
+                describe_prefix=f"{event.describe()} ",
+            )
+        )
+
+    def _control_step(self, batch_index: int) -> None:
+        if not self.cluster.has_master:
+            return
+        if self.fault_plan is not None:
+            for event in self.fault_plan.events_at(batch_index):
+                self._apply_fault(event)
+        if (
+            self.rebalance_every > 0
+            and batch_index > 0
+            and batch_index % self.rebalance_every == 0
+        ):
+            self.cluster.rebalance()
+
+    def _build_result(
+        self,
+        completed: int,
+        failed: int,
+        makespan: float,
+        timeline: List[TimelinePoint],
+    ) -> LoadTestResult:
+        per_server: List[float] = []
+        for entry in self.cluster.metrics():
+            for updates, queries, update_busy, query_busy, _alive in entry["servers"]:
+                busy = update_busy + query_busy
+                requests = updates + queries
+                per_server.append(requests / busy if busy > 0 else 0.0)
+        backend = self.cluster.backend
+        migrations, replications, failovers = self.cluster.master_action_counts()
+        return LoadTestResult(
+            total_requests=completed,
+            failed_requests=failed,
+            simulated_seconds=makespan,
+            qps=completed / makespan if makespan > 0 else 0.0,
+            per_server_qps=per_server,
+            timeline=timeline,
+            tablet_count=backend.tablet_count(),
+            hot_tablet_share=backend.hot_tablet_share(),
+            cache_hit_rate=backend.cache_hit_rate(),
+            p99_service_time_s=0.0,
+            migrations=migrations - self._master_baseline[0],
+            replications=replications - self._master_baseline[1],
+            failovers=failovers - self._master_baseline[2],
+            faults_applied=list(self._faults_applied),
+        )
+
+    def run_client_bursts(self, *args, **kwargs) -> LoadTestResult:
+        raise ConfigurationError(
+            "client-burst tests are single-cluster only; use the batched runs"
+        )

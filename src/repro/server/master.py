@@ -156,6 +156,15 @@ class TabletMaster:
         """``tablet_id -> serving copies`` for every replicated tablet."""
         return self.cluster.routing.replica_counts()
 
+    def action_counts(self) -> Tuple[int, int, int]:
+        """Cumulative ``(migrations, replications, failovers)`` — the
+        plain-data form the scale-out metrics merge ships per shard."""
+        return (
+            len(self.migrations),
+            len(self.replications),
+            len(self.failovers),
+        )
+
     def server_loads(self) -> Dict[int, float]:
         """Simulated storage seconds attributed to each alive server.
 

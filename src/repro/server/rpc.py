@@ -1,0 +1,468 @@
+"""Length-prefixed binary RPC framing for the multiprocess scale-out path.
+
+One frame on the wire is::
+
+    4 bytes  big-endian payload length
+    payload: 1 byte   frame kind   (request / response / error)
+             4 bytes  request id   (pipelining correlation token)
+             2 bytes  shard id
+             1 byte   opcode
+             N bytes  body
+
+Bodies for the hot opcodes (update batches, query batches, neighbour
+results) use compact ``struct`` codecs that *reconstruct* the library's
+frozen dataclasses on the far side instead of shipping pickled object
+graphs — the reconstruct-don't-store idiom the storage layer already uses
+for its value encoding.  Every codec keeps a pickle fallback (flag byte 0)
+so exotic payloads — non-conforming object ids, subclassed queries — stay
+correct, just slower.  Everything else (control-plane verbs, signatures,
+metrics) rides the generic ``CALL`` opcode as a pickled
+``(method, args, kwargs)`` triple.
+
+Errors raised inside a worker are pickled and re-raised client-side with
+their original type so ``pytest.raises`` and library ``except`` clauses
+behave identically across the process boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import RpcError, WorkerDiedError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import NeighborResult, UpdateMessage, format_object_id
+from repro.workload.queries import NNQuery
+
+# --------------------------------------------------------------------------
+# Frame layout
+# --------------------------------------------------------------------------
+
+_LENGTH = struct.Struct("!I")
+_HEADER = struct.Struct("!BIHB")  # kind, request id, shard id, opcode
+
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+KIND_ERROR = 2
+
+OP_PING = 0
+OP_CALL = 1
+OP_UPDATE_BATCH = 2
+OP_QUERY_BATCH = 3
+OP_SHUTDOWN = 4
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+MAX_FRAME_BYTES = 1 << 30  # sanity bound against corrupted length prefixes
+
+
+def encode_frame(kind: int, request_id: int, shard_id: int, opcode: int, body: bytes) -> bytes:
+    """One wire frame, length prefix included."""
+    payload_len = _HEADER.size + len(body)
+    return b"".join(
+        (
+            _LENGTH.pack(payload_len),
+            _HEADER.pack(kind, request_id & 0xFFFFFFFF, shard_id, opcode),
+            body,
+        )
+    )
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    buffer = bytearray(count)
+    view = memoryview(buffer)
+    received = 0
+    while received < count:
+        try:
+            chunk = sock.recv_into(view[received:], count - received)
+        except socket.timeout:
+            raise WorkerDiedError(
+                f"timed out waiting for {count - received} more frame bytes"
+            ) from None
+        if chunk == 0:
+            raise WorkerDiedError("connection closed mid-frame")
+        received += chunk
+    return bytes(buffer)
+
+
+def read_frame(sock: socket.socket) -> Tuple[int, int, int, int, bytes]:
+    """Blocking read of one frame -> (kind, request_id, shard_id, opcode, body)."""
+    (payload_len,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    if payload_len < _HEADER.size or payload_len > MAX_FRAME_BYTES:
+        raise RpcError(f"corrupt frame length {payload_len}")
+    payload = _recv_exact(sock, payload_len)
+    kind, request_id, shard_id, opcode = _HEADER.unpack_from(payload)
+    return kind, request_id, shard_id, opcode, payload[_HEADER.size:]
+
+
+# --------------------------------------------------------------------------
+# Compact codecs (reconstruct-don't-store)
+# --------------------------------------------------------------------------
+
+_OBJ_PREFIX = "obj"
+_OBJ_DIGITS = 10
+_UPDATE_RECORD = struct.Struct("!Q5d")  # id, x, y, dx, dy, timestamp
+_COUNT = struct.Struct("!I")
+_FLAG_PICKLED = 0
+_FLAG_COMPACT = 1
+
+
+def _numeric_object_id(object_id: str) -> Optional[int]:
+    """The integer behind ``format_object_id`` ids, or ``None``."""
+    if (
+        len(object_id) == len(_OBJ_PREFIX) + _OBJ_DIGITS
+        and object_id.startswith(_OBJ_PREFIX)
+        and object_id[len(_OBJ_PREFIX):].isdigit()
+    ):
+        return int(object_id[len(_OBJ_PREFIX):])
+    return None
+
+
+def encode_update_batch(messages: Sequence[UpdateMessage]) -> bytes:
+    """Compact encoding of one group-commit buffer; pickle fallback when an
+    object id does not follow the ``obj%010d`` convention."""
+    parts = [bytes([_FLAG_COMPACT]), _COUNT.pack(len(messages))]
+    pack = _UPDATE_RECORD.pack
+    for message in messages:
+        numeric = _numeric_object_id(message.object_id)
+        if numeric is None or type(message) is not UpdateMessage:
+            return bytes([_FLAG_PICKLED]) + pickle.dumps(
+                list(messages), _PICKLE_PROTOCOL
+            )
+        parts.append(
+            pack(
+                numeric,
+                message.location.x,
+                message.location.y,
+                message.velocity.dx,
+                message.velocity.dy,
+                message.timestamp,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_update_batch(body: bytes) -> List[UpdateMessage]:
+    flag = body[0]
+    if flag == _FLAG_PICKLED:
+        return pickle.loads(body[1:])
+    (count,) = _COUNT.unpack_from(body, 1)
+    offset = 1 + _COUNT.size
+    messages = []
+    for numeric, x, y, dx, dy, timestamp in _UPDATE_RECORD.iter_unpack(
+        body[offset: offset + count * _UPDATE_RECORD.size]
+    ):
+        messages.append(
+            UpdateMessage(
+                object_id=format_object_id(numeric),
+                location=Point(x, y),
+                velocity=Vector(dx, dy),
+                timestamp=timestamp,
+            )
+        )
+    return messages
+
+
+_QUERY_RECORD = struct.Struct("!2dIBd")  # x, y, k, has_range, range_limit
+
+
+def encode_query_batch(queries: Sequence[NNQuery]) -> bytes:
+    """Compact encoding of one probe set; pickle fallback for subclasses."""
+    parts = [bytes([_FLAG_COMPACT]), _COUNT.pack(len(queries))]
+    pack = _QUERY_RECORD.pack
+    for query in queries:
+        if type(query) is not NNQuery:
+            return bytes([_FLAG_PICKLED]) + pickle.dumps(
+                list(queries), _PICKLE_PROTOCOL
+            )
+        has_range = query.range_limit is not None
+        parts.append(
+            pack(
+                query.location.x,
+                query.location.y,
+                query.k,
+                1 if has_range else 0,
+                query.range_limit if has_range else 0.0,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_query_batch(body: bytes) -> List[NNQuery]:
+    flag = body[0]
+    if flag == _FLAG_PICKLED:
+        return pickle.loads(body[1:])
+    (count,) = _COUNT.unpack_from(body, 1)
+    offset = 1 + _COUNT.size
+    queries = []
+    for x, y, k, has_range, range_limit in _QUERY_RECORD.iter_unpack(
+        body[offset: offset + count * _QUERY_RECORD.size]
+    ):
+        queries.append(
+            NNQuery(
+                location=Point(x, y),
+                k=k,
+                range_limit=range_limit if has_range else None,
+            )
+        )
+    return queries
+
+
+# Neighbour results: flags bit 0 = is_leader, bit 1 = has leader_id.
+_NEIGHBOR_RECORD = struct.Struct("!Q3dBQ")  # id, x, y, distance, flags, leader
+
+
+def encode_neighbor_batches(
+    batches: Sequence[Sequence[NeighborResult]],
+) -> bytes:
+    """All result lists for one probe set, in query order."""
+    parts = [bytes([_FLAG_COMPACT]), _COUNT.pack(len(batches))]
+    pack = _NEIGHBOR_RECORD.pack
+    for batch in batches:
+        parts.append(_COUNT.pack(len(batch)))
+        for result in batch:
+            numeric = _numeric_object_id(result.object_id)
+            leader = (
+                _numeric_object_id(result.leader_id)
+                if result.leader_id is not None
+                else 0
+            )
+            if (
+                numeric is None
+                or (result.leader_id is not None and leader is None)
+                or type(result) is not NeighborResult
+            ):
+                return bytes([_FLAG_PICKLED]) + pickle.dumps(
+                    [list(entry) for entry in batches], _PICKLE_PROTOCOL
+                )
+            flags = (1 if result.is_leader else 0) | (
+                2 if result.leader_id is not None else 0
+            )
+            parts.append(
+                pack(
+                    numeric,
+                    result.location.x,
+                    result.location.y,
+                    result.distance,
+                    flags,
+                    leader or 0,
+                )
+            )
+    return b"".join(parts)
+
+
+def decode_neighbor_batches(body: bytes) -> List[List[NeighborResult]]:
+    flag = body[0]
+    if flag == _FLAG_PICKLED:
+        return pickle.loads(body[1:])
+    (num_batches,) = _COUNT.unpack_from(body, 1)
+    offset = 1 + _COUNT.size
+    batches: List[List[NeighborResult]] = []
+    for _ in range(num_batches):
+        (count,) = _COUNT.unpack_from(body, offset)
+        offset += _COUNT.size
+        batch = []
+        for _ in range(count):
+            numeric, x, y, distance, flags, leader = _NEIGHBOR_RECORD.unpack_from(
+                body, offset
+            )
+            offset += _NEIGHBOR_RECORD.size
+            batch.append(
+                NeighborResult(
+                    object_id=format_object_id(numeric),
+                    location=Point(x, y),
+                    distance=distance,
+                    is_leader=bool(flags & 1),
+                    leader_id=format_object_id(leader) if flags & 2 else None,
+                )
+            )
+        batches.append(batch)
+    return batches
+
+
+def encode_call(method: str, args: tuple, kwargs: dict) -> bytes:
+    return pickle.dumps((method, args, kwargs), _PICKLE_PROTOCOL)
+
+
+def decode_call(body: bytes) -> Tuple[str, tuple, dict]:
+    return pickle.loads(body)
+
+
+def encode_result(value: Any) -> bytes:
+    return pickle.dumps(value, _PICKLE_PROTOCOL)
+
+
+def decode_result(body: bytes) -> Any:
+    return pickle.loads(body)
+
+
+def encode_error(error: BaseException) -> bytes:
+    try:
+        return pickle.dumps(error, _PICKLE_PROTOCOL)
+    except Exception:  # unpicklable exception -> ship the description
+        return pickle.dumps(
+            RpcError(f"{type(error).__name__}: {error}"), _PICKLE_PROTOCOL
+        )
+
+
+def decode_error(body: bytes) -> BaseException:
+    try:
+        error = pickle.loads(body)
+    except Exception as exc:
+        return RpcError(f"undecodable remote error: {exc!r}")
+    if isinstance(error, BaseException):
+        return error
+    return RpcError(f"remote error payload was not an exception: {error!r}")
+
+
+# --------------------------------------------------------------------------
+# Client-side connection with pipelining
+# --------------------------------------------------------------------------
+
+
+class RpcConnection:
+    """One framed, pipelined connection to a worker process.
+
+    ``send_request`` writes a frame and returns immediately with the request
+    id; ``wait`` blocks until that id's response arrives, parking any other
+    responses it reads along the way.  This lets a round of per-shard
+    requests go out back-to-back before the first response is collected —
+    the round-trip cost of a scatter is one pipeline flush, not one
+    round-trip per shard.
+    """
+
+    def __init__(self, sock: socket.socket, timeout_s: float = 120.0) -> None:
+        self._sock = sock
+        self._sock.settimeout(timeout_s)
+        self._next_request_id = 0
+        self._parked: Dict[int, Tuple[int, int, bytes]] = {}
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id = (request_id + 1) & 0xFFFFFFFF
+        return request_id
+
+    def send_request(self, shard_id: int, opcode: int, body: bytes) -> int:
+        request_id = self._allocate_id()
+        frame = encode_frame(KIND_REQUEST, request_id, shard_id, opcode, body)
+        self._send_bytes(frame)
+        self.frames_sent += 1
+        return request_id
+
+    def send_requests(
+        self, requests: Iterable[Tuple[int, int, bytes]]
+    ) -> List[int]:
+        """Batched dispatch: frame every (shard, opcode, body) request and
+        flush them in one ``sendall`` — a whole round of work per syscall."""
+        frames = []
+        ids = []
+        for shard_id, opcode, body in requests:
+            request_id = self._allocate_id()
+            frames.append(
+                encode_frame(KIND_REQUEST, request_id, shard_id, opcode, body)
+            )
+            ids.append(request_id)
+        if frames:
+            self._send_bytes(b"".join(frames))
+            self.frames_sent += len(frames)
+        return ids
+
+    def _send_bytes(self, data: bytes) -> None:
+        if self._closed:
+            raise RpcError("connection is closed")
+        try:
+            self._sock.sendall(data)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise WorkerDiedError(f"send failed: {exc}") from exc
+        self.bytes_sent += len(data)
+
+    # -- receiving ---------------------------------------------------------
+
+    def wait(self, request_id: int) -> Tuple[int, bytes]:
+        """Block until ``request_id``'s response arrives -> (opcode, body).
+
+        Error frames re-raise the worker's original exception here.
+        """
+        while request_id not in self._parked:
+            kind, got_id, _shard, opcode, body = self._read_frame()
+            self._parked[got_id] = (kind, opcode, body)
+        kind, opcode, body = self._parked.pop(request_id)
+        if kind == KIND_ERROR:
+            raise decode_error(body)
+        if kind != KIND_RESPONSE:
+            raise RpcError(f"unexpected frame kind {kind} for request {request_id}")
+        return opcode, body
+
+    def _read_frame(self) -> Tuple[int, int, int, int, bytes]:
+        if self._closed:
+            raise RpcError("connection is closed")
+        try:
+            frame = read_frame(self._sock)
+        except OSError as exc:
+            raise WorkerDiedError(f"receive failed: {exc}") from exc
+        self.bytes_received += _LENGTH.size + _HEADER.size + len(frame[4])
+        self.frames_received += 1
+        return frame
+
+    @property
+    def outstanding(self) -> int:
+        """Parked-but-unclaimed responses (diagnostics only)."""
+        return len(self._parked)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+# --------------------------------------------------------------------------
+# Worker-side serve loop
+# --------------------------------------------------------------------------
+
+
+def serve(sock: socket.socket, dispatch) -> None:
+    """Worker main loop: read request frames until shutdown or EOF.
+
+    ``dispatch(shard_id, opcode, body) -> bytes`` runs the request;
+    exceptions become error frames with the original exception pickled in.
+    """
+    sock.settimeout(None)
+    while True:
+        try:
+            kind, request_id, shard_id, opcode, body = read_frame(sock)
+        except (WorkerDiedError, OSError):
+            return  # parent went away: exit quietly
+        if kind != KIND_REQUEST:
+            continue
+        if opcode == OP_SHUTDOWN:
+            try:
+                sock.sendall(
+                    encode_frame(KIND_RESPONSE, request_id, shard_id, opcode, b"")
+                )
+            except OSError:
+                pass
+            return
+        try:
+            result = dispatch(shard_id, opcode, body)
+            frame = encode_frame(KIND_RESPONSE, request_id, shard_id, opcode, result)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the client
+            frame = encode_frame(
+                KIND_ERROR, request_id, shard_id, opcode, encode_error(exc)
+            )
+        try:
+            sock.sendall(frame)
+        except OSError:
+            return

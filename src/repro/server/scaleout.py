@@ -1,0 +1,225 @@
+"""Shared-nothing scale-out: route requests across shard groups.
+
+:class:`ScaleOutCluster` is the parent-side view of a sharded MOIST
+deployment.  Each shard hosts a complete, unmodified stack (emulator,
+indexer, server cluster, optional tablet master) behind a shard client —
+either in-process (:class:`repro.bigtable.process_backend.LocalShardClient`)
+or a worker process reached over the batched RPC framing
+(:class:`repro.bigtable.process_backend.ProcessShardClient`).  The cluster
+partitions update batches by owning shard, broadcasts query batches, and
+merges results in fixed shard order, so its outputs are bit-identical for
+every worker count — including the degenerate one-shard in-process case.
+
+Determinism model: the *shard count* is the unit of determinism (it decides
+object placement and per-shard RNG consumption); the *worker count* is the
+unit of parallelism (it only decides which OS process executes a shard).
+Nothing the parent merges depends on worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bigtable.process_backend import (
+    FederatedShardedBackend,
+    make_scaleout_backend,
+)
+from repro.errors import ConfigurationError
+from repro.model import NeighborResult, UpdateMessage
+from repro.server.worker import shard_of
+
+
+class ScaleOutCluster:
+    """Scatter/gather request router over a federation of shard groups.
+
+    Mirrors the :class:`repro.server.cluster.ServerCluster` surface the
+    load tests drive (``submit_update_batch`` / ``submit_query_batch`` /
+    ``makespan_seconds`` / ``reset_metrics``), plus the control-plane
+    hooks (:meth:`apply_fault`, :meth:`rebalance`) the fault injector
+    needs.  All scatters are pipelined: every shard's request is on the
+    wire before the first response is read, so one round costs one
+    round-trip regardless of shard count.
+    """
+
+    def __init__(self, backend: FederatedShardedBackend) -> None:
+        if backend.num_shards < 1:
+            raise ConfigurationError("a scale-out cluster needs >= 1 shard")
+        self.backend = backend
+        self.clients = backend.clients
+        self.recipes = backend.recipes
+        self.num_shards = backend.num_shards
+        #: Every recipe is a sibling of the same base, so shard 0 speaks
+        #: for the federation's shape.
+        self.has_master = backend.recipes[0].with_master
+        self.num_servers_per_shard = backend.recipes[0].num_servers
+        #: Last reported simulated makespan per shard; the cluster-wide
+        #: makespan is their max (shards run concurrently in wall-clock
+        #: but their simulated clocks are independent).
+        self._makespans = [0.0] * self.num_shards
+
+    @classmethod
+    def build(
+        cls,
+        num_shards: int,
+        backend: str = "inprocess",
+        num_workers: int = 1,
+        timeout_s: float = 120.0,
+        **recipe_kwargs,
+    ) -> "ScaleOutCluster":
+        """Build a fully loaded cluster from recipe knobs.
+
+        ``backend`` selects the execution vehicle (``"inprocess"`` or
+        ``"process"``); every other knob feeds the per-shard
+        :class:`repro.server.worker.ShardRecipe`.
+        """
+        return cls(
+            make_scaleout_backend(
+                backend,
+                num_shards,
+                num_workers=num_workers,
+                timeout_s=timeout_s,
+                **recipe_kwargs,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Request routing
+    # ------------------------------------------------------------------
+    def shard_for(self, object_id: str) -> int:
+        """Owning shard of ``object_id`` (stable, worker-count independent)."""
+        return shard_of(object_id, self.num_shards)
+
+    def submit_update(self, message: UpdateMessage) -> int:
+        """Route one update to its owning shard (single-request path)."""
+        return self.submit_update_batch([message])
+
+    def submit_update_batch(self, messages: Sequence[UpdateMessage]) -> int:
+        """Partition a batch by owning shard and dispatch in one round.
+
+        Shards with no messages this round are skipped entirely (no empty
+        RPC), which is itself deterministic: the partition depends only on
+        message content.  Returns the number of messages processed.
+        """
+        if not messages:
+            return 0
+        buckets: List[List[UpdateMessage]] = [[] for _ in range(self.num_shards)]
+        for message in messages:
+            buckets[shard_of(message.object_id, self.num_shards)].append(message)
+        pending = self.backend.begin_update_scatter(
+            (shard_id, batch)
+            for shard_id, batch in enumerate(buckets)
+            if batch
+        )
+        processed = 0
+        for shard_id, handle in pending:
+            count, makespan = handle.result()
+            processed += count
+            self._makespans[shard_id] = makespan
+        return processed
+
+    def submit_query_batch(
+        self, queries: Sequence[object]
+    ) -> List[List[NeighborResult]]:
+        """Broadcast a query batch to every shard and merge top-k results.
+
+        Objects are spread across shards, so each NN query must probe all
+        of them; per query the shard answers are concatenated, sorted by
+        ``(distance, object_id)`` and truncated to the query's ``k`` —
+        exactly the order a single-shard indexer produces.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        pending = list(enumerate(self.backend.begin_query_broadcast(queries)))
+        per_shard: List[List[List[NeighborResult]]] = []
+        for shard_id, handle in pending:
+            results, makespan = handle.result()
+            self._makespans[shard_id] = makespan
+            per_shard.append(results)
+        merged: List[List[NeighborResult]] = []
+        for query_index, query in enumerate(queries):
+            combined: List[NeighborResult] = []
+            for shard_results in per_shard:
+                combined.extend(shard_results[query_index])
+            combined.sort(key=lambda result: (result.distance, result.object_id))
+            merged.append(combined[: query.k])
+        return merged
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def makespan_seconds(self) -> float:
+        """Cluster-wide simulated makespan: the slowest shard's clock."""
+        return max(self._makespans)
+
+    def reset_metrics(self) -> None:
+        """Zero every shard's server accounting and the local makespans."""
+        self.backend.scatter("reset_metrics")
+        self._makespans = [0.0] * self.num_shards
+
+    def metrics(self) -> List[Dict[str, object]]:
+        """Per-shard metrics dicts, in shard order."""
+        return self.backend.scatter("metrics")
+
+    def master_action_counts(self) -> Tuple[int, int, int]:
+        """Cumulative ``(migrations, replications, failovers)`` summed
+        across shards (all zero without masters)."""
+        migrations = replications = failovers = 0
+        for entry in self.metrics():
+            actions = entry["master_actions"]
+            migrations += actions[0]
+            replications += actions[1]
+            failovers += actions[2]
+        return migrations, replications, failovers
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _require_master(self) -> None:
+        if not self.has_master:
+            raise ConfigurationError(
+                "this scale-out cluster was built without tablet masters"
+            )
+
+    def rebalance(self) -> None:
+        """Give every shard's master one rebalance tick."""
+        self._require_master()
+        self.backend.scatter("rebalance")
+
+    def apply_fault(
+        self,
+        kind: str,
+        server_id: Optional[int] = None,
+        crash_point: Optional[str] = None,
+        describe_prefix: str = "",
+    ) -> List[str]:
+        """Broadcast one fault to every shard, with load-test skip
+        semantics applied shard-side.  Returns one description per shard
+        (shard order), each tagged with the shard it fired on."""
+        self._require_master()
+        pending = [
+            (
+                shard_id,
+                client.begin_call(
+                    "apply_fault",
+                    kind,
+                    server_id=server_id,
+                    crash_point=crash_point,
+                    describe_prefix=f"{describe_prefix}shard {shard_id} ",
+                ),
+            )
+            for shard_id, client in enumerate(self.clients)
+        ]
+        return [handle.result() for _, handle in pending]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "ScaleOutCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,549 @@
+"""Shard workers: one complete MOIST stack per shard group.
+
+The scale-out execution model is shared-nothing over a *fixed* number of
+logical shard groups.  Each shard group hosts a full, unmodified stack —
+a :class:`~repro.bigtable.emulator.BigtableEmulator`, a
+:class:`~repro.core.moist.MoistIndexer`, a
+:class:`~repro.server.cluster.ServerCluster` of front-ends and (optionally)
+a :class:`~repro.server.master.TabletMaster` — built deterministically from
+a :class:`ShardRecipe`.  Updates route to the single shard owning the
+object id; NN query batches broadcast to every shard and merge top-k on
+the client side.
+
+Worker *processes* are mere execution vehicles: ``shard → worker`` is
+``shard_id % num_workers``, and no per-shard computation depends on which
+worker ran it, so results are worker-count-independent by construction —
+the determinism the acceptance criteria demand.  The same
+:class:`ShardService` runs in-process (zero RPC) for the baseline backend.
+
+``ShardService`` is the complete worker-side verb set: the data plane
+(batched updates/queries via the compact opcodes), the control plane
+(migration, replication, failover, rebalance, fault injection), storage
+durability (flush/compact/recover), ledger and metrics extraction, the
+state/NN signatures the losslessness property suites compare, and a bare
+:class:`~repro.bigtable.table.Table` scenario used by the cross-process
+crash-recovery property tests.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+from repro.core.config import MoistConfig
+from repro.errors import ConfigurationError, RpcError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+from repro.server import rpc
+from repro.server.cluster import ServerCluster
+from repro.server.master import MasterOptions, TabletMaster
+
+_UPDATE_RESULT = struct.Struct("!Id")  # processed, makespan
+_MAKESPAN = struct.Struct("!d")
+
+
+def shard_of(object_id: str, num_shards: int) -> int:
+    """The shard group owning one object id (stable hash affinity)."""
+    if num_shards <= 1:
+        return 0
+    return crc32(object_id.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class ShardRecipe:
+    """Deterministic build instructions for one shard group's stack.
+
+    A recipe fully determines the shard's preloaded state: the preload
+    consumes the seeded rng identically for *every* object index (matching
+    :func:`repro.experiments.common.uniform_leader_indexer` draw for draw)
+    and applies only the updates whose id hashes to this shard — so shard
+    contents depend on ``(seed, num_objects, num_shards, shard_id)`` and on
+    nothing else, least of all the worker count.  With ``num_shards=1`` the
+    shard is exactly the plain single-process indexer.
+    """
+
+    num_objects: int
+    num_shards: int = 1
+    shard_id: int = 0
+    seed: int = 17
+    region_size: float = 1000.0
+    storage_level: int = 12
+    num_servers: int = 1
+    request_overhead_s: float = 12e-6
+    contention_alpha: float = 0.025
+    record_service_times: bool = False
+    with_master: bool = False
+    master_options: Optional[MasterOptions] = None
+    tablet_options: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 0:
+            raise ConfigurationError("num_objects must be >= 0")
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if not 0 <= self.shard_id < self.num_shards:
+            raise ConfigurationError(
+                f"shard_id {self.shard_id} outside [0, {self.num_shards})"
+            )
+        if self.num_servers < 1:
+            raise ConfigurationError("num_servers must be >= 1")
+
+    def sibling(self, shard_id: int) -> "ShardRecipe":
+        """The same recipe for another shard id."""
+        return ShardRecipe(
+            num_objects=self.num_objects,
+            num_shards=self.num_shards,
+            shard_id=shard_id,
+            seed=self.seed,
+            region_size=self.region_size,
+            storage_level=self.storage_level,
+            num_servers=self.num_servers,
+            request_overhead_s=self.request_overhead_s,
+            contention_alpha=self.contention_alpha,
+            record_service_times=self.record_service_times,
+            with_master=self.with_master,
+            master_options=self.master_options,
+            tablet_options=self.tablet_options,
+        )
+
+
+def full_row_signature(indexer) -> tuple:
+    """State fingerprint down to full row contents — the strongest
+    comparator the losslessness suites use (canonical definition; the
+    property tests import this one)."""
+    emulator = indexer.emulator
+    out = []
+    for name in emulator.table_names():
+        table = emulator.table(name)
+        for key in table.all_keys():
+            out.append((name, key, repr(table.read_row(key, _charge=False))))
+    return tuple(out)
+
+
+class ShardService:
+    """The worker-side verb set for one shard group.
+
+    Every public method is remotely callable through the generic ``CALL``
+    opcode; ``update_batch``/``query_batch`` additionally serve the compact
+    binary opcodes.  One instance runs per shard id, inside a worker
+    process (RPC) or inside the parent (the in-process baseline) — same
+    code either way, which is what makes the two backends bit-identical.
+    """
+
+    def __init__(self) -> None:
+        self.recipe: Optional[ShardRecipe] = None
+        self.indexer = None
+        self.cluster: Optional[ServerCluster] = None
+        self.master: Optional[TabletMaster] = None
+        self._bare_table = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def ping(self) -> str:
+        return "pong"
+
+    def build_indexer(self, recipe: ShardRecipe) -> Dict[str, int]:
+        """Build this shard's stack from a recipe (idempotence guard)."""
+        if self.indexer is not None:
+            raise ConfigurationError("this shard already built its indexer")
+        from repro.baselines.no_school import build_no_school_indexer
+
+        config = MoistConfig(
+            world=BoundingBox(0.0, 0.0, recipe.region_size, recipe.region_size),
+            storage_level=recipe.storage_level,
+        )
+        indexer = build_no_school_indexer(
+            config, tablet_options=recipe.tablet_options
+        )
+        rng = Random(recipe.seed)
+        loaded = 0
+        for index in range(recipe.num_objects):
+            # Consume the rng for every index — owned or not — so shard
+            # contents are independent of how many shards exist.
+            location = Point(
+                rng.uniform(0.0, recipe.region_size),
+                rng.uniform(0.0, recipe.region_size),
+            )
+            velocity = Vector(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0))
+            object_id = format_object_id(index)
+            if shard_of(object_id, recipe.num_shards) != recipe.shard_id:
+                continue
+            indexer.update(
+                UpdateMessage(
+                    object_id=object_id,
+                    location=location,
+                    velocity=velocity,
+                    timestamp=0.0,
+                )
+            )
+            loaded += 1
+        indexer.emulator.reset_counters()
+        cluster = ServerCluster(
+            indexer,
+            num_servers=recipe.num_servers,
+            request_overhead_s=recipe.request_overhead_s,
+            contention_alpha=recipe.contention_alpha,
+            record_service_times=recipe.record_service_times,
+        )
+        master = (
+            TabletMaster(cluster, recipe.master_options)
+            if recipe.with_master
+            else None
+        )
+        self.recipe = recipe
+        self.indexer = indexer
+        self.cluster = cluster
+        self.master = master
+        return {"objects_loaded": loaded, "tablets": indexer.tablet_count()}
+
+    def _require_cluster(self) -> ServerCluster:
+        if self.cluster is None:
+            raise ConfigurationError("this shard has no indexer yet (build_indexer)")
+        return self.cluster
+
+    def _require_master(self) -> TabletMaster:
+        if self.master is None:
+            raise ConfigurationError("this shard was built without a tablet master")
+        return self.master
+
+    # ------------------------------------------------------------------
+    # Data plane (compact opcodes ride these)
+    # ------------------------------------------------------------------
+    def update_batch(
+        self, messages: Sequence[UpdateMessage]
+    ) -> Tuple[int, float]:
+        """Apply one owned slice of a group-commit buffer; returns
+        ``(processed, shard makespan)`` so the parent tracks the cluster
+        makespan without an extra round trip."""
+        cluster = self._require_cluster()
+        processed = cluster.submit_update_batch(messages)
+        return processed, cluster.makespan_seconds()
+
+    def query_batch(self, queries: Sequence[object]) -> Tuple[list, float]:
+        """Run one broadcast probe set against this shard's objects."""
+        cluster = self._require_cluster()
+        results = cluster.submit_query_batch(queries)
+        return results, cluster.makespan_seconds()
+
+    def nn_query(
+        self, location: Point, k: int, range_limit: Optional[float] = None
+    ) -> list:
+        cluster = self._require_cluster()
+        return cluster.submit_nn_query(location, k, range_limit=range_limit)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def migrate_tablet(
+        self,
+        table_name: str,
+        tablet_id: str,
+        target_server: int,
+        crash_point: Optional[str] = None,
+    ):
+        return self._require_master().migrate_tablet(
+            table_name, tablet_id, target_server, crash_point=crash_point
+        )
+
+    def replicate_tablet(
+        self, table_name: str, tablet_id: str, replica_server: int
+    ):
+        return self._require_master().replicate_tablet(
+            table_name, tablet_id, replica_server
+        )
+
+    def fail_over(self, server_id: int, rebalance: bool = True):
+        return self._require_master().fail_over(server_id, rebalance=rebalance)
+
+    def fail_server(self, server_id: int):
+        return self._require_cluster().fail_server(server_id)
+
+    def revive_server(self, server_id: int) -> None:
+        self._require_cluster().revive_server(server_id)
+
+    def rebalance(self):
+        return self._require_master().rebalance()
+
+    def inject_migration_crash(self, crash_point: str):
+        return self._require_master().inject_migration_crash(crash_point)
+
+    def apply_fault(
+        self,
+        kind: str,
+        server_id: Optional[int] = None,
+        crash_point: Optional[str] = None,
+        describe_prefix: str = "",
+    ) -> str:
+        """One scheduled fault with load-test skip semantics: unfireable
+        events (crashing the last alive server, reviving an alive one, a
+        migration with nowhere to go) are recorded as skipped, never
+        raised — a seeded plan cannot know shard state at schedule time."""
+        from repro.server.loadtest import CRASH_SERVER, REVIVE_SERVER
+
+        master = self._require_master()
+        cluster = self._require_cluster()
+        if server_id is not None and server_id >= cluster.num_servers:
+            return f"{describe_prefix}[skipped]"
+        if kind == CRASH_SERVER:
+            server = cluster.servers[server_id]
+            if not server.alive or len(cluster.alive_server_indices()) <= 1:
+                return f"{describe_prefix}[skipped]"
+            report = master.fail_over(server_id)
+            return (
+                f"{describe_prefix}[{report.tablets_recovered} tablets "
+                f"recovered, {report.log_records_replayed} records replayed]"
+            )
+        if kind == REVIVE_SERVER:
+            if cluster.servers[server_id].alive:
+                return f"{describe_prefix}[skipped]"
+            cluster.revive_server(server_id)
+            return f"{describe_prefix}[applied]"
+        record = master.inject_migration_crash(crash_point or "after_handoff")
+        if record is None:
+            return f"{describe_prefix}[skipped]"
+        return (
+            f"{describe_prefix}[{record.tablet_id} "
+            f"{record.source}->{record.target} aborted]"
+        )
+
+    # ------------------------------------------------------------------
+    # Storage durability
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        return self._require_cluster().indexer.emulator.flush()
+
+    def compact(self, major: bool = False) -> int:
+        return self._require_cluster().indexer.emulator.compact(major=major)
+
+    def recover(self):
+        return self._require_cluster().indexer.emulator.recover()
+
+    def crash_and_recover(self):
+        return self._require_cluster().crash_and_recover()
+
+    # ------------------------------------------------------------------
+    # Table management (federation protocol surface)
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, families) -> None:
+        self._require_cluster().indexer.emulator.create_table(name, families)
+
+    def has_table(self, name: str) -> bool:
+        return self._require_cluster().indexer.emulator.has_table(name)
+
+    def drop_table(self, name: str) -> None:
+        self._require_cluster().indexer.emulator.drop_table(name)
+
+    def table_names(self) -> List[str]:
+        return self._require_cluster().indexer.emulator.table_names()
+
+    def table_keys(self, name: str) -> List[str]:
+        return list(self._require_cluster().indexer.emulator.table(name).all_keys())
+
+    def table_row_count(self, name: str) -> int:
+        return len(self._require_cluster().indexer.emulator.table(name).all_keys())
+
+    # ------------------------------------------------------------------
+    # Ledgers & metrics
+    # ------------------------------------------------------------------
+    def counter_snapshot(self):
+        return self._require_cluster().indexer.emulator.counter.snapshot()
+
+    def reset_counters(self) -> None:
+        self._require_cluster().indexer.emulator.reset_counters()
+
+    def simulated_seconds(self) -> float:
+        return self._require_cluster().indexer.emulator.simulated_seconds
+
+    def run_count(self) -> int:
+        return self._require_cluster().indexer.emulator.run_count()
+
+    def log_record_count(self) -> int:
+        return self._require_cluster().indexer.emulator.log_record_count()
+
+    def tablet_stats(self) -> list:
+        return self._require_cluster().indexer.emulator.tablet_stats()
+
+    def tablet_count(self) -> int:
+        return self._require_cluster().indexer.emulator.tablet_count()
+
+    def block_cache_stats(self) -> list:
+        return self._require_cluster().indexer.emulator.block_cache_stats()
+
+    def cache_totals(self) -> Tuple[int, int]:
+        """(hits, lookups) over every table's block cache."""
+        hits = 0
+        lookups = 0
+        for entry in self.block_cache_stats():
+            hits += entry.hits
+            lookups += entry.lookups
+        return hits, lookups
+
+    def metrics(self) -> Dict[str, Any]:
+        """Everything the parent needs to merge per-shard accounting."""
+        cluster = self._require_cluster()
+        master = self.master
+        snapshot = cluster.metrics_snapshot()
+        snapshot["master_actions"] = (
+            master.action_counts() if master is not None else (0, 0, 0)
+        )
+        snapshot["has_master"] = master is not None
+        return snapshot
+
+    def reset_metrics(self) -> None:
+        self._require_cluster().reset_metrics()
+
+    def makespan(self) -> float:
+        return self._require_cluster().makespan_seconds()
+
+    def server_index_for_tablet(self, tablet_id: str) -> int:
+        return self._require_cluster().server_index_for_tablet(tablet_id)
+
+    def alive_server_indices(self) -> List[int]:
+        return self._require_cluster().alive_server_indices()
+
+    def servers_alive(self) -> List[bool]:
+        return [server.alive for server in self._require_cluster().servers]
+
+    def server_requests(self) -> List[Tuple[int, int]]:
+        return [
+            (server.updates_handled, server.queries_handled)
+            for server in self._require_cluster().servers
+        ]
+
+    # ------------------------------------------------------------------
+    # Losslessness signatures
+    # ------------------------------------------------------------------
+    def state_signature(self):
+        from repro.experiments.recovery import _state_signature
+
+        return _state_signature(self._require_cluster().indexer)
+
+    def full_row_signature(self):
+        return full_row_signature(self._require_cluster().indexer)
+
+    def nn_signature(self, queries):
+        from repro.experiments.recovery import _nn_signature
+
+        return _nn_signature(self._require_cluster().indexer, queries)
+
+    # ------------------------------------------------------------------
+    # Bare-table scenario (cross-process crash-recovery property tests)
+    # ------------------------------------------------------------------
+    def build_table(self, knobs: Dict[str, Any]) -> None:
+        from repro.bigtable.table import ColumnFamily, Table
+        from repro.bigtable.tablet import TabletOptions
+
+        if self._bare_table is not None:
+            raise ConfigurationError("this shard already built its bare table")
+        self._bare_table = Table(
+            "t",
+            [
+                ColumnFamily("mem", max_versions=3),
+                ColumnFamily("disk", max_versions=5),
+            ],
+            options=TabletOptions(**knobs),
+        )
+
+    def _require_table(self):
+        if self._bare_table is None:
+            raise ConfigurationError("this shard has no bare table (build_table)")
+        return self._bare_table
+
+    def table_apply(self, ops: Sequence[tuple]) -> int:
+        """Apply a mutation program (the property-test op vocabulary)."""
+        table = self._require_table()
+        for op in ops:
+            kind = op[0]
+            if kind == "write":
+                _, key, value, ts = op
+                table.write(key, "mem", "q", value, ts)
+            elif kind == "delete_cell":
+                table.delete_cell(op[1], "mem", "q")
+            elif kind == "delete_row":
+                table.delete_row(op[1])
+            elif kind == "batch_write":
+                table.batch_write(
+                    [(key, "mem", "q", value, ts) for key, value, ts in op[1]]
+                )
+            elif kind == "group_commit":
+                with table.group_commit():
+                    for key, value, ts in op[1]:
+                        table.write(key, "mem", "q", value, ts)
+            elif kind == "age_out":
+                table.age_out("mem", "disk", op[1])
+            elif kind == "flush":
+                table.flush_memtables()
+            elif kind == "compact":
+                table.compact_runs(major=op[1])
+            else:
+                raise ConfigurationError(f"unknown table op {kind!r}")
+        return len(ops)
+
+    def table_recover(self) -> float:
+        return self._require_table().recover().simulated_seconds
+
+    def table_state(self):
+        table = self._require_table()
+        boundaries = tuple(
+            (tablet.tablet_id, tablet.start_key, tablet.row_count)
+            for tablet in table.tablets()
+        )
+        keys = tuple(table.all_keys())
+        rows = tuple(repr(table.read_row(key, _charge=False)) for key in keys)
+        return boundaries, keys, rows
+
+
+# --------------------------------------------------------------------------
+# Worker process entry point
+# --------------------------------------------------------------------------
+
+
+def dispatch_request(
+    services: Dict[int, ShardService], shard_id: int, opcode: int, body: bytes
+) -> bytes:
+    """Decode one request frame, run it, encode the response body."""
+    service = services.get(shard_id)
+    if service is None:
+        service = ShardService()
+        services[shard_id] = service
+    if opcode == rpc.OP_PING:
+        return b""
+    if opcode == rpc.OP_UPDATE_BATCH:
+        messages = rpc.decode_update_batch(body)
+        processed, makespan = service.update_batch(messages)
+        return _UPDATE_RESULT.pack(processed, makespan)
+    if opcode == rpc.OP_QUERY_BATCH:
+        queries = rpc.decode_query_batch(body)
+        results, makespan = service.query_batch(queries)
+        return _MAKESPAN.pack(makespan) + rpc.encode_neighbor_batches(results)
+    if opcode == rpc.OP_CALL:
+        method, args, kwargs = rpc.decode_call(body)
+        if method.startswith("_") or not hasattr(ShardService, method):
+            raise RpcError(f"unknown shard service method {method!r}")
+        result = getattr(service, method)(*args, **kwargs)
+        return rpc.encode_result(result)
+    raise RpcError(f"unknown opcode {opcode}")
+
+
+def worker_main(sock: socket.socket) -> None:
+    """Main loop of one worker process: serve frames until shutdown/EOF.
+
+    A worker hosts every shard whose id maps to it; services are created
+    lazily on the first frame addressed to their shard id.
+    """
+    services: Dict[int, ShardService] = {}
+
+    def _dispatch(shard_id: int, opcode: int, body: bytes) -> bytes:
+        return dispatch_request(services, shard_id, opcode, body)
+
+    try:
+        rpc.serve(sock, _dispatch)
+    finally:
+        sock.close()

@@ -66,6 +66,11 @@ class CellId:
     level: int
     pos: int
 
+    def __reduce__(self):
+        # Frozen + __slots__ defeats default pickling; reconstruct through
+        # the constructor so cell ids survive the multiprocess RPC wire.
+        return (CellId, (self.level, self.pos))
+
     def __post_init__(self) -> None:
         if not 0 <= self.level <= MAX_LEVEL:
             raise SpatialError(

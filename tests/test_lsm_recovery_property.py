@@ -126,6 +126,51 @@ def test_crash_recovery_equals_uncrashed_reference(seed):
     )
 
 
+def knob_dict(rng: random.Random) -> dict:
+    """The same knob draws as :func:`build_table`, as a plain dict the
+    cross-process variant can ship over the RPC wire (dict literals
+    evaluate in order, so the rng consumption matches draw for draw)."""
+    return {
+        "split_threshold": rng.choice([8, 16, 64]),
+        "merge_threshold": 4,
+        "group_commit_size": rng.choice([4, 16, 256]),
+        "memtable_flush_rows": rng.choice([None, 4, 16, 64]),
+        "compaction_max_runs": rng.choice([2, 3, 8]),
+    }
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+@pytest.mark.parametrize("seed", [0, 5])
+def test_crash_recovery_property_holds_across_process_boundary(backend, seed):
+    """The PR 4 property, with the crashed table living behind the shard
+    RPC boundary: same ops, same knobs, same crash point — the remote
+    table's recovered state must equal the local uncrashed reference."""
+    from repro.bigtable.process_backend import single_shard_client
+
+    rng = random.Random(1000 + seed)
+    ops = random_ops(rng, length=120)
+    crash_at = rng.randrange(len(ops) + 1)
+    knobs = knob_dict(random.Random(2000 + seed))
+
+    reference = Table(
+        "t",
+        [ColumnFamily("mem", max_versions=3), ColumnFamily("disk", max_versions=5)],
+        options=TabletOptions(**knobs),
+    )
+    for op in ops:
+        apply_op(reference, op)
+
+    with single_shard_client(backend) as client:
+        client.call("build_table", knobs)
+        client.call("table_apply", ops[:crash_at])
+        assert client.call("table_recover") >= 0.0
+        client.call("table_apply", ops[crash_at:])
+        assert client.call("table_state") == state_of(reference), (
+            f"seed {seed} ({backend}): state diverged after remote crash "
+            f"at op {crash_at}/{len(ops)}"
+        )
+
+
 @pytest.mark.parametrize("seed", range(6))
 def test_double_crash_recovery_is_idempotent(seed):
     rng = random.Random(5000 + seed)

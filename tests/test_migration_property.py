@@ -53,16 +53,11 @@ def update_batches(rng, num_objects, num_batches, batch_size):
     return batches
 
 
-def full_row_signature(indexer):
-    """State fingerprint down to full row contents (stronger than the
-    boundary/key signature the recovery experiment uses)."""
-    emulator = indexer.emulator
-    out = []
-    for name in emulator.table_names():
-        table = emulator.table(name)
-        for key in table.all_keys():
-            out.append((name, key, repr(table.read_row(key, _charge=False))))
-    return tuple(out)
+# State fingerprint down to full row contents (stronger than the
+# boundary/key signature the recovery experiment uses).  The canonical
+# definition moved next to the shard service so the remote side computes
+# exactly the same tuple.
+from repro.server.worker import full_row_signature  # noqa: E402
 
 
 def control_actions(rng, master, cluster):
@@ -155,6 +150,111 @@ def test_migrated_faulted_cluster_equals_unmigrated_reference(seed):
     assert _nn_signature(subject, queries) == _nn_signature(
         reference, queries
     ), f"seed {seed}: NN results diverged"
+
+
+def control_actions_via_client(rng, client, num_servers):
+    """The :func:`control_actions` slice, spoken through a shard client.
+
+    Consumes ``rng`` draw for draw like the in-process original (including
+    draws that happen only behind conditionals), so a remote run can be
+    compared against the same reference workload.
+    """
+    roll = rng.random()
+    if roll < 0.35:
+        stats = client.call("tablet_stats")
+        if not stats:
+            return
+        entry = stats[rng.randrange(len(stats))]
+        source = client.call("server_index_for_tablet", entry.tablet_id)
+        targets = [
+            index
+            for index in client.call("alive_server_indices")
+            if index != source
+        ]
+        if not targets:
+            return
+        crash_point = rng.choice(
+            [None, None, CRASH_AFTER_FLUSH, CRASH_AFTER_HANDOFF]
+        )
+        client.call(
+            "migrate_tablet",
+            entry.table,
+            entry.tablet_id,
+            targets[rng.randrange(len(targets))],
+            crash_point=crash_point,
+        )
+    elif roll < 0.5:
+        stats = client.call("tablet_stats")
+        if not stats:
+            return
+        entry = stats[rng.randrange(len(stats))]
+        alive = client.call("alive_server_indices")
+        client.call(
+            "replicate_tablet",
+            entry.table,
+            entry.tablet_id,
+            alive[rng.randrange(len(alive))],
+        )
+    elif roll < 0.7:
+        victim = rng.randrange(num_servers)
+        alive = client.call("alive_server_indices")
+        if victim in alive and len(alive) > 1:
+            client.call("fail_over", victim, rebalance=rng.random() < 0.5)
+    elif roll < 0.85:
+        alive = set(client.call("alive_server_indices"))
+        for index in range(num_servers):
+            if index not in alive:
+                client.call("revive_server", index)
+                break
+    else:
+        client.call("rebalance")
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+@pytest.mark.parametrize("seed", [1, 4])
+def test_control_plane_is_lossless_across_the_rpc_boundary(backend, seed):
+    """The headline property, with the faulted cluster living inside a
+    shard worker: every control-plane verb crosses the RPC boundary, and
+    the final state must still equal the quiet in-process reference."""
+    from repro.bigtable.process_backend import single_shard_client
+    from repro.server.worker import ShardRecipe
+
+    rng = random.Random(3000 + seed)
+    num_objects = rng.choice([400, 800])
+    num_servers = rng.choice([3, 4, 5])
+    batch_size = rng.choice([64, 128, 256])
+    batches = update_batches(rng, num_objects, num_batches=8, batch_size=batch_size)
+    queries = NNQueryWorkload(
+        uniform_leader_indexer(10, seed=1).config.world, k=8, seed=seed
+    ).batch(25)
+
+    reference = uniform_leader_indexer(num_objects, seed=11)
+    reference_cluster = ServerCluster(reference, num_servers=num_servers)
+    for batch in batches:
+        reference_cluster.submit_update_batch(batch)
+        reference_cluster.submit_query_batch(queries[:5])
+
+    recipe = ShardRecipe(
+        num_objects=num_objects,
+        seed=11,
+        num_servers=num_servers,
+        with_master=True,
+        master_options=MasterOptions(replicate_read_share=0.10),
+    )
+    with single_shard_client(backend, recipe=recipe) as client:
+        for batch in batches:
+            control_actions_via_client(rng, client, num_servers)
+            client.begin_update_batch(batch).result()
+            client.begin_query_batch(queries[:5]).result()
+        assert client.call("state_signature") == _state_signature(reference), (
+            f"seed {seed} ({backend}): boundaries/keys diverged"
+        )
+        assert client.call("full_row_signature") == full_row_signature(
+            reference
+        ), f"seed {seed} ({backend}): row contents diverged"
+        assert client.call("nn_signature", queries) == _nn_signature(
+            reference, queries
+        ), f"seed {seed} ({backend}): NN results diverged"
 
 
 @pytest.mark.parametrize("seed", range(4))

@@ -1,0 +1,260 @@
+"""Multiprocess scale-out: worker lifecycle, ledger merges, determinism.
+
+The headline guarantee under test: the *worker count is invisible*.  A
+seeded workload produces byte-identical load-test reports — and bit-equal
+merged ledgers — whether the shard federation runs in-process or across
+1, 2 or 4 forked workers.
+"""
+
+import random
+
+import pytest
+
+from repro.bigtable.backend import (
+    CacheAwareBackend,
+    ShardedBackend,
+    StorageBackend,
+)
+from repro.bigtable.process_backend import (
+    LocalShardedBackend,
+    ProcessShardedBackend,
+    WorkerPool,
+    build_recipes,
+    make_scaleout_backend,
+)
+from repro.errors import ConfigurationError, WorkerDiedError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import UpdateMessage, format_object_id
+from repro.server.loadtest import FaultPlan, ScaleOutLoadTest
+from repro.server.scaleout import ScaleOutCluster
+from repro.workload.queries import NNQuery
+
+
+def make_messages(count, num_objects, seed=99):
+    rng = random.Random(seed)
+    return [
+        UpdateMessage(
+            object_id=format_object_id(rng.randrange(num_objects)),
+            location=Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)),
+            velocity=Vector(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)),
+            timestamp=float(index),
+        )
+        for index, _ in enumerate(range(count))
+    ]
+
+
+def make_queries(count, seed=7, k=5):
+    rng = random.Random(seed)
+    return [
+        NNQuery(
+            location=Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)),
+            k=k,
+        )
+        for _ in range(count)
+    ]
+
+
+# --------------------------------------------------------------------------
+# Worker lifecycle
+# --------------------------------------------------------------------------
+class TestWorkerPoolLifecycle:
+    def test_spawn_health_check_drain_shutdown(self):
+        pool = WorkerPool(2)
+        assert pool.alive_workers() == [True, True]
+        pool.health_check()
+        pool.drain()
+        pool.shutdown()
+        assert pool.closed
+        assert pool.alive_workers() == [False, False]
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        pool.shutdown()  # second call must be a quiet no-op
+        assert pool.closed
+
+    def test_context_manager_shuts_the_pool_down(self):
+        with WorkerPool(2) as pool:
+            pool.health_check()
+        assert pool.closed
+        assert pool.alive_workers() == [False, False]
+
+    def test_health_check_raises_after_shutdown(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(ConfigurationError):
+            pool.health_check()
+
+    def test_health_check_detects_a_killed_worker(self):
+        pool = WorkerPool(2)
+        try:
+            pool.processes[1].terminate()
+            pool.processes[1].join(timeout=5.0)
+            with pytest.raises(WorkerDiedError):
+                pool.health_check()
+        finally:
+            pool.shutdown()
+
+    def test_pool_requires_at_least_one_worker(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)
+
+    def test_backend_close_is_reentrant_via_context_manager(self):
+        with ProcessShardedBackend(
+            build_recipes(2, num_objects=40), num_workers=2
+        ) as backend:
+            backend.health_check()
+        backend.close()  # after __exit__ already closed it
+        assert backend.pool.closed
+
+
+# --------------------------------------------------------------------------
+# Protocol conformance and federation semantics
+# --------------------------------------------------------------------------
+class TestFederationProtocol:
+    def test_backends_satisfy_the_storage_protocols(self):
+        for backend_kind in ("inprocess", "process"):
+            with make_scaleout_backend(backend_kind, 2, num_objects=40) as backend:
+                assert isinstance(backend, StorageBackend)
+                assert isinstance(backend, ShardedBackend)
+                assert isinstance(backend, CacheAwareBackend)
+
+    def test_unknown_backend_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scaleout_backend("threads", 2, num_objects=10)
+
+    def test_workers_cap_at_shard_count(self):
+        with ProcessShardedBackend(
+            build_recipes(2, num_objects=20), num_workers=8
+        ) as backend:
+            assert backend.num_workers == 2
+
+    def test_shard_preload_partitions_every_object_exactly_once(self):
+        from repro.server.worker import shard_of
+
+        backend = LocalShardedBackend(
+            build_recipes(3, num_objects=120), build=False
+        )
+        with backend:
+            builds = backend.build_all()
+            owned = [0, 0, 0]
+            for index in range(120):
+                owned[shard_of(format_object_id(index), 3)] += 1
+            assert [entry["objects_loaded"] for entry in builds] == owned
+            assert sum(owned) == 120
+            for client in backend.clients:
+                assert client.call("state_signature")  # every shard holds state
+
+
+# --------------------------------------------------------------------------
+# Ledger merge: bit-identical across backends and worker counts
+# --------------------------------------------------------------------------
+class TestLedgerMergeDeterminism:
+    def _drive(self, backend_kind, num_workers):
+        cluster = ScaleOutCluster.build(
+            4,
+            backend=backend_kind,
+            num_workers=num_workers,
+            num_objects=300,
+            seed=17,
+            num_servers=2,
+        )
+        messages = make_messages(400, 300)
+        queries = make_queries(60)
+        for start in range(0, len(messages), 128):
+            cluster.submit_update_batch(messages[start : start + 128])
+        cluster.submit_query_batch(queries)
+        snapshot = cluster.backend.counter.snapshot()
+        fingerprint = (
+            snapshot.storage_rpc_count(),
+            snapshot.simulated_seconds,
+            cluster.backend.simulated_seconds,
+            cluster.backend.run_count(),
+            cluster.backend.log_record_count(),
+            cluster.makespan_seconds(),
+        )
+        results = cluster.submit_query_batch(queries[:10])
+        nn = tuple(
+            tuple((n.object_id, n.distance) for n in batch) for batch in results
+        )
+        cluster.close()
+        return fingerprint, nn
+
+    def test_ledgers_and_results_bit_identical_across_worker_counts(self):
+        reference = self._drive("inprocess", 1)
+        for workers in (1, 2, 4):
+            assert self._drive("process", workers) == reference
+
+
+# --------------------------------------------------------------------------
+# Byte-identical load-test reports (the acceptance determinism gate)
+# --------------------------------------------------------------------------
+class TestScaleOutReportDeterminism:
+    def _report(self, backend_kind, num_workers):
+        cluster = ScaleOutCluster.build(
+            4,
+            backend=backend_kind,
+            num_workers=num_workers,
+            num_objects=400,
+            seed=17,
+            num_servers=3,
+            with_master=True,
+        )
+        plan = FaultPlan.seeded(5, num_batches=6, num_servers=3)
+        test = ScaleOutLoadTest(
+            cluster,
+            failure_probability=0.01,
+            seed=404,
+            rebalance_every=2,
+            fault_plan=plan,
+        )
+        result = test.run_mixed_batches(
+            make_messages(500, 400), make_queries(100), batch_size=128
+        )
+        report = result.to_report()
+        cluster.close()
+        return report
+
+    def test_reports_byte_identical_across_backends_and_worker_counts(self):
+        reference = self._report("inprocess", 1)
+        for workers in (1, 2, 4):
+            assert self._report("process", workers) == reference
+
+    def test_fault_descriptions_name_every_shard(self):
+        cluster = ScaleOutCluster.build(
+            2,
+            backend="inprocess",
+            num_objects=200,
+            seed=17,
+            num_servers=2,
+            with_master=True,
+        )
+        try:
+            test = ScaleOutLoadTest(
+                cluster,
+                failure_probability=0.0,
+                fault_plan=FaultPlan.seeded(1, num_batches=2, num_servers=2),
+            )
+            result = test.run_update_batches(make_messages(300, 200), batch_size=128)
+            assert result.faults_applied
+            assert any("shard 0" in entry for entry in result.faults_applied)
+            assert any("shard 1" in entry for entry in result.faults_applied)
+        finally:
+            cluster.close()
+
+    def test_control_plane_guards_apply_to_scale_out_tests(self):
+        cluster = ScaleOutCluster.build(
+            2, backend="inprocess", num_objects=100, seed=17
+        )
+        try:
+            with pytest.raises(ConfigurationError):
+                ScaleOutLoadTest(cluster, rebalance_every=2)
+            with pytest.raises(ConfigurationError):
+                ScaleOutLoadTest(
+                    cluster, fault_plan=FaultPlan.seeded(1, 2, 2)
+                )
+            with pytest.raises(ConfigurationError):
+                ScaleOutLoadTest(cluster).run_client_bursts(1.0)
+        finally:
+            cluster.close()

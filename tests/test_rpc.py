@@ -1,0 +1,192 @@
+"""The RPC layer in isolation: framing, compact codecs, pipelining.
+
+Everything here runs over a plain ``socketpair`` with a thread serving
+:func:`repro.server.rpc.serve` — no worker processes — so failures point
+at the transport, not at the shard stacks built on top of it.
+"""
+
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, RpcError, WorkerDiedError
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.model import NeighborResult, UpdateMessage
+from repro.server import rpc
+from repro.workload.queries import NNQuery
+
+
+# --------------------------------------------------------------------------
+# Framing
+# --------------------------------------------------------------------------
+def test_frame_round_trip_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(rpc.encode_frame(rpc.KIND_REQUEST, 7, 3, rpc.OP_PING, b"hi"))
+        kind, request_id, shard_id, opcode, body = rpc.read_frame(right)
+        assert (kind, request_id, shard_id, opcode, body) == (
+            rpc.KIND_REQUEST,
+            7,
+            3,
+            rpc.OP_PING,
+            b"hi",
+        )
+    finally:
+        left.close()
+        right.close()
+
+
+def test_read_frame_raises_on_truncated_stream():
+    left, right = socket.socketpair()
+    try:
+        frame = rpc.encode_frame(rpc.KIND_REQUEST, 1, 0, rpc.OP_PING, b"payload")
+        left.sendall(frame[: len(frame) - 3])
+        left.close()
+        with pytest.raises(WorkerDiedError):
+            rpc.read_frame(right)
+    finally:
+        right.close()
+
+
+# --------------------------------------------------------------------------
+# Compact codecs
+# --------------------------------------------------------------------------
+def _messages():
+    return [
+        UpdateMessage("obj%010d" % i, Point(1.5 * i, 2.5), Vector(0.1, -0.2), float(i))
+        for i in range(5)
+    ]
+
+
+def test_update_batch_codec_round_trips_compact():
+    messages = _messages()
+    body = rpc.encode_update_batch(messages)
+    assert body[0] == 1  # compact flag: ids reconstruct, nothing pickled
+    assert rpc.decode_update_batch(body) == messages
+
+
+def test_update_batch_codec_falls_back_to_pickle_for_odd_ids():
+    odd = [
+        UpdateMessage("weird-id", Point(1.0, 2.0), Vector(0.0, 0.0), 0.0),
+    ]
+    body = rpc.encode_update_batch(odd)
+    assert body[0] == 0  # pickled flag
+    assert rpc.decode_update_batch(body) == odd
+
+
+def test_query_batch_codec_round_trips():
+    queries = [
+        NNQuery(location=Point(3.0, 4.0), k=7),
+        NNQuery(location=Point(1.0, 1.0), k=2, range_limit=50.0),
+    ]
+    assert rpc.decode_query_batch(rpc.encode_query_batch(queries)) == queries
+
+
+def test_neighbor_batches_codec_round_trips_leader_flags():
+    batches = [
+        [
+            NeighborResult("obj%010d" % 1, Point(0.0, 1.0), 2.0, True, None),
+            NeighborResult(
+                "obj%010d" % 2, Point(3.0, 4.0), 5.0, False, "obj%010d" % 1
+            ),
+        ],
+        [],
+    ]
+    assert rpc.decode_neighbor_batches(rpc.encode_neighbor_batches(batches)) == batches
+
+
+def test_call_codec_round_trips_args_and_kwargs():
+    body = rpc.encode_call("migrate", ("spatial", "t0"), {"crash_point": None})
+    assert rpc.decode_call(body) == ("migrate", ("spatial", "t0"), {"crash_point": None})
+
+
+def test_error_codec_preserves_exception_type():
+    original = ConfigurationError("no such server")
+    decoded = rpc.decode_error(rpc.encode_error(original))
+    assert isinstance(decoded, ConfigurationError)
+    assert str(decoded) == "no such server"
+
+
+def test_error_codec_degrades_to_rpc_error_for_unpicklable_payloads():
+    class Unpicklable(Exception):
+        def __reduce__(self):
+            raise pickle.PicklingError("nope")
+
+    decoded = rpc.decode_error(rpc.encode_error(Unpicklable("boom")))
+    assert isinstance(decoded, RpcError)
+
+
+# --------------------------------------------------------------------------
+# Connection pipelining against a live serve() loop
+# --------------------------------------------------------------------------
+def _echo_dispatch(shard_id, opcode, body):
+    if opcode == rpc.OP_PING:
+        return b""
+    return bytes([shard_id]) + body
+
+
+def _stop_serving(connection, thread):
+    """Ask the serve loop to exit and reap the thread."""
+    request_id = connection.send_request(0, rpc.OP_SHUTDOWN, b"")
+    connection.wait(request_id)
+    thread.join(timeout=5.0)
+    connection.close()
+    assert not thread.is_alive()
+
+
+@pytest.fixture()
+def served_connection():
+    left, right = socket.socketpair()
+    thread = threading.Thread(target=rpc.serve, args=(right, _echo_dispatch))
+    thread.start()
+    connection = rpc.RpcConnection(left, timeout_s=10.0)
+    yield connection
+    _stop_serving(connection, thread)
+
+
+def test_pipelined_requests_resolve_out_of_order(served_connection):
+    first = served_connection.send_request(1, rpc.OP_CALL, b"a")
+    second = served_connection.send_request(2, rpc.OP_CALL, b"b")
+    # Waiting on the later id first forces the earlier response to park.
+    assert served_connection.wait(second) == (rpc.OP_CALL, b"\x02b")
+    assert served_connection.wait(first) == (rpc.OP_CALL, b"\x01a")
+    assert served_connection.outstanding == 0
+
+
+def test_batched_send_requests_round_trip(served_connection):
+    ids = served_connection.send_requests(
+        [(0, rpc.OP_CALL, b"x"), (3, rpc.OP_CALL, b"y"), (0, rpc.OP_PING, b"")]
+    )
+    bodies = [served_connection.wait(request_id)[1] for request_id in ids]
+    assert bodies == [b"\x00x", b"\x03y", b""]
+
+
+def test_connection_counts_frames_and_bytes(served_connection):
+    sent_before = served_connection.bytes_sent
+    frames_before = served_connection.frames_sent
+    request_id = served_connection.send_request(0, rpc.OP_CALL, b"abc")
+    served_connection.wait(request_id)
+    wire_frame = rpc.encode_frame(
+        rpc.KIND_REQUEST, request_id, 0, rpc.OP_CALL, b"abc"
+    )
+    assert served_connection.frames_sent - frames_before == 1
+    assert served_connection.bytes_sent - sent_before == len(wire_frame)
+    # The echo response carries one extra byte (the shard id prefix).
+    assert served_connection.bytes_received >= len(wire_frame) + 1
+
+
+def test_dispatch_errors_reraise_client_side():
+    def failing_dispatch(shard_id, opcode, body):
+        raise ConfigurationError("remote guard tripped")
+
+    left, right = socket.socketpair()
+    thread = threading.Thread(target=rpc.serve, args=(right, failing_dispatch))
+    thread.start()
+    connection = rpc.RpcConnection(left, timeout_s=10.0)
+    request_id = connection.send_request(0, rpc.OP_CALL, b"")
+    with pytest.raises(ConfigurationError, match="remote guard tripped"):
+        connection.wait(request_id)
+    _stop_serving(connection, thread)

@@ -115,6 +115,60 @@ class TestSingleServerFailover:
         assert _state_signature(indexer) == _state_signature(ref_indexer)
 
 
+class TestFailoverAcrossRpcBoundary:
+    """The failover losslessness properties, spoken through a shard client
+    (both in-process and over a worker's RPC connection)."""
+
+    def _recipe(self, num_objects=600, num_servers=4, with_master=True):
+        from repro.server.worker import ShardRecipe
+
+        return ShardRecipe(
+            num_objects=num_objects,
+            seed=23,
+            num_servers=num_servers,
+            with_master=with_master,
+        )
+
+    @pytest.mark.parametrize("backend", ["inprocess", "process"])
+    @pytest.mark.parametrize("crash_after_batch", [0, 3])
+    def test_crash_mid_stream_is_lossless(self, backend, crash_after_batch):
+        from repro.bigtable.process_backend import single_shard_client
+
+        batches = update_batches(600)
+        ref_indexer, ref_cluster = build()
+        queries = NNQueryWorkload(ref_indexer.config.world, k=8, seed=3).batch(20)
+        for batch in batches:
+            ref_cluster.submit_update_batch(batch)
+
+        with single_shard_client(backend, recipe=self._recipe()) as client:
+            for index, batch in enumerate(batches):
+                client.begin_update_batch(batch).result()
+                if index == crash_after_batch:
+                    client.call("fail_over", 1)
+            assert client.call("state_signature") == _state_signature(ref_indexer)
+            assert client.call("nn_signature", queries) == _nn_signature(
+                ref_indexer, queries
+            )
+
+    @pytest.mark.parametrize("backend", ["inprocess", "process"])
+    def test_crash_guards_raise_through_the_wire(self, backend):
+        """Guard exceptions survive the RPC boundary with their original
+        type, so callers keep their ``except ConfigurationError`` paths."""
+        from repro.bigtable.process_backend import single_shard_client
+
+        recipe = self._recipe(num_objects=150, num_servers=2, with_master=False)
+        with single_shard_client(backend, recipe=recipe) as client:
+            client.call("fail_server", 0)
+            with pytest.raises(ConfigurationError):
+                client.call("fail_server", 0)  # already down
+            with pytest.raises(ConfigurationError):
+                client.call("fail_server", 1)  # last alive server
+            with pytest.raises(ConfigurationError):
+                client.call("fail_server", 9)  # no such server
+            client.call("revive_server", 0)
+            assert client.call("alive_server_indices") == [0, 1]
+
+
 class TestReplicatedReads:
     def _replicate_everything(self, indexer, cluster, master):
         """Replicate every spatial-index tablet onto every server."""
