@@ -1,4 +1,4 @@
-"""Machine-independent guards for the multiprocess scale-out path (PR 6).
+"""Machine-independent guards for the multiprocess scale-out path (PR 6/7).
 
 Wall-clock speedup from forked workers depends entirely on how many cores
 the host exposes, so — unlike the hot-path guards — nothing here asserts
@@ -7,15 +7,20 @@ on elapsed time.  What *is* asserted holds on any machine:
 1. **Worker-count invariance** — the quick mixed workload driven through a
    :class:`~repro.server.scaleout.ScaleOutCluster` must produce exactly
    equal request counts, simulated QPS, merged storage-RPC ledgers and
-   load-test reports whether the shard federation runs in-process or
-   across 1, 2 or 4 forked workers.  Among the forked variants the wire
-   byte volume must match too: the framing is deterministic, only which
-   OS process executes a shard changes.
+   load-test reports whether the shard federation runs in-process, across
+   1, 2 or 4 forked workers, or on the ``disk`` backend that additionally
+   persists every shard to real files.  Among the forked in-memory
+   variants the wire byte volume must match too: the columnar framing is
+   deterministic, only which OS process executes a shard changes.  (The
+   ``disk`` variant's bytes differ by exactly the storage-directory paths
+   pickled into the build recipes, so it is held to the simulated-side
+   invariants and frame count, not the byte total.)
 
-2. **Committed record shape** — the repository's ``BENCH_PR6.json`` must
+2. **Committed record shape** — the repository's ``BENCH_PR7.json`` must
    carry the ``scaleout_multiproc`` section with every variant present
-   and its simulated-side columns bit-identical across variants, so the
-   committed trajectory record itself proves the determinism claim.
+   (including ``disk``) and its simulated-side columns bit-identical
+   across variants, so the committed trajectory record itself proves the
+   determinism claim.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from repro.experiments.scaleout import multiproc_load_run
 
 from conftest import run_once
 
-BENCH_PATH = Path(__file__).parent.parent / "BENCH_PR6.json"
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_PR7.json"
 
 #: Quick shape: small enough for a 1-core CI runner, 4 shards so the
 #: shard→worker mapping differs at every worker count under test.
@@ -64,7 +69,13 @@ def _fingerprint(backend: str, num_workers: int):
 
 
 def _all_fingerprints():
-    plans = [("inprocess", 1), ("process", 1), ("process", 2), ("process", 4)]
+    plans = [
+        ("inprocess", 1),
+        ("process", 1),
+        ("process", 2),
+        ("process", 4),
+        ("disk", 2),
+    ]
     return {
         (backend, workers): _fingerprint(backend, workers)
         for backend, workers in plans
@@ -84,15 +95,20 @@ def test_worker_count_is_invisible(benchmark):
     reference_wire = process_wires[0][1]
     for key, wire in process_wires:
         assert wire == reference_wire, f"wire accounting moved at {key}"
+    # The disk variant sends the same frames; only the recipe paths differ.
+    _, disk_wire = results[("disk", 2)]
+    assert disk_wire[1] == reference_wire[1], "disk frame count moved"
 
 
 def test_committed_bench_record_proves_the_claim():
     payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
     multiproc = payload["scaleout_multiproc"]
     variants = multiproc["variants"]
-    expected = ["inprocess"] + [
-        f"workers_{count}" for count in multiproc["worker_counts"]
-    ]
+    expected = (
+        ["inprocess"]
+        + [f"workers_{count}" for count in multiproc["worker_counts"]]
+        + ["disk"]
+    )
     assert sorted(variants) == sorted(expected)
     assert multiproc["host_cpu_count"] >= 1
     reference = variants["inprocess"]

@@ -25,6 +25,7 @@ def build_no_school_indexer(
     cost_model: Optional[CostModel] = None,
     enable_flag: bool = True,
     tablet_options: Optional[TabletOptions] = None,
+    storage_dir: Optional[str] = None,
 ) -> MoistIndexer:
     """A MOIST indexer with schooling turned off (every object is a leader)."""
     base = config or MoistConfig()
@@ -35,4 +36,5 @@ def build_no_school_indexer(
         cost_model=cost_model,
         enable_flag=enable_flag,
         tablet_options=tablet_options,
+        storage_dir=storage_dir,
     )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.bigtable.backend import TabletSkew
@@ -31,22 +32,47 @@ class BigtableEmulator:
         cost_model: Optional[CostModel] = None,
         tablet_options: Optional[TabletOptions] = None,
         cache_options: Optional[BlockCacheOptions] = None,
+        storage_dir: Optional[str] = None,
     ) -> None:
         self.counter = OpCounter(model=cost_model or CostModel())
         self.tablet_options = tablet_options or TabletOptions()
         self.cache_options = cache_options or BlockCacheOptions()
+        #: When set, every table persists to real files under this directory
+        #: (one subdirectory per table) through a write-through
+        #: :class:`repro.disk.store.DiskTableStore`, and ``create_table``
+        #: restores any table a previous process left behind there.
+        self.storage_dir = storage_dir
         self._tables: Dict[str, Table] = {}
 
     def create_table(self, name: str, families: Sequence[ColumnFamily]) -> Table:
-        """Create a table; fails if the name is already taken."""
+        """Create a table; fails if the name is already taken.
+
+        With :attr:`storage_dir` set, a table whose directory holds a
+        checkpoint from a previous process is *restored* from its files
+        (tablet options come from its manifest) instead of created empty.
+        """
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
+        store = None
+        if self.storage_dir is not None:
+            from repro.disk.store import DiskTableStore, restore_table
+
+            store = DiskTableStore(
+                os.path.join(self.storage_dir, name.replace("/", "__"))
+            )
+            restored = restore_table(
+                store, name, families, self.counter, self.cache_options
+            )
+            if restored is not None:
+                self._tables[name] = restored
+                return restored
         table = Table(
             name,
             families,
             counter=self.counter,
             options=self.tablet_options,
             cache_options=self.cache_options,
+            store=store,
         )
         self._tables[name] = table
         return table
@@ -63,10 +89,12 @@ class BigtableEmulator:
         return name in self._tables
 
     def drop_table(self, name: str) -> None:
-        """Delete a table and its contents."""
+        """Delete a table and its contents (including its on-disk store)."""
         if name not in self._tables:
             raise TableNotFoundError(f"table {name!r} does not exist")
-        del self._tables[name]
+        table = self._tables.pop(name)
+        if table._store is not None:
+            table._store.destroy()
 
     def table_names(self) -> List[str]:
         """Names of every table, sorted."""

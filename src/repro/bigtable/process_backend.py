@@ -26,15 +26,19 @@ so pytest and ``repro bench`` never leak zombie workers.
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import multiprocessing
+import os
 import socket
 import struct
+import tempfile
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from contextlib import contextmanager
 
 from repro.bigtable.backend import TabletSkew
 from repro.bigtable.cost import CostModel, OpCounter, OpCounterSnapshot
 from repro.bigtable.lsm import RecoveryReport
+from repro.codec.wire import NeighborStreamDecoder
 from repro.errors import ConfigurationError, TableNotFoundError, WorkerDiedError
 from repro.server import rpc
 from repro.server.worker import ShardRecipe, ShardService, worker_main
@@ -197,9 +201,19 @@ def _decode_update_result(body: bytes) -> Tuple[int, float]:
     return _UPDATE_RESULT.unpack(body)
 
 
-def _decode_query_result(body: bytes) -> Tuple[list, float]:
-    (makespan,) = _MAKESPAN.unpack_from(body)
-    return rpc.decode_neighbor_batches(body[_MAKESPAN.size:]), makespan
+def _query_decoder(
+    decoder: NeighborStreamDecoder, queries: Sequence[object]
+) -> Callable[[bytes], Tuple[list, float]]:
+    """Decode one query response through the shard's stateful stream
+    decoder.  The probe set rides along because the stream never transmits
+    distances — the decoder recomputes each one from the query location."""
+
+    def decode(body: bytes) -> Tuple[list, float]:
+        (makespan,) = _MAKESPAN.unpack_from(body)
+        results = decoder.decode(memoryview(body)[_MAKESPAN.size:], queries)
+        return results, makespan
+
+    return decode
 
 
 class LocalShardClient:
@@ -238,6 +252,11 @@ class ProcessShardClient:
     def __init__(self, connection: rpc.RpcConnection, shard_id: int) -> None:
         self.connection = connection
         self.shard_id = shard_id
+        #: Client-side twin of the shard service's stateful neighbour
+        #: stream encoder.  The pair's dictionaries live per *shard* (one
+        #: client object per shard id), so stream state — and therefore
+        #: wire bytes — is invariant across worker counts.
+        self.neighbor_decoder = NeighborStreamDecoder()
 
     def call(self, method: str, *args, **kwargs) -> Any:
         return self.begin_call(method, *args, **kwargs).result()
@@ -255,10 +274,15 @@ class ProcessShardClient:
         return _RemoteResult(self.connection, request_id, _decode_update_result)
 
     def begin_query_batch(self, queries) -> _RemoteResult:
+        queries = list(queries)
         request_id = self.connection.send_request(
             self.shard_id, rpc.OP_QUERY_BATCH, rpc.encode_query_batch(queries)
         )
-        return _RemoteResult(self.connection, request_id, _decode_query_result)
+        return _RemoteResult(
+            self.connection,
+            request_id,
+            _query_decoder(self.neighbor_decoder, queries),
+        )
 
     def close(self) -> None:
         pass
@@ -520,6 +544,9 @@ class ProcessShardedBackend(FederatedShardedBackend):
     ) -> None:
         if num_workers > len(recipes):
             num_workers = len(recipes)
+        #: Temporary storage root owned by this backend (the ``disk``
+        #: flavour with no caller-provided directory); cleaned on close.
+        self._owned_tmpdir: Optional[tempfile.TemporaryDirectory] = None
         self.pool = WorkerPool(num_workers, timeout_s=timeout_s)
         clients = [
             ProcessShardClient(
@@ -545,6 +572,7 @@ class ProcessShardedBackend(FederatedShardedBackend):
     def begin_query_broadcast(self, queries) -> List[Any]:
         """Encode the probe set once for the whole federation and flush each
         connection's share of the broadcast as one batched ``sendall``."""
+        queries = list(queries)
         body = rpc.encode_query_batch(queries)
         pending: List[Any] = [None] * len(self.clients)
         for connection, shard_ids in self._shards_by_connection():
@@ -553,7 +581,11 @@ class ProcessShardedBackend(FederatedShardedBackend):
             )
             for shard_id, request_id in zip(shard_ids, request_ids):
                 pending[shard_id] = _RemoteResult(
-                    connection, request_id, _decode_query_result
+                    connection,
+                    request_id,
+                    _query_decoder(
+                        self.clients[shard_id].neighbor_decoder, queries
+                    ),
                 )
         return pending
 
@@ -593,6 +625,9 @@ class ProcessShardedBackend(FederatedShardedBackend):
 
     def close(self) -> None:
         self.pool.shutdown()
+        if self._owned_tmpdir is not None:
+            self._owned_tmpdir.cleanup()
+            self._owned_tmpdir = None
 
 
 # --------------------------------------------------------------------------
@@ -619,18 +654,75 @@ def make_scaleout_backend(
 
     ``backend="inprocess"`` runs every shard in the parent (zero RPC);
     ``backend="process"`` spreads the shards over ``num_workers`` forked
-    workers.  Same recipes either way, so results match bit for bit.
+    workers; ``backend="disk"`` is the process backend with every shard
+    additionally persisting its tables to real files (under
+    ``recipe_kwargs["storage_dir"]``, or a temporary directory owned and
+    cleaned up by the backend when none is given).  Same recipes every
+    way, so simulated results match bit for bit.
     """
+    owned_tmpdir: Optional[tempfile.TemporaryDirectory] = None
+    if backend == "disk" and recipe_kwargs.get("storage_dir") is None:
+        owned_tmpdir = tempfile.TemporaryDirectory(prefix="moist-disk-")
+        recipe_kwargs["storage_dir"] = owned_tmpdir.name
     recipes = build_recipes(num_shards, **recipe_kwargs)
     if backend == "inprocess":
         return LocalShardedBackend(recipes)
-    if backend == "process":
-        return ProcessShardedBackend(
+    if backend in ("process", "disk"):
+        built = ProcessShardedBackend(
             recipes, num_workers=num_workers, timeout_s=timeout_s
         )
+        built._owned_tmpdir = owned_tmpdir
+        return built
     raise ConfigurationError(
-        f"unknown backend {backend!r} (expected 'inprocess' or 'process')"
+        f"unknown backend {backend!r} "
+        "(expected 'inprocess', 'process' or 'disk')"
     )
+
+
+class _StorageInjectingClient:
+    """Shard-client proxy that transparently persists the shard to disk.
+
+    Wraps any shard client and rewrites the two build verbs so the shard's
+    state lands in real files under ``storage_dir`` — letting every
+    backend-parametrised property suite run its unmodified op vocabulary
+    against the ``disk`` flavour.
+    """
+
+    def __init__(self, inner: object, storage_dir: str) -> None:
+        self._inner = inner
+        self.storage_dir = storage_dir
+
+    def _rewrite(self, method: str, args: tuple, kwargs: dict):
+        if method == "build_indexer" and args:
+            recipe = args[0]
+            if recipe.storage_dir is None:
+                recipe = dataclasses.replace(
+                    recipe, storage_dir=self.storage_dir
+                )
+            args = (recipe,) + args[1:]
+        elif method == "build_table" and "storage_dir" not in kwargs:
+            if len(args) < 2:
+                kwargs = dict(
+                    kwargs,
+                    storage_dir=os.path.join(self.storage_dir, "bare-table"),
+                )
+        return args, kwargs
+
+    def call(self, method: str, *args, **kwargs) -> Any:
+        return self.begin_call(method, *args, **kwargs).result()
+
+    def begin_call(self, method: str, *args, **kwargs):
+        args, kwargs = self._rewrite(method, args, kwargs)
+        return self._inner.begin_call(method, *args, **kwargs)
+
+    def begin_update_batch(self, messages):
+        return self._inner.begin_update_batch(messages)
+
+    def begin_query_batch(self, queries):
+        return self._inner.begin_query_batch(queries)
+
+    def close(self) -> None:
+        self._inner.close()
 
 
 @contextmanager
@@ -639,9 +731,12 @@ def single_shard_client(
 ) -> Iterator[object]:
     """One shard client for the cross-backend property suites.
 
-    Yields a :class:`LocalShardClient` or a :class:`ProcessShardClient`
-    backed by a freshly spawned (and reliably shut down) single worker;
-    when ``recipe`` is given the shard's indexer is built before yielding.
+    Yields a :class:`LocalShardClient`, a :class:`ProcessShardClient`
+    backed by a freshly spawned (and reliably shut down) single worker, or
+    — for ``backend="disk"`` — that process client wrapped in a
+    :class:`_StorageInjectingClient` over a temporary storage directory,
+    so the shard persists real bytes; when ``recipe`` is given the shard's
+    indexer is built before yielding.
     """
     if backend == "inprocess":
         client: object = LocalShardClient()
@@ -654,7 +749,17 @@ def single_shard_client(
             if recipe is not None:
                 client.call("build_indexer", recipe)
             yield client
+    elif backend == "disk":
+        with tempfile.TemporaryDirectory(prefix="moist-disk-") as tmpdir:
+            with WorkerPool(1, timeout_s=timeout_s) as pool:
+                client = _StorageInjectingClient(
+                    ProcessShardClient(pool.connections[0], 0), tmpdir
+                )
+                if recipe is not None:
+                    client.call("build_indexer", recipe)
+                yield client
     else:
         raise ConfigurationError(
-            f"unknown backend {backend!r} (expected 'inprocess' or 'process')"
+            f"unknown backend {backend!r} "
+            "(expected 'inprocess', 'process' or 'disk')"
         )

@@ -176,6 +176,7 @@ class Table:
         counter: Optional[OpCounter] = None,
         options: Optional[TabletOptions] = None,
         cache_options: Optional[BlockCacheOptions] = None,
+        store: Optional[object] = None,
     ) -> None:
         if not families:
             raise ColumnFamilyError(f"table {name!r} declared without column families")
@@ -191,7 +192,12 @@ class Table:
         self.options = options or TabletOptions()
         self._tablets = TabletLocator(name, self.options, model=self.counter.model)
         self.cache = BlockCache(cache_options)
-        self._tablets.on_tablet_changed = self.cache.invalidate_tablet
+        self._tablets.on_tablet_changed = self._on_tablet_changed
+        #: Optional write-through :class:`repro.disk.store.DiskTableStore`.
+        #: Strictly write-only while the table is alive, so attaching one
+        #: changes no simulated ledger, split decision or query result.
+        self._store = None
+        self._store_dirty = False
         self._scanner = Scanner(self.counter, self._tablets, self.cache)
         self._group: Optional[_GroupCommit] = None
         self._group_depth = 0
@@ -201,6 +207,35 @@ class Table:
         #: Active :meth:`deferred_log_syncs` tally (tablet -> records), or
         #: ``None`` when point mutations sync their log individually.
         self._log_sync_tally: Optional[Dict[str, Tuple[Tablet, int]]] = None
+        if store is not None:
+            self.attach_store(store)
+
+    # ------------------------------------------------------------------
+    # Persistence (optional write-through disk store)
+    # ------------------------------------------------------------------
+    def attach_store(self, store: object) -> None:
+        """Attach a write-through persistent store.  Commit-log records are
+        journalled at append time and fsynced exactly where the simulation
+        charges LOG_APPEND; structural events (split, merge, flush,
+        compaction, family addition) checkpoint the full durable skeleton.
+        A fresh store is checkpointed immediately so a zero-mutation table
+        already survives a restart."""
+        self._store = store
+        self._store_dirty = False
+        if not store.has_checkpoint():
+            store.checkpoint(self)
+
+    def _on_tablet_changed(self, tablet_id: str) -> None:
+        # Split/merge: the block cache's idea of residency is stale, and the
+        # on-disk manifest no longer matches the tablet boundaries.
+        self._store_dirty = True
+        self.cache.invalidate_tablet(tablet_id)
+
+    def _maybe_checkpoint(self) -> None:
+        store = self._store
+        if store is not None and self._store_dirty:
+            self._store_dirty = False
+            store.checkpoint(self)
 
     # ------------------------------------------------------------------
     # Schema
@@ -227,6 +262,11 @@ class Table:
                 f"column family {family.name!r} already exists in {self.name!r}"
             )
         self._families[family.name] = family
+        # A checkpoint records the family in the manifest before any journal
+        # record can reference it (the archiver adds aged families and ages
+        # rows into them in the same breath).
+        self._store_dirty = True
+        self._maybe_checkpoint()
 
     # ------------------------------------------------------------------
     # Accounting helpers
@@ -252,6 +292,7 @@ class Table:
             self._tablets.maybe_split(tablet)
             self._tablets.maybe_merge(tablet)
         self._maybe_flush(tablet)
+        self._maybe_checkpoint()
 
     def _log_mutation(
         self, tablet: Tablet, opcode: str, row_key: str, *payload: object
@@ -269,7 +310,10 @@ class Table:
         tablet.counter.logical_write_rows += 1
         if not self.options.commit_log_enabled:
             return False
-        tablet.log.append((self._seq, opcode, row_key) + payload)
+        record = (self._seq, opcode, row_key) + payload
+        tablet.log.append(record)
+        if self._store is not None:
+            self._store.journal_append(record)
         group = self._group
         if group is not None:
             tablet_id = tablet.tablet_id
@@ -285,6 +329,8 @@ class Table:
         else:
             self.counter.record_durability(OpKind.LOG_APPEND, rows=1)
             tablet.counter.record_durability(OpKind.LOG_APPEND, rows=1)
+            if self._store is not None:
+                self._store.journal_sync()
         return True
 
     @contextmanager
@@ -325,7 +371,10 @@ class Table:
         tablet.counter.logical_write_rows += 1
         if not self.options.commit_log_enabled:
             return
-        tablet.log.append((self._seq, opcode, row_key) + payload)
+        record = (self._seq, opcode, row_key) + payload
+        tablet.log.append(record)
+        if self._store is not None:
+            self._store.journal_append(record)
         entry = appended.get(tablet.tablet_id)
         appended[tablet.tablet_id] = (
             tablet,
@@ -337,6 +386,8 @@ class Table:
         for tablet, count in appended.values():
             self.counter.record_durability(OpKind.LOG_APPEND, rows=count)
             tablet.counter.record_durability(OpKind.LOG_APPEND, rows=count)
+        if appended and self._store is not None:
+            self._store.journal_sync()
 
     def _maybe_flush(self, tablet: Tablet) -> None:
         """Flush the memtable once it outgrew the configured threshold.
@@ -409,12 +460,15 @@ class Table:
             tablet = group.tablets[tablet_id]
             self.counter.record_durability(OpKind.LOG_APPEND, rows=appends)
             tablet.counter.record_durability(OpKind.LOG_APPEND, rows=appends)
+        if group.log_appends and self._store is not None:
+            self._store.journal_sync()
         for tablet in group.dirty.values():
             self._tablets.maybe_split(tablet)
             while self._tablets.maybe_merge(tablet):
                 pass
         for tablet in group.tablets.values():
             self._maybe_flush(tablet)
+        self._maybe_checkpoint()
         # Re-arm the buffer: the block may still be open (early flush).
         self._group = _GroupCommit() if self._group_depth > 0 else None
 
@@ -871,6 +925,9 @@ class Table:
         """Flush one memtable into a new run (minor compaction), charging
         the durability ledgers and keeping the run count tiered."""
         flushed = tablet.flush(self._seq)
+        # Even a zero-row flush truncates the commit log, so the durable
+        # skeleton changed either way.
+        self._store_dirty = True
         if flushed:
             # The flushed rows now live in the (cold) new run; their
             # memtable blocks are gone.
@@ -879,6 +936,7 @@ class Table:
             tablet.counter.record_durability(OpKind.COMPACTION_WRITE, rows=flushed)
             if len(tablet.runs) > self.options.compaction_max_runs:
                 self._compact_tablet(tablet)
+        self._maybe_checkpoint()
         return flushed
 
     def _compact_tablet(self, tablet: Tablet, major: bool = False) -> int:
@@ -894,6 +952,7 @@ class Table:
                 return 0
         consumed = {run.run_id for run in window}
         rows_read, rows_written = tablet.compact(window, drop_all_tombstones=major)
+        self._store_dirty = True
         for run_id in consumed:
             self.cache.invalidate_source(tablet.tablet_id, run_id)
         # One COMPACTION_READ call per compaction (its rows are the rows of
@@ -906,6 +965,7 @@ class Table:
             tablet.counter.record_durability(
                 OpKind.COMPACTION_WRITE, rows=rows_written
             )
+        self._maybe_checkpoint()
         return rows_written
 
     def flush_memtables(self) -> int:

@@ -1,0 +1,130 @@
+"""Tagged binary value encoding with a per-value pickle fallback.
+
+Cell values, commit-log payloads and manifest metadata are *mostly* simple
+— strings, floats, tuples, :class:`~repro.geometry.point.Point`s — but the
+table API accepts arbitrary objects.  This codec writes the common shapes
+as one tag byte plus a compact body and quietly pickles anything else, so
+the disk and wire layers stay byte-frugal without ever restricting what a
+caller may store.
+
+Type dispatch is on ``type(obj)`` exactly (no ``isinstance``): a subclass
+may carry extra state a structural re-encode would drop, so subclasses take
+the pickle path, which preserves them faithfully.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Tuple
+
+from repro.codec.columns import read_str, read_svarint, read_uvarint, write_str, write_svarint, write_uvarint
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+
+_F64 = struct.Struct("<d")
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+TAG_PICKLE = 0
+TAG_NONE = 1
+TAG_FALSE = 2
+TAG_TRUE = 3
+TAG_INT = 4
+TAG_FLOAT = 5
+TAG_STR = 6
+TAG_BYTES = 7
+TAG_TUPLE = 8
+TAG_LIST = 9
+TAG_DICT = 10
+TAG_POINT = 11
+TAG_VECTOR = 12
+
+
+def encode_value(out: bytearray, obj: object) -> None:
+    kind = type(obj)
+    if obj is None:
+        out.append(TAG_NONE)
+    elif kind is bool:
+        out.append(TAG_TRUE if obj else TAG_FALSE)
+    elif kind is int:
+        out.append(TAG_INT)
+        write_svarint(out, obj)
+    elif kind is float:
+        out.append(TAG_FLOAT)
+        out += _F64.pack(obj)
+    elif kind is str:
+        out.append(TAG_STR)
+        write_str(out, obj)
+    elif kind is bytes:
+        out.append(TAG_BYTES)
+        write_uvarint(out, len(obj))
+        out += obj
+    elif kind is tuple or kind is list:
+        out.append(TAG_TUPLE if kind is tuple else TAG_LIST)
+        write_uvarint(out, len(obj))
+        for item in obj:
+            encode_value(out, item)
+    elif kind is dict:
+        out.append(TAG_DICT)
+        write_uvarint(out, len(obj))
+        for key, value in obj.items():
+            encode_value(out, key)
+            encode_value(out, value)
+    elif kind is Point:
+        out.append(TAG_POINT)
+        out += _F64.pack(obj.x)
+        out += _F64.pack(obj.y)
+    elif kind is Vector:
+        out.append(TAG_VECTOR)
+        out += _F64.pack(obj.dx)
+        out += _F64.pack(obj.dy)
+    else:
+        payload = pickle.dumps(obj, _PICKLE_PROTOCOL)
+        out.append(TAG_PICKLE)
+        write_uvarint(out, len(payload))
+        out += payload
+
+
+def decode_value(buf, pos: int) -> Tuple[object, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == TAG_NONE:
+        return None, pos
+    if tag == TAG_FALSE:
+        return False, pos
+    if tag == TAG_TRUE:
+        return True, pos
+    if tag == TAG_INT:
+        return read_svarint(buf, pos)
+    if tag == TAG_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == TAG_STR:
+        return read_str(buf, pos)
+    if tag == TAG_BYTES:
+        length, pos = read_uvarint(buf, pos)
+        return bytes(buf[pos : pos + length]), pos + length
+    if tag == TAG_TUPLE or tag == TAG_LIST:
+        count, pos = read_uvarint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = decode_value(buf, pos)
+            items.append(item)
+        return (tuple(items) if tag == TAG_TUPLE else items), pos
+    if tag == TAG_DICT:
+        count, pos = read_uvarint(buf, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = decode_value(buf, pos)
+            value, pos = decode_value(buf, pos)
+            result[key] = value
+        return result, pos
+    if tag == TAG_POINT:
+        x, y = struct.unpack_from("<2d", buf, pos)
+        return Point(x, y), pos + 16
+    if tag == TAG_VECTOR:
+        dx, dy = struct.unpack_from("<2d", buf, pos)
+        return Vector(dx, dy), pos + 16
+    if tag == TAG_PICKLE:
+        length, pos = read_uvarint(buf, pos)
+        return pickle.loads(bytes(buf[pos : pos + length])), pos + length
+    raise ValueError(f"unknown value tag {tag}")

@@ -71,12 +71,14 @@ class MoistIndexer:
         enable_flag: bool = True,
         tablet_options: Optional[TabletOptions] = None,
         cache_options: Optional[BlockCacheOptions] = None,
+        storage_dir: Optional[str] = None,
     ) -> None:
         self.config = config or MoistConfig()
         self.emulator: StorageBackend = emulator or BigtableEmulator(
             cost_model=cost_model,
             tablet_options=tablet_options,
             cache_options=cache_options,
+            storage_dir=storage_dir,
         )
         self.location_table = LocationTable(
             self.emulator,
@@ -141,6 +143,28 @@ class MoistIndexer:
         if self.flag is not None:
             self.flag.total_objects_hint = max(self.counters.known_objects, 1)
         return result
+
+    def restore_facade_state(self) -> int:
+        """Rebuild the in-memory facade tallies after the emulator restored
+        its tables from a disk store (a real process restart).
+
+        The tables themselves came back bit-identical; what a new process
+        lacks is the state that never lived in a table: the known-object and
+        leader counters and the FLAG tuner's object-count hint.  Both are
+        derivable by an uncharged scan of the affiliation table.  Two pieces
+        are deliberately *not* restored — the PPP archiver's ping-pong
+        buffers (history-query staging, outside the restart-survival
+        signatures) and :class:`UpdateStats` (a per-process tally, not
+        state) — and the FLAG cache restarts cold, which affects simulated
+        cost of *future* queries only, never their results.  Returns the
+        number of known objects."""
+        known = self.affiliation_table.object_count()
+        leaders = len(self.affiliation_table.leader_ids())
+        self.counters.known_objects = known
+        self.counters.leaders = leaders
+        if self.flag is not None:
+            self.flag.total_objects_hint = max(known, 1)
+        return known
 
     def _absorb_outcome(self, message: UpdateMessage, result: UpdateResult) -> None:
         """Fold one update outcome into the facade's counters and archiver.

@@ -87,6 +87,11 @@ class BenchResult:
             "storage_rpc_count": self.storage_rpc_count,
             "cache_hit_rate": self.cache_hit_rate,
             "durability": self.durability,
+            # Every workload record carries its own host context so
+            # BENCH_PR*.json wall-clock columns stay interpretable when
+            # compared across machines, not just for scaleout_multiproc.
+            "host_cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
         }
 
 
@@ -231,9 +236,15 @@ def run_multiproc_workload(
     from repro.experiments.scaleout import multiproc_load_run
 
     variants: Dict[str, Dict[str, object]] = {}
-    plans = [("inprocess", "inprocess", 1)] + [
-        (f"workers_{count}", "process", count) for count in worker_counts
-    ]
+    plans = (
+        [("inprocess", "inprocess", 1)]
+        + [(f"workers_{count}", "process", count) for count in worker_counts]
+        #: The real-bytes variant: the same forked federation, every shard
+        #: additionally persisting its tables to files in a temporary
+        #: directory (journal fsyncs and block writes inside the measured
+        #: section).  Simulated columns stay bit-identical to in-process.
+        + [("disk", "disk", max(worker_counts) if worker_counts else 1)]
+    )
     inprocess_wall = None
     for key, backend, workers in plans:
         best_wall = float("inf")
@@ -260,6 +271,11 @@ def run_multiproc_workload(
             "simulated_storage_seconds": transport["simulated_storage_seconds"],
             "serialized_bytes": transport["serialized_bytes"],
             "rpc_frames": transport["rpc_frames"],
+            "bytes_per_request": (
+                transport["serialized_bytes"] / outcome.total_requests
+                if outcome.total_requests
+                else 0.0
+            ),
         }
         if key == "inprocess":
             inprocess_wall = best_wall
@@ -412,17 +428,23 @@ def format_bench(payload: Dict[str, object]) -> str:
             )
         sub_header = (
             f"{'variant':<14} {'wall s':>8} {'ops/s':>10} {'sim QPS':>10} "
-            f"{'RPCs':>8} {'wire KiB':>9} {'speedup':>8}"
+            f"{'RPCs':>8} {'wire KiB':>9} {'B/req':>7} {'speedup':>8}"
         )
         lines.append(sub_header)
         lines.append("-" * len(sub_header))
         for key, row in multiproc["variants"].items():
             speedup = row.get("speedup_vs_inprocess")
+            requests = row.get("requests") or 0
+            bytes_per_request = row.get(
+                "bytes_per_request",
+                row["serialized_bytes"] / requests if requests else 0.0,
+            )
             lines.append(
                 f"{key:<14} {row['wall_seconds']:>8.3f} "
                 f"{row['ops_per_sec']:>10.0f} {row['simulated_qps']:>10.0f} "
                 f"{row['storage_rpc_count']:>8d} "
                 f"{row['serialized_bytes'] / 1024:>9.1f} "
+                f"{bytes_per_request:>7.1f} "
                 + (f"{speedup:>7.2f}x" if speedup is not None else f"{'—':>8}")
             )
     return "\n".join(lines)

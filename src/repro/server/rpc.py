@@ -10,14 +10,18 @@ One frame on the wire is::
              N bytes  body
 
 Bodies for the hot opcodes (update batches, query batches, neighbour
-results) use compact ``struct`` codecs that *reconstruct* the library's
-frozen dataclasses on the far side instead of shipping pickled object
-graphs — the reconstruct-don't-store idiom the storage layer already uses
-for its value encoding.  Every codec keeps a pickle fallback (flag byte 0)
-so exotic payloads — non-conforming object ids, subclassed queries — stay
-correct, just slower.  Everything else (control-plane verbs, signatures,
-metrics) rides the generic ``CALL`` opcode as a pickled
-``(method, args, kwargs)`` triple.
+results) ride the shared columnar codec layer (:mod:`repro.codec.wire`):
+varint-dictionary object ids, fixed-width float columns and delta-encoded
+timestamps that *reconstruct* the library's frozen dataclasses on the far
+side instead of shipping pickled object graphs.  Neighbour results
+additionally use a per-shard *stateful* stream codec (held by the shard
+service / shard client, not here) that resends only what changed since the
+last frame.  Every codec keeps a pickle fallback (flag byte 0) so exotic
+payloads — non-conforming object ids, subclassed queries — stay correct,
+just slower.  Control-plane verbs ride the generic ``CALL`` opcode, itself
+slimmed: argument-less calls ship the method name in UTF-8, and the hot
+result shapes (metrics snapshots, op-counter ledgers, scalars) have typed
+compact encodings.
 
 Errors raised inside a worker are pickled and re-raised client-side with
 their original type so ``pytest.raises`` and library ``except`` clauses
@@ -31,9 +35,9 @@ import socket
 import struct
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.codec import wire as _wire
 from repro.errors import RpcError, WorkerDiedError
 from repro.geometry.point import Point
-from repro.geometry.vector import Vector
 from repro.model import NeighborResult, UpdateMessage, format_object_id
 from repro.workload.queries import NNQuery
 
@@ -102,116 +106,53 @@ def read_frame(sock: socket.socket) -> Tuple[int, int, int, int, bytes]:
 # Compact codecs (reconstruct-don't-store)
 # --------------------------------------------------------------------------
 
-_OBJ_PREFIX = "obj"
-_OBJ_DIGITS = 10
-_UPDATE_RECORD = struct.Struct("!Q5d")  # id, x, y, dx, dy, timestamp
 _COUNT = struct.Struct("!I")
-_FLAG_PICKLED = 0
-_FLAG_COMPACT = 1
+_FLAG_PICKLED = _wire.FLAG_PICKLED
+_FLAG_COMPACT = _wire.FLAG_COLUMNAR
 
-
-def _numeric_object_id(object_id: str) -> Optional[int]:
-    """The integer behind ``format_object_id`` ids, or ``None``."""
-    if (
-        len(object_id) == len(_OBJ_PREFIX) + _OBJ_DIGITS
-        and object_id.startswith(_OBJ_PREFIX)
-        and object_id[len(_OBJ_PREFIX):].isdigit()
-    ):
-        return int(object_id[len(_OBJ_PREFIX):])
-    return None
+#: The integer behind ``format_object_id`` ids, or ``None`` (re-exported —
+#: the implementation moved to the shared codec layer).
+_numeric_object_id = _wire.numeric_object_id
 
 
 def encode_update_batch(messages: Sequence[UpdateMessage]) -> bytes:
-    """Compact encoding of one group-commit buffer; pickle fallback when an
-    object id does not follow the ``obj%010d`` convention."""
-    parts = [bytes([_FLAG_COMPACT]), _COUNT.pack(len(messages))]
-    pack = _UPDATE_RECORD.pack
-    for message in messages:
-        numeric = _numeric_object_id(message.object_id)
-        if numeric is None or type(message) is not UpdateMessage:
-            return bytes([_FLAG_PICKLED]) + pickle.dumps(
-                list(messages), _PICKLE_PROTOCOL
-            )
-        parts.append(
-            pack(
-                numeric,
-                message.location.x,
-                message.location.y,
-                message.velocity.dx,
-                message.velocity.dy,
-                message.timestamp,
-            )
+    """Columnar encoding of one group-commit buffer; pickle fallback when
+    an object id does not follow the ``obj%010d`` convention."""
+    compact = _wire.encode_update_batch_columnar(messages)
+    if compact is None:
+        return bytes([_FLAG_PICKLED]) + pickle.dumps(
+            list(messages), _PICKLE_PROTOCOL
         )
-    return b"".join(parts)
+    return bytes([_FLAG_COMPACT]) + compact
 
 
 def decode_update_batch(body: bytes) -> List[UpdateMessage]:
-    flag = body[0]
-    if flag == _FLAG_PICKLED:
-        return pickle.loads(body[1:])
-    (count,) = _COUNT.unpack_from(body, 1)
-    offset = 1 + _COUNT.size
-    messages = []
-    for numeric, x, y, dx, dy, timestamp in _UPDATE_RECORD.iter_unpack(
-        body[offset: offset + count * _UPDATE_RECORD.size]
-    ):
-        messages.append(
-            UpdateMessage(
-                object_id=format_object_id(numeric),
-                location=Point(x, y),
-                velocity=Vector(dx, dy),
-                timestamp=timestamp,
-            )
-        )
-    return messages
-
-
-_QUERY_RECORD = struct.Struct("!2dIBd")  # x, y, k, has_range, range_limit
+    if body[0] == _FLAG_PICKLED:
+        return pickle.loads(bytes(body[1:]))
+    return _wire.decode_update_batch_columnar(memoryview(body)[1:])
 
 
 def encode_query_batch(queries: Sequence[NNQuery]) -> bytes:
-    """Compact encoding of one probe set; pickle fallback for subclasses."""
-    parts = [bytes([_FLAG_COMPACT]), _COUNT.pack(len(queries))]
-    pack = _QUERY_RECORD.pack
-    for query in queries:
-        if type(query) is not NNQuery:
-            return bytes([_FLAG_PICKLED]) + pickle.dumps(
-                list(queries), _PICKLE_PROTOCOL
-            )
-        has_range = query.range_limit is not None
-        parts.append(
-            pack(
-                query.location.x,
-                query.location.y,
-                query.k,
-                1 if has_range else 0,
-                query.range_limit if has_range else 0.0,
-            )
+    """Columnar encoding of one probe set; pickle fallback for subclasses."""
+    compact = _wire.encode_query_batch_columnar(queries)
+    if compact is None:
+        return bytes([_FLAG_PICKLED]) + pickle.dumps(
+            list(queries), _PICKLE_PROTOCOL
         )
-    return b"".join(parts)
+    return bytes([_FLAG_COMPACT]) + compact
 
 
 def decode_query_batch(body: bytes) -> List[NNQuery]:
-    flag = body[0]
-    if flag == _FLAG_PICKLED:
-        return pickle.loads(body[1:])
-    (count,) = _COUNT.unpack_from(body, 1)
-    offset = 1 + _COUNT.size
-    queries = []
-    for x, y, k, has_range, range_limit in _QUERY_RECORD.iter_unpack(
-        body[offset: offset + count * _QUERY_RECORD.size]
-    ):
-        queries.append(
-            NNQuery(
-                location=Point(x, y),
-                k=k,
-                range_limit=range_limit if has_range else None,
-            )
-        )
-    return queries
+    if body[0] == _FLAG_PICKLED:
+        return pickle.loads(bytes(body[1:]))
+    return _wire.decode_query_batch_columnar(memoryview(body)[1:])
 
 
-# Neighbour results: flags bit 0 = is_leader, bit 1 = has leader_id.
+# Neighbour results, *stateless legacy* codec: one fixed-width record per
+# result.  The hot path uses the stateful per-shard stream codec in
+# :mod:`repro.codec.wire` instead (worker-side encoder, client-side
+# decoder); this codec remains for stateless callers and as the property
+# tests' reference twin.  Flags bit 0 = is_leader, bit 1 = has leader_id.
 _NEIGHBOR_RECORD = struct.Struct("!Q3dBQ")  # id, x, y, distance, flags, leader
 
 
@@ -284,19 +225,35 @@ def decode_neighbor_batches(body: bytes) -> List[List[NeighborResult]]:
 
 
 def encode_call(method: str, args: tuple, kwargs: dict) -> bytes:
-    return pickle.dumps((method, args, kwargs), _PICKLE_PROTOCOL)
+    """Generic CALL body.  The overwhelmingly common shape — no arguments —
+    ships as the UTF-8 method name behind the compact flag; anything else
+    pickles the whole triple."""
+    if not args and not kwargs:
+        return bytes([_FLAG_COMPACT]) + method.encode("utf-8")
+    return bytes([_FLAG_PICKLED]) + pickle.dumps(
+        (method, args, kwargs), _PICKLE_PROTOCOL
+    )
 
 
 def decode_call(body: bytes) -> Tuple[str, tuple, dict]:
-    return pickle.loads(body)
+    if body[0] == _FLAG_COMPACT:
+        return bytes(body[1:]).decode("utf-8"), (), {}
+    return pickle.loads(bytes(body[1:]))
 
 
 def encode_result(value: Any) -> bytes:
-    return pickle.dumps(value, _PICKLE_PROTOCOL)
+    """Generic CALL result: typed compact encodings for the hot shapes
+    (scalars, metrics snapshots, op-counter ledgers), pickle otherwise."""
+    compact = _wire.encode_result_compact(value)
+    if compact is not None:
+        return bytes([_FLAG_COMPACT]) + compact
+    return bytes([_FLAG_PICKLED]) + pickle.dumps(value, _PICKLE_PROTOCOL)
 
 
 def decode_result(body: bytes) -> Any:
-    return pickle.loads(body)
+    if body[0] == _FLAG_COMPACT:
+        return _wire.decode_result_compact(memoryview(body)[1:])
+    return pickle.loads(bytes(body[1:]))
 
 
 def encode_error(error: BaseException) -> bytes:

@@ -27,6 +27,7 @@ crash-recovery property tests.
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 from dataclasses import dataclass
@@ -34,6 +35,7 @@ from random import Random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
 
+from repro.codec.wire import NeighborStreamEncoder
 from repro.core.config import MoistConfig
 from repro.errors import ConfigurationError, RpcError
 from repro.geometry.bbox import BoundingBox
@@ -81,6 +83,11 @@ class ShardRecipe:
     with_master: bool = False
     master_options: Optional[MasterOptions] = None
     tablet_options: Optional[object] = None
+    #: Base directory for real-bytes persistence; each shard stores its
+    #: tables under ``<storage_dir>/shard-<id>``.  When the directory holds
+    #: a checkpoint from a previous process, ``build_indexer`` *restores*
+    #: the shard instead of preloading it.
+    storage_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_objects < 0:
@@ -110,7 +117,26 @@ class ShardRecipe:
             with_master=self.with_master,
             master_options=self.master_options,
             tablet_options=self.tablet_options,
+            storage_dir=self.storage_dir,
         )
+
+    @property
+    def shard_storage_dir(self) -> Optional[str]:
+        """This shard's private storage directory, or ``None``."""
+        if self.storage_dir is None:
+            return None
+        return os.path.join(self.storage_dir, f"shard-{self.shard_id:02d}")
+
+
+def _has_disk_checkpoint(storage_dir: str) -> bool:
+    """True when a previous process left at least one table checkpoint
+    under this shard directory (restore instead of preload)."""
+    if not os.path.isdir(storage_dir):
+        return False
+    for entry in os.listdir(storage_dir):
+        if os.path.exists(os.path.join(storage_dir, entry, "MANIFEST.bin")):
+            return True
+    return False
 
 
 def full_row_signature(indexer) -> tuple:
@@ -142,6 +168,11 @@ class ShardService:
         self.cluster: Optional[ServerCluster] = None
         self.master: Optional[TabletMaster] = None
         self._bare_table = None
+        #: Per-shard stateful neighbour stream encoder (its client-side
+        #: decoder twin lives in the shard client).  Keeping the state per
+        #: *shard* — never per connection or worker — is what makes wire
+        #: bytes invariant across worker counts.
+        self.neighbor_encoder = NeighborStreamEncoder()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,31 +190,41 @@ class ShardService:
             world=BoundingBox(0.0, 0.0, recipe.region_size, recipe.region_size),
             storage_level=recipe.storage_level,
         )
+        storage_dir = recipe.shard_storage_dir
+        restoring = storage_dir is not None and _has_disk_checkpoint(storage_dir)
         indexer = build_no_school_indexer(
-            config, tablet_options=recipe.tablet_options
+            config,
+            tablet_options=recipe.tablet_options,
+            storage_dir=storage_dir,
         )
-        rng = Random(recipe.seed)
-        loaded = 0
-        for index in range(recipe.num_objects):
-            # Consume the rng for every index — owned or not — so shard
-            # contents are independent of how many shards exist.
-            location = Point(
-                rng.uniform(0.0, recipe.region_size),
-                rng.uniform(0.0, recipe.region_size),
-            )
-            velocity = Vector(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0))
-            object_id = format_object_id(index)
-            if shard_of(object_id, recipe.num_shards) != recipe.shard_id:
-                continue
-            indexer.update(
-                UpdateMessage(
-                    object_id=object_id,
-                    location=location,
-                    velocity=velocity,
-                    timestamp=0.0,
+        if restoring:
+            # The emulator already restored every table bit-identically from
+            # its disk store; rebuild the facade tallies instead of
+            # re-preloading (which would double-apply every update).
+            loaded = indexer.restore_facade_state()
+        else:
+            rng = Random(recipe.seed)
+            loaded = 0
+            for index in range(recipe.num_objects):
+                # Consume the rng for every index — owned or not — so shard
+                # contents are independent of how many shards exist.
+                location = Point(
+                    rng.uniform(0.0, recipe.region_size),
+                    rng.uniform(0.0, recipe.region_size),
                 )
-            )
-            loaded += 1
+                velocity = Vector(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0))
+                object_id = format_object_id(index)
+                if shard_of(object_id, recipe.num_shards) != recipe.shard_id:
+                    continue
+                indexer.update(
+                    UpdateMessage(
+                        object_id=object_id,
+                        location=location,
+                        velocity=velocity,
+                        timestamp=0.0,
+                    )
+                )
+                loaded += 1
         indexer.emulator.reset_counters()
         cluster = ServerCluster(
             indexer,
@@ -436,20 +477,32 @@ class ShardService:
     # ------------------------------------------------------------------
     # Bare-table scenario (cross-process crash-recovery property tests)
     # ------------------------------------------------------------------
-    def build_table(self, knobs: Dict[str, Any]) -> None:
+    def build_table(
+        self, knobs: Dict[str, Any], storage_dir: Optional[str] = None
+    ) -> None:
+        from repro.bigtable.cost import OpCounter
         from repro.bigtable.table import ColumnFamily, Table
         from repro.bigtable.tablet import TabletOptions
 
         if self._bare_table is not None:
             raise ConfigurationError("this shard already built its bare table")
-        self._bare_table = Table(
-            "t",
-            [
-                ColumnFamily("mem", max_versions=3),
-                ColumnFamily("disk", max_versions=5),
-            ],
-            options=TabletOptions(**knobs),
-        )
+        families = [
+            ColumnFamily("mem", max_versions=3),
+            ColumnFamily("disk", max_versions=5),
+        ]
+        if storage_dir is not None:
+            from repro.disk.store import DiskTableStore, restore_table
+
+            store = DiskTableStore(storage_dir)
+            restored = restore_table(store, "t", families, OpCounter())
+            if restored is not None:
+                self._bare_table = restored
+                return
+            self._bare_table = Table(
+                "t", families, options=TabletOptions(**knobs), store=store
+            )
+            return
+        self._bare_table = Table("t", families, options=TabletOptions(**knobs))
 
     def _require_table(self):
         if self._bare_table is None:
@@ -522,7 +575,11 @@ def dispatch_request(
     if opcode == rpc.OP_QUERY_BATCH:
         queries = rpc.decode_query_batch(body)
         results, makespan = service.query_batch(queries)
-        return _MAKESPAN.pack(makespan) + rpc.encode_neighbor_batches(results)
+        # Stateful per-shard stream encoding: only what changed since this
+        # shard's previous response frame actually rides the wire.
+        return _MAKESPAN.pack(makespan) + service.neighbor_encoder.encode(
+            results, queries
+        )
     if opcode == rpc.OP_CALL:
         method, args, kwargs = rpc.decode_call(body)
         if method.startswith("_") or not hasattr(ShardService, method):

@@ -139,12 +139,14 @@ def knob_dict(rng: random.Random) -> dict:
     }
 
 
-@pytest.mark.parametrize("backend", ["inprocess", "process"])
+@pytest.mark.parametrize("backend", ["inprocess", "process", "disk"])
 @pytest.mark.parametrize("seed", [0, 5])
 def test_crash_recovery_property_holds_across_process_boundary(backend, seed):
     """The PR 4 property, with the crashed table living behind the shard
     RPC boundary: same ops, same knobs, same crash point — the remote
-    table's recovered state must equal the local uncrashed reference."""
+    table's recovered state must equal the local uncrashed reference.
+    The ``disk`` backend runs the same program with the remote table
+    additionally persisting every mutation to real files."""
     from repro.bigtable.process_backend import single_shard_client
 
     rng = random.Random(1000 + seed)

@@ -210,12 +210,14 @@ def control_actions_via_client(rng, client, num_servers):
         client.call("rebalance")
 
 
-@pytest.mark.parametrize("backend", ["inprocess", "process"])
+@pytest.mark.parametrize("backend", ["inprocess", "process", "disk"])
 @pytest.mark.parametrize("seed", [1, 4])
 def test_control_plane_is_lossless_across_the_rpc_boundary(backend, seed):
     """The headline property, with the faulted cluster living inside a
     shard worker: every control-plane verb crosses the RPC boundary, and
-    the final state must still equal the quiet in-process reference."""
+    the final state must still equal the quiet in-process reference.  The
+    ``disk`` backend additionally persists the faulted shard's tables to
+    real files while the control plane churns."""
     from repro.bigtable.process_backend import single_shard_client
     from repro.server.worker import ShardRecipe
 
