@@ -10,7 +10,7 @@ available.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.bigtable.backend import StorageBackend
 from repro.bigtable.cost import CostModel
@@ -26,6 +26,7 @@ def build_no_school_indexer(
     enable_flag: bool = True,
     tablet_options: Optional[TabletOptions] = None,
     storage_dir: Optional[str] = None,
+    restore_seq_bounds: Optional[Dict[str, int]] = None,
 ) -> MoistIndexer:
     """A MOIST indexer with schooling turned off (every object is a leader)."""
     base = config or MoistConfig()
@@ -37,4 +38,5 @@ def build_no_school_indexer(
         enable_flag=enable_flag,
         tablet_options=tablet_options,
         storage_dir=storage_dir,
+        restore_seq_bounds=restore_seq_bounds,
     )

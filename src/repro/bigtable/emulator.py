@@ -33,6 +33,7 @@ class BigtableEmulator:
         tablet_options: Optional[TabletOptions] = None,
         cache_options: Optional[BlockCacheOptions] = None,
         storage_dir: Optional[str] = None,
+        restore_seq_bounds: Optional[Dict[str, int]] = None,
     ) -> None:
         self.counter = OpCounter(model=cost_model or CostModel())
         self.tablet_options = tablet_options or TabletOptions()
@@ -42,6 +43,10 @@ class BigtableEmulator:
         #: :class:`repro.disk.store.DiskTableStore`, and ``create_table``
         #: restores any table a previous process left behind there.
         self.storage_dir = storage_dir
+        #: table name -> last *acked* journal seq; a supervised restore caps
+        #: journal replay here so writes the parent never saw acknowledged
+        #: are dropped (the retry path re-sends them exactly once).
+        self.restore_seq_bounds = restore_seq_bounds
         self._tables: Dict[str, Table] = {}
 
     def create_table(self, name: str, families: Sequence[ColumnFamily]) -> Table:
@@ -60,8 +65,16 @@ class BigtableEmulator:
             store = DiskTableStore(
                 os.path.join(self.storage_dir, name.replace("/", "__"))
             )
+            max_seq = None
+            if self.restore_seq_bounds is not None:
+                max_seq = self.restore_seq_bounds.get(name)
             restored = restore_table(
-                store, name, families, self.counter, self.cache_options
+                store,
+                name,
+                families,
+                self.counter,
+                self.cache_options,
+                max_seq=max_seq,
             )
             if restored is not None:
                 self._tables[name] = restored

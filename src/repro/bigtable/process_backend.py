@@ -29,6 +29,7 @@ import atexit
 import dataclasses
 import multiprocessing
 import os
+import signal
 import socket
 import struct
 import tempfile
@@ -70,24 +71,76 @@ class WorkerPool:
                 "the process backend needs POSIX fork; use the in-process "
                 "backend on this platform"
             )
-        context = multiprocessing.get_context("fork")
+        self._context = multiprocessing.get_context("fork")
+        self.timeout_s = timeout_s
         self.connections: List[rpc.RpcConnection] = []
         self.processes: List[multiprocessing.process.BaseProcess] = []
         self._closed = False
         for _ in range(num_workers):
-            parent_sock, child_sock = socket.socketpair()
-            process = context.Process(
-                target=_child_main, args=(child_sock, parent_sock), daemon=True
-            )
-            process.start()
-            child_sock.close()
-            self.connections.append(rpc.RpcConnection(parent_sock, timeout_s))
+            process, connection = self._spawn_worker()
+            self.connections.append(connection)
             self.processes.append(process)
         atexit.register(self.shutdown)
+
+    def _spawn_worker(
+        self, initial_request_id: int = 0
+    ) -> Tuple[multiprocessing.process.BaseProcess, rpc.RpcConnection]:
+        parent_sock, child_sock = socket.socketpair()
+        process = self._context.Process(
+            target=_child_main, args=(child_sock, parent_sock), daemon=True
+        )
+        process.start()
+        child_sock.close()
+        connection = rpc.RpcConnection(
+            parent_sock, self.timeout_s, initial_request_id=initial_request_id
+        )
+        return process, connection
 
     @property
     def num_workers(self) -> int:
         return len(self.processes)
+
+    # ------------------------------------------------------------------
+    # Supervision hooks
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int, sig: int = signal.SIGKILL) -> None:
+        """Deliver a signal to one worker (chaos injection / supervisor)."""
+        process = self.processes[index]
+        if process.pid is not None and process.is_alive():
+            try:
+                os.kill(process.pid, sig)
+            except ProcessLookupError:
+                pass
+
+    def pause_worker(self, index: int) -> None:
+        """SIGSTOP one worker: it stays alive but stops answering, the
+        failure mode a ping deadline (not waitpid) has to catch."""
+        self.kill_worker(index, signal.SIGSTOP)
+
+    def respawn_worker(self, index: int) -> rpc.RpcConnection:
+        """Replace a dead/hung worker with a fresh fork.
+
+        The old process is SIGKILLed first (SIGKILL also fells SIGSTOPped
+        workers, which would shrug off SIGTERM) and the replacement's
+        connection *continues the old request-id counter*, so retried
+        requests keep their original ids for the worker-side dedup window
+        and fresh ids never collide with one it already recorded.
+        """
+        if self._closed:
+            raise ConfigurationError("the worker pool is shut down")
+        old_process = self.processes[index]
+        old_connection = self.connections[index]
+        if old_process.is_alive():
+            old_process.kill()
+        old_process.join(timeout=5.0)
+        next_request_id = old_connection.next_request_id
+        old_connection.close()
+        process, connection = self._spawn_worker(
+            initial_request_id=next_request_id
+        )
+        self.processes[index] = process
+        self.connections[index] = connection
+        return connection
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -102,15 +155,27 @@ class WorkerPool:
         return [process.is_alive() for process in self.processes]
 
     def health_check(self) -> None:
-        """Ping every worker; raises :class:`WorkerDiedError` on a dead or
-        unresponsive one."""
+        """Ping every worker; raises :class:`WorkerDiedError` on dead or
+        unresponsive ones.
+
+        All dead workers are reported in **one** exception — correlated
+        failures (an OOM killer sweeping the pool, a crashing shared
+        library) would otherwise surface one worker at a time, each
+        discovery costing the caller another failed recovery round."""
         if self._closed:
             raise ConfigurationError("the worker pool is shut down")
-        for index, (process, connection) in enumerate(
-            zip(self.processes, self.connections)
-        ):
-            if not process.is_alive():
-                raise WorkerDiedError(f"worker {index} is not running")
+        dead = [
+            index
+            for index, process in enumerate(self.processes)
+            if not process.is_alive()
+        ]
+        if dead:
+            noun = "worker" if len(dead) == 1 else "workers"
+            raise WorkerDiedError(
+                f"{noun} {', '.join(str(index) for index in dead)} "
+                "not running"
+            )
+        for connection in self.connections:
             request_id = connection.send_request(0, rpc.OP_PING, b"")
             connection.wait(request_id)
 
@@ -126,10 +191,13 @@ class WorkerPool:
     # Shutdown
     # ------------------------------------------------------------------
     def shutdown(self, join_timeout_s: float = 5.0) -> None:
-        """Graceful stop: shutdown frame → join → terminate stragglers.
+        """Graceful stop: shutdown frame → join → terminate → kill.
 
-        Idempotent; also runs from ``atexit`` and ``__exit__``.
-        """
+        Idempotent under double invocation (``atexit`` + context manager
+        both call it; the first run flips ``_closed`` and unregisters the
+        atexit hook, the second returns immediately).  The final SIGKILL
+        pass reaps SIGSTOPped workers, which ignore both the shutdown
+        frame and SIGTERM."""
         if self._closed:
             return
         self._closed = True
@@ -144,6 +212,10 @@ class WorkerPool:
         for process in self.processes:
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=join_timeout_s)
+        for process in self.processes:
+            if process.is_alive():
+                process.kill()
                 process.join(timeout=join_timeout_s)
         for connection in self.connections:
             connection.close()
@@ -283,6 +355,13 @@ class ProcessShardClient:
             request_id,
             _query_decoder(self.neighbor_decoder, queries),
         )
+
+    def rebind(self, connection: rpc.RpcConnection) -> None:
+        """Point this shard at a respawned worker's connection and reset
+        the stateful stream decoder — the fresh worker's service starts a
+        fresh encoder, so the decoder must forget the dead one's state."""
+        self.connection = connection
+        self.neighbor_decoder = NeighborStreamDecoder()
 
     def close(self) -> None:
         pass
@@ -622,6 +701,28 @@ class ProcessShardedBackend(FederatedShardedBackend):
 
     def drain(self) -> None:
         self.pool.drain()
+
+    def worker_of(self, shard_id: int) -> int:
+        """The worker index currently hosting one shard."""
+        return shard_id % self.pool.num_workers
+
+    def shards_of_worker(self, index: int) -> List[int]:
+        """Shard ids hosted by one worker, in shard order."""
+        return [
+            shard_id
+            for shard_id in range(len(self.clients))
+            if shard_id % self.pool.num_workers == index
+        ]
+
+    def respawn_worker(self, index: int) -> rpc.RpcConnection:
+        """Replace one worker process and rebind its shard clients (new
+        connection, reset stream decoders).  The caller re-issues
+        ``build_indexer`` per shard to restore state — that is the
+        supervisor's job, not the transport's."""
+        connection = self.pool.respawn_worker(index)
+        for shard_id in self.shards_of_worker(index):
+            self.clients[shard_id].rebind(connection)
+        return connection
 
     def close(self) -> None:
         self.pool.shutdown()

@@ -222,6 +222,33 @@ class BlockCache:
         self._by_tablet.clear()
         self.reset_stats()
 
+    # ------------------------------------------------------------------
+    # Accounting checkpoints (supervised respawn)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain-data snapshot of residency and tallies.
+
+        The cache is pure accounting — ``(tablet, source, block)`` string
+        keys in LRU order plus hit/miss counts, no row data — so the whole
+        warmth model serialises exactly."""
+        return {
+            "lru": list(self._lru.keys()),
+            "hits": dict(self._hits),
+            "misses": dict(self._misses),
+        }
+
+    def install_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state` (``_by_tablet`` is
+        an index over the LRU keys and is rebuilt, not shipped)."""
+        self._lru.clear()
+        self._by_tablet.clear()
+        for key in state["lru"]:
+            tablet_id, source, block = key
+            self._lru[(tablet_id, source, block)] = None
+            self._by_tablet.setdefault(tablet_id, set()).add((source, block))
+        self._hits = dict(state["hits"])
+        self._misses = dict(state["misses"])
+
 
 @dataclass(frozen=True)
 class ScanSegment:

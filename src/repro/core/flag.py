@@ -122,6 +122,47 @@ class FlagTuner:
         leader density substantially)."""
         self._cache.clear()
 
+    # ------------------------------------------------------------------
+    # Accounting checkpoints (supervised respawn)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain-data snapshot of the tuner: stats, cached level ranges and
+        the object-count hint.  Cached ranges matter beyond reporting — a
+        cold cache re-probes, charging reads the warm run never paid."""
+        return {
+            "stats": (
+                self.stats.lookups,
+                self.stats.cache_hits,
+                self.stats.recomputations,
+                self.stats.probe_reads,
+            ),
+            "cache": [
+                (r.level, r.left_key, r.right_key, r.created_time)
+                for r in self._cache
+            ],
+            "total_objects_hint": self.total_objects_hint,
+        }
+
+    def install_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        lookups, cache_hits, recomputations, probe_reads = state["stats"]
+        self.stats = FlagStats(
+            lookups=lookups,
+            cache_hits=cache_hits,
+            recomputations=recomputations,
+            probe_reads=probe_reads,
+        )
+        self._cache = [
+            LevelCacheRecord(
+                level=level,
+                left_key=left_key,
+                right_key=right_key,
+                created_time=created_time,
+            )
+            for level, left_key, right_key, created_time in state["cache"]
+        ]
+        self.total_objects_hint = state["total_objects_hint"]
+
     def cache_size(self) -> int:
         """Number of cached ranges currently held."""
         return len(self._cache)

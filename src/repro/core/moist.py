@@ -72,6 +72,7 @@ class MoistIndexer:
         tablet_options: Optional[TabletOptions] = None,
         cache_options: Optional[BlockCacheOptions] = None,
         storage_dir: Optional[str] = None,
+        restore_seq_bounds: Optional[Dict[str, int]] = None,
     ) -> None:
         self.config = config or MoistConfig()
         self.emulator: StorageBackend = emulator or BigtableEmulator(
@@ -79,6 +80,7 @@ class MoistIndexer:
             tablet_options=tablet_options,
             cache_options=cache_options,
             storage_dir=storage_dir,
+            restore_seq_bounds=restore_seq_bounds,
         )
         self.location_table = LocationTable(
             self.emulator,

@@ -39,8 +39,13 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 import shutil
+import struct
+import zlib
 from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnrecoverableShardError
 
 from repro.bigtable.lsm import BloomFilter, SSTable
 from repro.bigtable.scan import BlockCacheOptions
@@ -231,12 +236,19 @@ def restore_table(
     families,
     counter,
     cache_options: Optional[BlockCacheOptions] = None,
+    max_seq: Optional[int] = None,
 ) -> Optional[Table]:
     """Rebuild a table from its store directory, or ``None`` when no
     checkpoint exists (first boot).  Tablet options come from the manifest
     — a restart needs no knob re-plumbing — and families are the union of
     the caller's declarations and what the manifest recorded (archiving may
-    have added aged families at runtime)."""
+    have added aged families at runtime).
+
+    ``max_seq`` bounds the restore to an *acked* point: journal records past
+    it are discarded (the parent never saw their batch acknowledged, so the
+    supervisor will re-send it), and a structural checkpoint already beyond
+    it is unrecoverable — the pre-ack state can no longer be reconstructed.
+    """
     manifest = store.load_manifest()
     if manifest is None:
         return None
@@ -244,6 +256,12 @@ def restore_table(
         raise ValueError(
             f"store at {store.root!r} holds table {manifest['name']!r}, "
             f"not {name!r}"
+        )
+    if max_seq is not None and manifest["seq"] > max_seq:
+        raise UnrecoverableShardError(
+            f"table {name!r} checkpointed at seq {manifest['seq']}, past the "
+            f"acked watermark {max_seq}: mid-batch structural checkpoint "
+            "cannot be rolled back"
         )
     options = TabletOptions(**manifest["options"])
     table = Table(
@@ -294,6 +312,8 @@ def restore_table(
     for record in store.read_journal():
         if record[0] <= watermark:
             continue  # checkpointed after this record was journalled
+        if max_seq is not None and record[0] > max_seq:
+            continue  # never acked to the parent: the retry will re-send it
         locator.locate(record[2]).log.append(record)
         if record[0] > table._seq:
             table._seq = record[0]
@@ -304,3 +324,47 @@ def restore_table(
     table.recover()
     table.attach_store(store)
     return table
+
+
+# --------------------------------------------------------------------------
+# Soft-state blobs (shard accounting checkpoints)
+# --------------------------------------------------------------------------
+
+_STATE_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+def write_state_blob(path: str, payload: dict) -> int:
+    """Atomically persist a pickled accounting snapshot (tmp + os.replace).
+
+    No fsync: the blob only needs to survive *process* death, not power
+    loss — the durable LSM state underneath carries its own fsync protocol.
+    Returns the byte count written (for accounting)."""
+    body = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+    blob = _STATE_HEADER.pack(len(body), zlib.crc32(body)) + body
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp_path, path)
+    return len(blob)
+
+
+def read_state_blob(path: str) -> Optional[dict]:
+    """Load a snapshot written by :func:`write_state_blob`, or ``None`` when
+    the file is absent, torn or corrupt (caller falls back to a cold
+    rebuild)."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    if len(data) < _STATE_HEADER.size:
+        return None
+    length, crc = _STATE_HEADER.unpack_from(data)
+    body = data[_STATE_HEADER.size:_STATE_HEADER.size + length]
+    if len(body) != length or zlib.crc32(body) != crc:
+        return None
+    try:
+        payload = pickle.loads(body)
+    except Exception:
+        return None
+    return payload if isinstance(payload, dict) else None

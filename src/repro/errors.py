@@ -62,3 +62,33 @@ class RpcError(ReproError):
 
 class WorkerDiedError(RpcError):
     """A tablet worker process died or stopped answering mid-conversation."""
+
+
+class FrameCorruptionError(RpcError):
+    """An RPC frame failed its header crc32 check (bit flip or truncation)."""
+
+
+class StaleRequestError(RpcError):
+    """A worker received a request id it has already moved past.
+
+    Raised by the worker-side exactly-once dedup window when a request id is
+    *older* than the last applied one — a retry protocol bug, since the
+    parent collects every data-plane response before sending the next batch.
+    """
+
+
+class WorkerCircuitOpenError(RpcError):
+    """A worker's circuit breaker tripped: too many consecutive failures.
+
+    The supervisor stops respawning and surfaces a terminal error instead of
+    retrying forever against a worker (or a workload) that cannot recover.
+    """
+
+
+class UnrecoverableShardError(RpcError):
+    """A shard's durable state cannot be restored to a consistent point.
+
+    Raised when the on-disk structural checkpoint has advanced *past* the
+    accounting watermark the parent can vouch for — the shard was
+    checkpointed mid-batch and the acked boundary can no longer be
+    reconstructed."""

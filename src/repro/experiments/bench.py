@@ -21,7 +21,12 @@ cluster (tablet routing, group commit, block cache, batched shared reads):
 * ``rebalance_hotschool`` — the hot-school skewed mixed workload through a
   master-balanced cluster (live tablet migrations and read-replica fan-out
   run inside the measured section; migration hand-off counters join the
-  durability section).
+  durability section);
+* ``scaleout_chaos`` — the disk-backed shard federation under ``respawn``
+  supervision with a seeded chaos schedule SIGKILLing every worker
+  mid-workload; the payload records the supervisor's recovery counts and
+  durations plus whether the healed run's report stayed byte-identical to
+  a fault-free reference.
 
 Each workload reports best-of-``repeats`` wall-clock, client requests per
 wall-clock second, the simulated QPS of the same run, the storage RPC
@@ -297,6 +302,77 @@ def run_multiproc_workload(
     }
 
 
+#: Shape of the ``scaleout_chaos`` workload: the disk-backed federation
+#: under ``respawn`` supervision, every forked worker SIGKILLed at least
+#: once by a seeded batch-boundary schedule.  Two workers keep the run
+#: affordable while still exercising the heal-then-retry path on a worker
+#: that owns half the shards.
+_CHAOS_WORKERS = 2
+_CHAOS_SEED = 29
+
+
+def run_chaos_workload(
+    num_objects: int,
+    num_requests: int,
+    repeats: int = 1,
+    seed: int = 59,
+    num_shards: int = _MULTIPROC_SHARDS,
+    num_workers: int = _CHAOS_WORKERS,
+) -> Dict[str, object]:
+    """Benchmark the self-healing path: SIGKILL every worker mid-workload.
+
+    One fault-free in-process run provides the reference report; the chaos
+    run then drives the identical seeded stream through the disk-backed
+    federation under ``respawn`` supervision while a seeded
+    :class:`~repro.server.chaos.ChaosPlan` kills each forked worker at a
+    batch boundary.  ``report_matches_fault_free`` is the headline column:
+    the recovered run's byte-deterministic report must equal the fault-free
+    one, i.e. every SIGKILL healed losslessly.  The ``recovery`` section
+    republishes the supervisor's wall-clock accounting, which is kept out
+    of the deterministic report by design.
+    """
+    from repro.experiments.scaleout import multiproc_chaos_run, multiproc_load_run
+
+    _, _, _, reference = multiproc_load_run(
+        backend="inprocess",
+        num_workers=1,
+        num_shards=num_shards,
+        num_objects=num_objects,
+        num_requests=num_requests,
+        seed=seed,
+    )
+    best_wall = float("inf")
+    outcome = recovery = report = None
+    chaos_applied: list = []
+    for _ in range(max(repeats, 1)):
+        outcome, wall, recovery, report, chaos_applied = multiproc_chaos_run(
+            num_workers=num_workers,
+            num_shards=num_shards,
+            num_objects=num_objects,
+            num_requests=num_requests,
+            seed=seed,
+            chaos_seed=_CHAOS_SEED,
+        )
+        best_wall = min(best_wall, wall)
+    return {
+        "num_shards": num_shards,
+        "num_workers": num_workers,
+        "backend": "disk",
+        "supervision_policy": "respawn",
+        "chaos_seed": _CHAOS_SEED,
+        "chaos_events": chaos_applied,
+        "requests": outcome.total_requests,
+        "wall_seconds": best_wall,
+        "ops_per_sec": (
+            outcome.total_requests / best_wall if best_wall > 0 else 0.0
+        ),
+        "simulated_qps": outcome.qps,
+        "report_matches_fault_free": report == reference,
+        "recovery": recovery,
+        "host_cpu_count": os.cpu_count() or 1,
+    }
+
+
 def run_bench(
     quick: bool = False,
     label: str = "PR3",
@@ -334,6 +410,12 @@ def run_bench(
         seed=seed,
         worker_counts=worker_counts,
     )
+    chaos = run_chaos_workload(
+        num_objects=profile["num_objects"],
+        num_requests=profile["num_requests"],
+        repeats=effective_repeats,
+        seed=seed,
+    )
     return {
         "label": label,
         "created_unix": time.time(),
@@ -345,6 +427,7 @@ def run_bench(
         "repeats": effective_repeats,
         "workloads": workloads,
         "scaleout_multiproc": multiproc,
+        "scaleout_chaos": chaos,
     }
 
 
@@ -447,4 +530,31 @@ def format_bench(payload: Dict[str, object]) -> str:
                 f"{bytes_per_request:>7.1f} "
                 + (f"{speedup:>7.2f}x" if speedup is not None else f"{'—':>8}")
             )
+    chaos = payload.get("scaleout_chaos")
+    if chaos:
+        recovery = chaos.get("recovery") or {}
+        lines.append("")
+        lines.append(
+            f"scaleout_chaos ({chaos['num_shards']} shards, "
+            f"{chaos['num_workers']} workers, disk+respawn, "
+            f"chaos seed {chaos['chaos_seed']}):"
+        )
+        verdict = (
+            "byte-identical"
+            if chaos.get("report_matches_fault_free")
+            else "DIVERGED"
+        )
+        lines.append(
+            f"  report vs fault-free: {verdict}; "
+            f"recoveries {recovery.get('recoveries', 0)} "
+            f"({recovery.get('lossless_recoveries', 0)} lossless, "
+            f"{recovery.get('lost_updates', 0)} lost updates)"
+        )
+        lines.append(
+            f"  wall {chaos['wall_seconds']:.3f}s, "
+            f"{chaos['ops_per_sec']:.0f} ops/s; recovery time "
+            f"total {recovery.get('recovery_seconds_total', 0.0):.3f}s, "
+            f"max {recovery.get('recovery_seconds_max', 0.0):.3f}s, "
+            f"mean {recovery.get('recovery_seconds_mean', 0.0):.3f}s"
+        )
     return "\n".join(lines)

@@ -211,6 +211,71 @@ def multiproc_load_run(
     return outcome, wall, transport, report
 
 
+def multiproc_chaos_run(
+    num_workers: int,
+    num_shards: int,
+    num_objects: int,
+    num_requests: int,
+    seed: int = 59,
+    chaos_seed: int = 29,
+    batch_size: int = 256,
+    num_servers: int = 2,
+):
+    """One measured self-healing run: every worker SIGKILLed mid-workload.
+
+    Builds the disk-backed federation under ``respawn`` supervision, drives
+    the same seeded mixed stream as :func:`multiproc_load_run`, and fires a
+    seeded :class:`~repro.server.chaos.ChaosPlan` that kills each of the
+    ``num_workers`` forked workers at least once at a batch boundary.
+    Returns ``(outcome, wall_seconds, recovery, report, chaos_applied)``
+    where ``recovery`` is the supervisor's wall-clock metrics snapshot and
+    ``report`` is the byte-deterministic rendering the caller compares
+    against a fault-free reference run.
+    """
+    import time
+
+    from repro.server.chaos import ChaosPlan
+    from repro.server.loadtest import ScaleOutLoadTest
+    from repro.server.scaleout import ScaleOutCluster
+
+    messages, queries = multiproc_streams(num_objects, num_requests, seed)
+    #: ``run_mixed_batches`` takes one control step per round until both
+    #: streams drain, so the round count is the longer stream's batch count.
+    num_batches = max(
+        -(-len(messages) // batch_size), -(-len(queries) // batch_size), 2
+    )
+    plan = ChaosPlan.seeded(
+        chaos_seed,
+        num_batches=num_batches,
+        num_workers=num_workers,
+        kills=num_workers,
+    )
+    cluster = ScaleOutCluster.build(
+        num_shards,
+        backend="disk",
+        num_workers=num_workers,
+        num_objects=num_objects,
+        seed=seed,
+        num_servers=num_servers,
+        supervision_policy="respawn",
+    )
+    try:
+        load_test = ScaleOutLoadTest(
+            cluster, failure_probability=0.0, seed=seed, chaos_plan=plan
+        )
+        start = time.perf_counter()
+        outcome = load_test.run_mixed_batches(
+            messages, queries, batch_size=batch_size
+        )
+        wall = time.perf_counter() - start
+        recovery = cluster.recovery_snapshot()
+        report = outcome.to_report()
+        chaos_applied = list(load_test.chaos_applied)
+    finally:
+        cluster.close()
+    return outcome, wall, recovery, report, chaos_applied
+
+
 def scaleout_tablet_report(
     num_objects: int = 20000,
     num_servers: int = 5,

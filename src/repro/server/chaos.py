@@ -1,0 +1,134 @@
+"""Process-level chaos schedules for the scale-out runtime.
+
+A :class:`ChaosPlan` is the process-boundary sibling of PR 5's simulated
+``FaultPlan``: a seeded, pre-generated schedule of *real* failures —
+SIGKILL, SIGSTOP, corrupted RPC frames — fired at batch boundaries of a
+:class:`~repro.server.loadtest.ScaleOutLoadTest`.  Batch-boundary delivery
+is what makes chaos deterministic: the victim worker is idle when the
+signal lands (the previous round was fully collected, the next round's
+requests have not been sent), so the set of applied batches at every kill
+point is a pure function of the schedule, and a supervised run's
+``to_report()`` must equal the fault-free run's byte for byte — the
+property the chaos suite asserts.
+
+The plan consumes **no** randomness from the load test's admission rng; it
+draws from its own seeded generator at construction, so the workload under
+chaos is literally the same request stream as the reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Hard kill: the worker vanishes mid-run (waitpid detection).
+KILL_WORKER = "sigkill"
+#: Freeze: the worker stays alive but stops answering (deadline detection).
+STOP_WORKER = "sigstop"
+#: Flip a bit in an outgoing frame (crc detection on the worker side).
+CORRUPT_BITFLIP = "corrupt_bitflip"
+#: Ship half a frame and drop the rest (deadline detection).
+CORRUPT_TRUNCATE = "corrupt_truncate"
+
+CHAOS_KINDS = (KILL_WORKER, STOP_WORKER, CORRUPT_BITFLIP, CORRUPT_TRUNCATE)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled process-level failure."""
+
+    at_batch: int
+    worker_index: int
+    kind: str
+
+    def describe(self) -> str:
+        return f"batch {self.at_batch}: {self.kind} worker {self.worker_index}"
+
+
+class ChaosPlan:
+    """A deterministic schedule of process-level failures."""
+
+    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+        for event in events:
+            if event.kind not in CHAOS_KINDS:
+                raise ConfigurationError(
+                    f"unknown chaos kind {event.kind!r} "
+                    f"(expected one of {CHAOS_KINDS})"
+                )
+            if event.at_batch < 0:
+                raise ConfigurationError("chaos events fire at batch >= 0")
+            if event.worker_index < 0:
+                raise ConfigurationError("worker_index must be >= 0")
+        self.events: Tuple[ChaosEvent, ...] = tuple(
+            sorted(events, key=lambda event: (event.at_batch, event.worker_index))
+        )
+        self._by_batch: Dict[int, List[ChaosEvent]] = {}
+        for event in self.events:
+            self._by_batch.setdefault(event.at_batch, []).append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_at(self, batch_index: int) -> List[ChaosEvent]:
+        """Events scheduled for one batch boundary (worker order)."""
+        return self._by_batch.get(batch_index, [])
+
+    def workers_hit(self) -> Tuple[int, ...]:
+        """Distinct worker indices the plan targets, sorted."""
+        return tuple(sorted({event.worker_index for event in self.events}))
+
+    def describe(self) -> List[str]:
+        return [event.describe() for event in self.events]
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_batches: int,
+        num_workers: int,
+        kills: int = 0,
+        stops: int = 0,
+        corruptions: int = 0,
+        kill_every_worker: bool = True,
+    ) -> "ChaosPlan":
+        """A reproducible schedule over ``num_batches`` rounds.
+
+        With ``kill_every_worker`` (the acceptance-criteria shape) the
+        first ``num_workers`` kills are assigned round-robin so **every**
+        worker dies at least once when ``kills >= num_workers``; remaining
+        kills, stops and corruptions draw workers uniformly.  Batches are
+        drawn from ``[1, num_batches)`` — never batch 0, so every worker
+        has served at least one round before its first failure (killing a
+        never-used worker exercises nothing).
+        """
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if num_batches < 2 and (kills or stops or corruptions):
+            raise ConfigurationError(
+                "chaos needs at least two batches (events fire from batch 1)"
+            )
+        rng = Random(seed)
+        events: List[ChaosEvent] = []
+
+        def draw_batch() -> int:
+            return rng.randrange(1, num_batches)
+
+        for index in range(kills):
+            if kill_every_worker and index < num_workers:
+                worker = index % num_workers
+            else:
+                worker = rng.randrange(num_workers)
+            events.append(ChaosEvent(draw_batch(), worker, KILL_WORKER))
+        for _ in range(stops):
+            events.append(
+                ChaosEvent(draw_batch(), rng.randrange(num_workers), STOP_WORKER)
+            )
+        for index in range(corruptions):
+            kind = CORRUPT_BITFLIP if index % 2 == 0 else CORRUPT_TRUNCATE
+            events.append(
+                ChaosEvent(draw_batch(), rng.randrange(num_workers), kind)
+            )
+        return cls(events)

@@ -656,6 +656,7 @@ class ScaleOutLoadTest(LoadTest):
         seed: int = 404,
         rebalance_every: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        chaos_plan=None,
     ) -> None:
         if not 0.0 <= failure_probability < 1.0:
             raise ConfigurationError("failure_probability must be in [0, 1)")
@@ -665,6 +666,10 @@ class ScaleOutLoadTest(LoadTest):
             raise ConfigurationError("rebalance_every needs shard tablet masters")
         if fault_plan is not None and not cluster.has_master:
             raise ConfigurationError("a fault plan needs shard tablet masters")
+        if chaos_plan is not None and getattr(cluster, "supervisor", None) is None:
+            raise ConfigurationError(
+                "a chaos plan needs a supervised scale-out cluster"
+            )
         self.cluster = cluster
         self.clients = []
         self.failure_probability = failure_probability
@@ -672,12 +677,20 @@ class ScaleOutLoadTest(LoadTest):
         self.master = None
         self.rebalance_every = rebalance_every
         self.fault_plan = fault_plan
+        #: Process-level chaos (:class:`repro.server.chaos.ChaosPlan`):
+        #: SIGKILL/SIGSTOP/corrupt-frame events fired at batch boundaries,
+        #: healed by the cluster's supervisor.  Kept out of the simulated
+        #: fault log — ``to_report()`` must stay byte-identical between
+        #: chaos and fault-free runs.
+        self.chaos_plan = chaos_plan
+        self.chaos_applied: List[str] = []
         self._faults_applied: List[str] = []
         self._master_baseline = (0, 0, 0)
 
     def _begin_run(self) -> None:
         self.cluster.reset_metrics()
         self._faults_applied = []
+        self.chaos_applied = []
         self._master_baseline = self.cluster.master_action_counts()
 
     def _apply_fault(self, event: FaultEvent) -> None:
@@ -693,6 +706,13 @@ class ScaleOutLoadTest(LoadTest):
         )
 
     def _control_step(self, batch_index: int) -> None:
+        # Chaos fires first: every worker is idle at the batch boundary
+        # (the previous round fully collected, this round's requests not
+        # yet sent), which is what makes a kill's effect on shard state a
+        # pure function of the schedule.
+        if self.chaos_plan is not None:
+            for event in self.chaos_plan.events_at(batch_index):
+                self.chaos_applied.append(self.cluster.apply_chaos_event(event))
         if not self.cluster.has_master:
             return
         if self.fault_plan is not None:
@@ -712,6 +732,10 @@ class ScaleOutLoadTest(LoadTest):
         makespan: float,
         timeline: List[TimelinePoint],
     ) -> LoadTestResult:
+        # Failures injected with no dispatch round left to detect them
+        # would crash the unsupervised metrics scatter below.
+        if getattr(self.cluster, "supervisor", None) is not None:
+            self.cluster.heal_dead_workers()
         per_server: List[float] = []
         for entry in self.cluster.metrics():
             for updates, queries, update_busy, query_busy, _alive in entry["servers"]:

@@ -7,7 +7,14 @@ One frame on the wire is::
              4 bytes  request id   (pipelining correlation token)
              2 bytes  shard id
              1 byte   opcode
+             4 bytes  crc32 over the four header fields + body
              N bytes  body
+
+The crc closes the durability gap PR 7 left open: journal records and run
+blocks are crc-framed on disk, but the wire was not.  A flipped bit or a
+truncated pipelined frame now surfaces as a typed
+:class:`~repro.errors.FrameCorruptionError` at the framing layer instead of
+a decode crash deep inside a codec.
 
 Bodies for the hot opcodes (update batches, query batches, neighbour
 results) ride the shared columnar codec layer (:mod:`repro.codec.wire`):
@@ -33,10 +40,13 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
+import time
+import zlib
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.codec import wire as _wire
-from repro.errors import RpcError, WorkerDiedError
+from repro.errors import FrameCorruptionError, RpcError, WorkerDiedError
 from repro.geometry.point import Point
 from repro.model import NeighborResult, UpdateMessage, format_object_id
 from repro.workload.queries import NNQuery
@@ -46,7 +56,9 @@ from repro.workload.queries import NNQuery
 # --------------------------------------------------------------------------
 
 _LENGTH = struct.Struct("!I")
-_HEADER = struct.Struct("!BIHB")  # kind, request id, shard id, opcode
+_HEADER_FIELDS = struct.Struct("!BIHB")  # kind, request id, shard id, opcode
+_HEADER_CRC = struct.Struct("!I")
+_HEADER = struct.Struct("!BIHBI")  # header fields + crc32(fields + body)
 
 KIND_REQUEST = 0
 KIND_RESPONSE = 1
@@ -65,11 +77,14 @@ MAX_FRAME_BYTES = 1 << 30  # sanity bound against corrupted length prefixes
 
 def encode_frame(kind: int, request_id: int, shard_id: int, opcode: int, body: bytes) -> bytes:
     """One wire frame, length prefix included."""
+    fields = _HEADER_FIELDS.pack(kind, request_id & 0xFFFFFFFF, shard_id, opcode)
+    crc = zlib.crc32(body, zlib.crc32(fields))
     payload_len = _HEADER.size + len(body)
     return b"".join(
         (
             _LENGTH.pack(payload_len),
-            _HEADER.pack(kind, request_id & 0xFFFFFFFF, shard_id, opcode),
+            fields,
+            _HEADER_CRC.pack(crc),
             body,
         )
     )
@@ -98,8 +113,14 @@ def read_frame(sock: socket.socket) -> Tuple[int, int, int, int, bytes]:
     if payload_len < _HEADER.size or payload_len > MAX_FRAME_BYTES:
         raise RpcError(f"corrupt frame length {payload_len}")
     payload = _recv_exact(sock, payload_len)
-    kind, request_id, shard_id, opcode = _HEADER.unpack_from(payload)
-    return kind, request_id, shard_id, opcode, payload[_HEADER.size:]
+    kind, request_id, shard_id, opcode, crc = _HEADER.unpack_from(payload)
+    body = payload[_HEADER.size:]
+    expected = zlib.crc32(body, zlib.crc32(payload[:_HEADER_FIELDS.size]))
+    if crc != expected:
+        raise FrameCorruptionError(
+            f"frame crc mismatch: header says 0x{crc:08x}, computed 0x{expected:08x}"
+        )
+    return kind, request_id, shard_id, opcode, body
 
 
 # --------------------------------------------------------------------------
@@ -276,6 +297,39 @@ def decode_error(body: bytes) -> BaseException:
 
 
 # --------------------------------------------------------------------------
+# Retry policy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Parent-side retry schedule for supervised scatter-gather.
+
+    Each attempt gets ``call_deadline_s`` of wall-clock to produce a
+    response (replacing the old blanket 120 s socket timeout); failed
+    attempts back off exponentially before the supervisor respawns the
+    worker and the request is re-sent *with its original request id* so the
+    worker-side dedup window can suppress double application.
+    """
+
+    #: Total tries per request (first send included).
+    max_attempts: int = 3
+    #: Per-attempt response deadline, seconds of wall-clock.
+    call_deadline_s: float = 30.0
+    #: Sleep before retry ``n`` is ``base * multiplier**(n-1)``, capped.
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1 = first retry)."""
+        if attempt <= 0:
+            return 0.0
+        delay = self.base_backoff_s * self.backoff_multiplier ** (attempt - 1)
+        return min(delay, self.max_backoff_s)
+
+
+# --------------------------------------------------------------------------
 # Client-side connection with pipelining
 # --------------------------------------------------------------------------
 
@@ -291,12 +345,22 @@ class RpcConnection:
     round-trip per shard.
     """
 
-    def __init__(self, sock: socket.socket, timeout_s: float = 120.0) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        timeout_s: float = 120.0,
+        initial_request_id: int = 0,
+    ) -> None:
         self._sock = sock
         self._sock.settimeout(timeout_s)
-        self._next_request_id = 0
+        self.timeout_s = timeout_s
+        # A respawned worker's replacement connection continues the old
+        # counter so retried requests keep their original ids and fresh
+        # requests never collide with an id the dedup window already saw.
+        self._next_request_id = initial_request_id & 0xFFFFFFFF
         self._parked: Dict[int, Tuple[int, int, bytes]] = {}
         self._closed = False
+        self._pending_fault: Optional[str] = None
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
@@ -309,22 +373,51 @@ class RpcConnection:
         self._next_request_id = (request_id + 1) & 0xFFFFFFFF
         return request_id
 
-    def send_request(self, shard_id: int, opcode: int, body: bytes) -> int:
-        request_id = self._allocate_id()
+    @property
+    def next_request_id(self) -> int:
+        """The id the next allocated request will get (respawn handoff)."""
+        return self._next_request_id
+
+    def send_request(
+        self,
+        shard_id: int,
+        opcode: int,
+        body: bytes,
+        request_id: Optional[int] = None,
+    ) -> int:
+        """Send one frame.  ``request_id`` pins an explicit id — the retry
+        path re-sends with the *original* id so the worker-side dedup
+        window recognises the duplicate; fresh requests allocate one."""
+        if request_id is None:
+            request_id = self._allocate_id()
         frame = encode_frame(KIND_REQUEST, request_id, shard_id, opcode, body)
         self._send_bytes(frame)
         self.frames_sent += 1
         return request_id
 
+    def allocate_request_ids(self, count: int) -> List[int]:
+        """Reserve ``count`` ids without sending anything.
+
+        The supervised dispatch path allocates before the batched send so
+        the ids survive a send-time failure — they pin the retry frames for
+        the worker-side dedup window."""
+        return [self._allocate_id() for _ in range(count)]
+
     def send_requests(
-        self, requests: Iterable[Tuple[int, int, bytes]]
+        self,
+        requests: Iterable[Tuple[int, int, bytes]],
+        request_ids: Optional[Sequence[int]] = None,
     ) -> List[int]:
         """Batched dispatch: frame every (shard, opcode, body) request and
-        flush them in one ``sendall`` — a whole round of work per syscall."""
+        flush them in one ``sendall`` — a whole round of work per syscall.
+        ``request_ids`` pins pre-allocated (or retried) ids positionally;
+        without it each request allocates a fresh id."""
         frames = []
         ids = []
-        for shard_id, opcode, body in requests:
-            request_id = self._allocate_id()
+        for index, (shard_id, opcode, body) in enumerate(requests):
+            request_id = (
+                self._allocate_id() if request_ids is None else request_ids[index]
+            )
             frames.append(
                 encode_frame(KIND_REQUEST, request_id, shard_id, opcode, body)
             )
@@ -334,9 +427,28 @@ class RpcConnection:
             self.frames_sent += len(frames)
         return ids
 
+    def inject_fault(self, mode: str) -> None:
+        """Corrupt the next outgoing send (chaos harness hook).
+
+        ``"bitflip"`` inverts the first body byte so the frame arrives with
+        a broken crc; ``"truncate"`` ships only the first half of the bytes
+        and drops the rest, leaving the peer blocked mid-frame.
+        """
+        if mode not in ("bitflip", "truncate"):
+            raise RpcError(f"unknown fault mode {mode!r}")
+        self._pending_fault = mode
+
     def _send_bytes(self, data: bytes) -> None:
         if self._closed:
             raise RpcError("connection is closed")
+        if self._pending_fault is not None:
+            mode, self._pending_fault = self._pending_fault, None
+            if mode == "bitflip":
+                corrupted = bytearray(data)
+                corrupted[min(_LENGTH.size + _HEADER.size, len(corrupted) - 1)] ^= 0xFF
+                data = bytes(corrupted)
+            else:  # truncate: half the frame, then silence
+                data = data[: max(len(data) // 2, 1)]
         try:
             self._sock.sendall(data)
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
@@ -345,12 +457,30 @@ class RpcConnection:
 
     # -- receiving ---------------------------------------------------------
 
-    def wait(self, request_id: int) -> Tuple[int, bytes]:
+    def wait(
+        self, request_id: int, deadline_s: Optional[float] = None
+    ) -> Tuple[int, bytes]:
         """Block until ``request_id``'s response arrives -> (opcode, body).
 
-        Error frames re-raise the worker's original exception here.
+        ``deadline_s`` bounds the wall-clock wait for *this call* (the
+        constructor ``timeout_s`` is the default); expiry raises
+        :class:`WorkerDiedError` so a hung worker surfaces as a failure the
+        supervisor can heal instead of a 120 s stall.  Error frames
+        re-raise the worker's original exception here.
         """
+        budget = self.timeout_s if deadline_s is None else deadline_s
+        deadline = None if budget is None else time.monotonic() + budget
         while request_id not in self._parked:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerDiedError(
+                        f"deadline expired waiting for request {request_id}"
+                    )
+                try:
+                    self._sock.settimeout(remaining)
+                except OSError as exc:
+                    raise WorkerDiedError(f"receive failed: {exc}") from exc
             kind, got_id, _shard, opcode, body = self._read_frame()
             self._parked[got_id] = (kind, opcode, body)
         kind, opcode, body = self._parked.pop(request_id)
@@ -393,15 +523,21 @@ class RpcConnection:
 def serve(sock: socket.socket, dispatch) -> None:
     """Worker main loop: read request frames until shutdown or EOF.
 
-    ``dispatch(shard_id, opcode, body) -> bytes`` runs the request;
+    ``dispatch(shard_id, opcode, body, request_id) -> bytes`` runs the
+    request (the id feeds the worker-side exactly-once dedup window);
     exceptions become error frames with the original exception pickled in.
     """
     sock.settimeout(None)
     while True:
         try:
             kind, request_id, shard_id, opcode, body = read_frame(sock)
-        except (WorkerDiedError, OSError):
-            return  # parent went away: exit quietly
+        except FrameCorruptionError:
+            # The header itself is untrustworthy, so there is no request id
+            # to address an error frame to.  Exit; the parent sees EOF, maps
+            # it to WorkerDiedError and lets the supervisor respawn us.
+            return
+        except (WorkerDiedError, RpcError, OSError):
+            return  # parent went away (or stream desynced): exit quietly
         if kind != KIND_REQUEST:
             continue
         if opcode == OP_SHUTDOWN:
@@ -413,7 +549,7 @@ def serve(sock: socket.socket, dispatch) -> None:
                 pass
             return
         try:
-            result = dispatch(shard_id, opcode, body)
+            result = dispatch(shard_id, opcode, body, request_id)
             frame = encode_frame(KIND_RESPONSE, request_id, shard_id, opcode, result)
         except BaseException as exc:  # noqa: BLE001 - forwarded to the client
             frame = encode_frame(

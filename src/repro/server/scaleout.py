@@ -18,14 +18,25 @@ Nothing the parent merges depends on worker count.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.bigtable.process_backend import (
+    _MAKESPAN,
     FederatedShardedBackend,
+    ProcessShardedBackend,
+    _decode_update_result,
     make_scaleout_backend,
 )
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    FrameCorruptionError,
+    WorkerDiedError,
+)
 from repro.model import NeighborResult, UpdateMessage
+from repro.server import chaos as chaos_mod
+from repro.server import rpc
+from repro.server.supervisor import Supervisor
 from repro.server.worker import shard_of
 
 
@@ -41,7 +52,13 @@ class ScaleOutCluster:
     round-trip regardless of shard count.
     """
 
-    def __init__(self, backend: FederatedShardedBackend) -> None:
+    def __init__(
+        self,
+        backend: FederatedShardedBackend,
+        supervision_policy: Optional[str] = None,
+        retry_policy: Optional[rpc.RetryPolicy] = None,
+        max_consecutive_failures: int = 5,
+    ) -> None:
         if backend.num_shards < 1:
             raise ConfigurationError("a scale-out cluster needs >= 1 shard")
         self.backend = backend
@@ -56,6 +73,23 @@ class ScaleOutCluster:
         #: makespan is their max (shards run concurrently in wall-clock
         #: but their simulated clocks are independent).
         self._makespans = [0.0] * self.num_shards
+        self.retry_policy = retry_policy or rpc.RetryPolicy()
+        #: Supervised clusters route the data plane through the
+        #: retry-after-heal scatter (:meth:`_supervised_round`); without a
+        #: policy the dispatch path is exactly the pre-supervision one.
+        self.supervisor: Optional[Supervisor] = None
+        if supervision_policy is not None:
+            if not isinstance(backend, ProcessShardedBackend):
+                raise ConfigurationError(
+                    "supervision needs the process backend — the in-process "
+                    "federation has no worker processes to supervise"
+                )
+            self.supervisor = Supervisor(
+                backend,
+                policy=supervision_policy,
+                retry_policy=self.retry_policy,
+                max_consecutive_failures=max_consecutive_failures,
+            )
 
     @classmethod
     def build(
@@ -64,14 +98,22 @@ class ScaleOutCluster:
         backend: str = "inprocess",
         num_workers: int = 1,
         timeout_s: float = 120.0,
+        supervision_policy: Optional[str] = None,
+        retry_policy: Optional[rpc.RetryPolicy] = None,
+        max_consecutive_failures: int = 5,
         **recipe_kwargs,
     ) -> "ScaleOutCluster":
         """Build a fully loaded cluster from recipe knobs.
 
-        ``backend`` selects the execution vehicle (``"inprocess"`` or
-        ``"process"``); every other knob feeds the per-shard
-        :class:`repro.server.worker.ShardRecipe`.
+        ``backend`` selects the execution vehicle (``"inprocess"``,
+        ``"process"`` or ``"disk"``); every other knob feeds the per-shard
+        :class:`repro.server.worker.ShardRecipe`.  A ``supervision_policy``
+        enables the self-healing dispatch path; ``"respawn"`` (lossless)
+        additionally turns on durable accounting checkpoints so a respawned
+        shard restores its simulated tallies and dedup window.
         """
+        if supervision_policy == "respawn":
+            recipe_kwargs.setdefault("durable_accounting", True)
         return cls(
             make_scaleout_backend(
                 backend,
@@ -79,7 +121,10 @@ class ScaleOutCluster:
                 num_workers=num_workers,
                 timeout_s=timeout_s,
                 **recipe_kwargs,
-            )
+            ),
+            supervision_policy=supervision_policy,
+            retry_policy=retry_policy,
+            max_consecutive_failures=max_consecutive_failures,
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +150,8 @@ class ScaleOutCluster:
         buckets: List[List[UpdateMessage]] = [[] for _ in range(self.num_shards)]
         for message in messages:
             buckets[shard_of(message.object_id, self.num_shards)].append(message)
+        if self.supervisor is not None:
+            return self._supervised_update_scatter(buckets)
         pending = self.backend.begin_update_scatter(
             (shard_id, batch)
             for shard_id, batch in enumerate(buckets)
@@ -130,12 +177,15 @@ class ScaleOutCluster:
         queries = list(queries)
         if not queries:
             return []
-        pending = list(enumerate(self.backend.begin_query_broadcast(queries)))
-        per_shard: List[List[List[NeighborResult]]] = []
-        for shard_id, handle in pending:
-            results, makespan = handle.result()
-            self._makespans[shard_id] = makespan
-            per_shard.append(results)
+        if self.supervisor is not None:
+            per_shard = self._supervised_query_broadcast(queries)
+        else:
+            pending = list(enumerate(self.backend.begin_query_broadcast(queries)))
+            per_shard = []
+            for shard_id, handle in pending:
+                results, makespan = handle.result()
+                self._makespans[shard_id] = makespan
+                per_shard.append(results)
         merged: List[List[NeighborResult]] = []
         for query_index, query in enumerate(queries):
             combined: List[NeighborResult] = []
@@ -144,6 +194,222 @@ class ScaleOutCluster:
             combined.sort(key=lambda result: (result.distance, result.object_id))
             merged.append(combined[: query.k])
         return merged
+
+    # ------------------------------------------------------------------
+    # Supervised dispatch (exactly-once scatter-gather)
+    # ------------------------------------------------------------------
+    def _supervised_round(self, sends, decode) -> Dict[int, Any]:
+        """Scatter ``sends`` with retry-after-heal semantics.
+
+        ``sends`` is an ordered sequence of ``(shard_id, opcode, body)``
+        triples — at most one per shard, which is what keeps the worker-side
+        dedup window depth 1 — and ``decode(shard_id, body)`` turns a
+        response body into the caller's result.  The send phase mirrors the
+        unsupervised backend exactly: requests grouped per worker connection
+        in first-appearance order and flushed with one batched
+        ``send_requests`` each, so a chaos-free supervised run puts
+        byte-identical frames on the wire.
+
+        Failures — dead worker, expired per-call deadline, corrupt response
+        frame — mark the owning worker.  After each collect sweep every
+        marked worker is healed through the supervisor and its uncollected
+        requests are re-sent on the replacement connection *with their
+        original request ids*, which the dedup window uses to suppress
+        double application (replaying the recorded result when the dead
+        worker had already applied the batch).  Attempts are bounded by
+        ``retry_policy.max_attempts`` with exponential backoff between.
+        """
+        policy = self.retry_policy
+        backend = self.backend
+        grouped: Dict[int, List[Tuple[int, int, bytes]]] = {}
+        for entry in sends:
+            grouped.setdefault(backend.worker_of(entry[0]), []).append(entry)
+        request_ids: Dict[int, int] = {}
+        worker_of_shard: Dict[int, int] = {}
+        failed: Dict[int, str] = {}
+        for worker, entries in grouped.items():
+            connection = backend.pool.connections[worker]
+            ids = connection.allocate_request_ids(len(entries))
+            for (shard_id, _opcode, _body), request_id in zip(entries, ids):
+                request_ids[shard_id] = request_id
+                worker_of_shard[shard_id] = worker
+            try:
+                connection.send_requests(entries, request_ids=ids)
+            except WorkerDiedError as exc:
+                failed[worker] = f"send failed: {exc}"
+        order = [shard_id for shard_id, _opcode, _body in sends]
+        results: Dict[int, Any] = {}
+        attempts = 1
+        while True:
+            for shard_id in order:
+                if shard_id in results:
+                    continue
+                worker = worker_of_shard[shard_id]
+                if worker in failed:
+                    continue
+                connection = backend.pool.connections[worker]
+                try:
+                    _opcode, body = connection.wait(
+                        request_ids[shard_id],
+                        deadline_s=policy.call_deadline_s,
+                    )
+                    results[shard_id] = decode(shard_id, body)
+                except (WorkerDiedError, FrameCorruptionError) as exc:
+                    failed[worker] = f"shard {shard_id}: {exc}"
+            if not failed:
+                break
+            if attempts >= policy.max_attempts:
+                reasons = "; ".join(
+                    f"worker {worker}: {reason}"
+                    for worker, reason in sorted(failed.items())
+                )
+                raise WorkerDiedError(
+                    f"scatter round failed after {attempts} attempts ({reasons})"
+                )
+            time.sleep(policy.backoff_s(attempts))
+            attempts += 1
+            for worker in sorted(failed):
+                self.supervisor.handle_worker_failure(worker, failed[worker])
+                connection = backend.pool.connections[worker]
+                resend = [
+                    (entry, request_ids[entry[0]])
+                    for entry in grouped[worker]
+                    if entry[0] not in results
+                ]
+                connection.send_requests(
+                    [entry for entry, _ in resend],
+                    request_ids=[request_id for _, request_id in resend],
+                )
+            failed.clear()
+        for worker in grouped:
+            self.supervisor.notify_success(worker)
+        return results
+
+    def _supervised_update_scatter(
+        self, buckets: Sequence[Sequence[UpdateMessage]]
+    ) -> int:
+        sends = [
+            (shard_id, rpc.OP_UPDATE_BATCH, rpc.encode_update_batch(batch))
+            for shard_id, batch in enumerate(buckets)
+            if batch
+        ]
+        if not sends:
+            return 0
+        results = self._supervised_round(
+            sends, lambda _shard_id, body: _decode_update_result(body)
+        )
+        processed = 0
+        for shard_id, _opcode, _body in sends:
+            count, makespan = results[shard_id]
+            processed += count
+            self._makespans[shard_id] = makespan
+            self.supervisor.note_acked_updates(shard_id, count)
+        return processed
+
+    def _supervised_query_broadcast(
+        self, queries: Sequence[object]
+    ) -> List[List[List[NeighborResult]]]:
+        body = rpc.encode_query_batch(queries)
+        sends = [
+            (shard_id, rpc.OP_QUERY_BATCH, body)
+            for shard_id in range(self.num_shards)
+        ]
+
+        def decode(shard_id: int, response: bytes):
+            (makespan,) = _MAKESPAN.unpack_from(response)
+            # Look the stream decoder up at decode time: a heal rebinds the
+            # shard client with a fresh decoder mid-round, and a closure
+            # built at send time would keep decoding with the dead one.
+            decoder = self.clients[shard_id].neighbor_decoder
+            return (
+                decoder.decode(memoryview(response)[_MAKESPAN.size:], queries),
+                makespan,
+            )
+
+        collected = self._supervised_round(sends, decode)
+        per_shard: List[List[List[NeighborResult]]] = []
+        for shard_id in range(self.num_shards):
+            results, makespan = collected[shard_id]
+            self._makespans[shard_id] = makespan
+            per_shard.append(results)
+        return per_shard
+
+    # ------------------------------------------------------------------
+    # Chaos and recovery
+    # ------------------------------------------------------------------
+    def _require_supervision(self) -> Supervisor:
+        if self.supervisor is None:
+            raise ConfigurationError(
+                "this scale-out cluster was built without a supervision "
+                "policy"
+            )
+        return self.supervisor
+
+    def apply_chaos_event(self, event: chaos_mod.ChaosEvent) -> str:
+        """Apply one process-level chaos event; returns a description.
+
+        Kills and stops are left for the next dispatch round's detection
+        path (send failure, EOF, ping deadline) — that is the machinery
+        under test.  Frame corruption is burned on a ping and healed on the
+        spot: the worker either exits on the crc mismatch (bitflip → EOF)
+        or blocks mid-frame (truncate → deadline), and either way the
+        stream is unusable until the worker is replaced.
+        """
+        supervisor = self._require_supervision()
+        pool = self.backend.pool
+        worker = event.worker_index
+        if worker >= pool.num_workers:
+            return f"{event.describe()} [skipped: no such worker]"
+        if event.kind == chaos_mod.KILL_WORKER:
+            pool.kill_worker(worker)
+            return event.describe()
+        if event.kind == chaos_mod.STOP_WORKER:
+            pool.pause_worker(worker)
+            return event.describe()
+        mode = (
+            "bitflip" if event.kind == chaos_mod.CORRUPT_BITFLIP else "truncate"
+        )
+        connection = pool.connections[worker]
+        connection.inject_fault(mode)
+        try:
+            request_id = connection.send_request(0, rpc.OP_PING, b"")
+            connection.wait(
+                request_id,
+                deadline_s=min(self.retry_policy.call_deadline_s, 1.0),
+            )
+        except (WorkerDiedError, FrameCorruptionError):
+            pass
+        record = supervisor.handle_worker_failure(
+            worker, f"injected {mode} frame"
+        )
+        return f"{event.describe()} [healed in {record.duration_s:.3f}s]"
+
+    def heal_dead_workers(self) -> int:
+        """Sweep-and-heal: probe every worker and respawn the failed ones.
+
+        Failures injected near the end of a run may have no dispatch round
+        left to detect them; result assembly calls this so its unsupervised
+        control-plane scatters (``metrics`` etc.) meet a healthy pool.
+        Returns the number of workers healed.
+        """
+        if self.supervisor is None:
+            return 0
+        healed = 0
+        for worker in range(self.backend.pool.num_workers):
+            try:
+                self.supervisor.check_worker(worker)
+            except (WorkerDiedError, FrameCorruptionError) as exc:
+                self.supervisor.handle_worker_failure(worker, f"sweep: {exc}")
+                healed += 1
+        return healed
+
+    def recovery_snapshot(self) -> Dict[str, object]:
+        """Supervisor recovery metrics — counts, durations, loss ledger.
+
+        Deliberately separate from the load-test report: recovery durations
+        are wall-clock, and ``to_report()`` must stay byte-identical
+        between chaos and fault-free runs."""
+        return self._require_supervision().metrics_snapshot()
 
     # ------------------------------------------------------------------
     # Metrics

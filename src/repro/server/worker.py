@@ -37,7 +37,7 @@ from zlib import crc32
 
 from repro.codec.wire import NeighborStreamEncoder
 from repro.core.config import MoistConfig
-from repro.errors import ConfigurationError, RpcError
+from repro.errors import ConfigurationError, RpcError, StaleRequestError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
@@ -48,6 +48,40 @@ from repro.server.master import MasterOptions, TabletMaster
 
 _UPDATE_RESULT = struct.Struct("!Id")  # processed, makespan
 _MAKESPAN = struct.Struct("!d")
+
+#: Accounting-checkpoint filename inside a shard's storage directory.
+STATE_BLOB_NAME = "SHARD_STATE.bin"
+
+#: ``CALL`` verbs that cannot change shard state; every other verb (and
+#: every data-plane batch) re-checkpoints the accounting soft state when
+#: the recipe asks for durable accounting.
+_READ_ONLY_VERBS = frozenset(
+    {
+        "ping",
+        "accounting_state",
+        "metrics",
+        "makespan",
+        "counter_snapshot",
+        "simulated_seconds",
+        "run_count",
+        "log_record_count",
+        "tablet_stats",
+        "tablet_count",
+        "block_cache_stats",
+        "cache_totals",
+        "server_index_for_tablet",
+        "alive_server_indices",
+        "servers_alive",
+        "server_requests",
+        "state_signature",
+        "full_row_signature",
+        "has_table",
+        "table_names",
+        "table_keys",
+        "table_row_count",
+        "table_state",
+    }
+)
 
 
 def shard_of(object_id: str, num_shards: int) -> int:
@@ -88,6 +122,13 @@ class ShardRecipe:
     #: a checkpoint from a previous process, ``build_indexer`` *restores*
     #: the shard instead of preloading it.
     storage_dir: Optional[str] = None
+    #: Checkpoint the shard's *accounting* soft state (ledgers, caches,
+    #: server metrics, the exactly-once dedup window) to
+    #: ``SHARD_STATE.bin`` after every mutating verb.  The durable LSM
+    #: state already survives SIGKILL bit-identically (PR 7); with this on,
+    #: a supervised respawn also restores every simulated tally, so a
+    #: killed-and-healed run reports byte-identically to a fault-free one.
+    durable_accounting: bool = False
 
     def __post_init__(self) -> None:
         if self.num_objects < 0:
@@ -118,6 +159,7 @@ class ShardRecipe:
             master_options=self.master_options,
             tablet_options=self.tablet_options,
             storage_dir=self.storage_dir,
+            durable_accounting=self.durable_accounting,
         )
 
     @property
@@ -173,6 +215,12 @@ class ShardService:
         #: *shard* — never per connection or worker — is what makes wire
         #: bytes invariant across worker counts.
         self.neighbor_encoder = NeighborStreamEncoder()
+        #: Exactly-once dedup window: ``(request_id, opcode, recorded
+        #: result)`` of the last applied data-plane request.  A window of
+        #: one suffices because the parent collects every shard's response
+        #: before dispatching that shard's next batch — a retried id can
+        #: only ever be the last one applied.
+        self._last_applied: Optional[Tuple[int, int, tuple]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,10 +240,24 @@ class ShardService:
         )
         storage_dir = recipe.shard_storage_dir
         restoring = storage_dir is not None and _has_disk_checkpoint(storage_dir)
+        accounting = None
+        restore_seq_bounds = None
+        if restoring and recipe.durable_accounting:
+            from repro.disk.store import read_state_blob
+
+            accounting = read_state_blob(
+                os.path.join(storage_dir, STATE_BLOB_NAME)
+            )
+            if accounting is not None:
+                # Cap journal replay at the last *acked* sequence per table:
+                # anything past it was never acknowledged to the parent, so
+                # the supervisor's retry re-sends it exactly once.
+                restore_seq_bounds = dict(accounting["table_seqs"])
         indexer = build_no_school_indexer(
             config,
             tablet_options=recipe.tablet_options,
             storage_dir=storage_dir,
+            restore_seq_bounds=restore_seq_bounds,
         )
         if restoring:
             # The emulator already restored every table bit-identically from
@@ -242,12 +304,138 @@ class ShardService:
         self.indexer = indexer
         self.cluster = cluster
         self.master = master
+        if accounting is not None:
+            self._install_accounting(accounting)
         return {"objects_loaded": loaded, "tablets": indexer.tablet_count()}
 
     def _require_cluster(self) -> ServerCluster:
         if self.cluster is None:
             raise ConfigurationError("this shard has no indexer yet (build_indexer)")
         return self.cluster
+
+    # ------------------------------------------------------------------
+    # Accounting soft state (supervised respawn)
+    # ------------------------------------------------------------------
+    def accounting_state(self) -> Dict[str, Any]:
+        """Everything simulated-but-not-durable, as one plain-data dict.
+
+        The LSM state under the shard already survives SIGKILL exactly
+        (manifest + runs + journal tail); this snapshot covers the rest of
+        what :meth:`metrics`/``to_report`` can observe — op ledgers, cache
+        residency and tallies, FLAG levels, per-server metrics, routing,
+        contention scalars — plus the exactly-once dedup window and the
+        per-table acked journal watermarks that bound the restore."""
+        cluster = self._require_cluster()
+        emulator = self.indexer.emulator
+        tablet_counters: Dict[Tuple[str, str], Any] = {}
+        block_caches: Dict[str, dict] = {}
+        table_seqs: Dict[str, int] = {}
+        for name in emulator.table_names():
+            table = emulator.table(name)
+            table_seqs[name] = table._seq
+            block_caches[name] = table.cache.export_state()
+            for tablet in table.tablets():
+                tablet_counters[(name, tablet.tablet_id)] = (
+                    tablet.counter.snapshot()
+                )
+        contention = None
+        if cluster.contention is not None:
+            contention = (
+                cluster.contention._requests_since_refresh,
+                cluster.contention._cached_factor,
+            )
+        return {
+            "dedup": self._last_applied,
+            "counter": emulator.counter.snapshot(),
+            "tablet_counters": tablet_counters,
+            "block_caches": block_caches,
+            "flag": (
+                self.indexer.flag.export_state()
+                if self.indexer.flag is not None
+                else None
+            ),
+            "servers": [
+                (
+                    server.updates_handled,
+                    server.queries_handled,
+                    server.update_busy_seconds,
+                    server.query_busy_seconds,
+                    server.alive,
+                    list(server.service_time_samples),
+                )
+                for server in cluster.servers
+            ],
+            "cluster_next": cluster._next,
+            "routing": (
+                dict(cluster.routing._primary),
+                dict(cluster.routing._replicas),
+            ),
+            "contention": contention,
+            "table_seqs": table_seqs,
+        }
+
+    def _install_accounting(self, state: Dict[str, Any]) -> None:
+        """Apply a snapshot from :meth:`accounting_state` onto a freshly
+        restored stack (counters are all zero, so absorbing is installing)."""
+        cluster = self.cluster
+        emulator = self.indexer.emulator
+        emulator.reset_counters()
+        emulator.counter.absorb_snapshot(state["counter"])
+        for name in emulator.table_names():
+            table = emulator.table(name)
+            cache_state = state["block_caches"].get(name)
+            if cache_state is not None:
+                table.cache.install_state(cache_state)
+            for tablet in table.tablets():
+                snapshot = state["tablet_counters"].get((name, tablet.tablet_id))
+                if snapshot is not None:
+                    tablet.counter.absorb_snapshot(snapshot)
+        if self.indexer.flag is not None and state["flag"] is not None:
+            self.indexer.flag.install_state(state["flag"])
+        for server, fields in zip(cluster.servers, state["servers"]):
+            (
+                server.updates_handled,
+                server.queries_handled,
+                server.update_busy_seconds,
+                server.query_busy_seconds,
+                server.alive,
+            ) = fields[:5]
+            server.service_time_samples = list(fields[5])
+        cluster._next = state["cluster_next"]
+        primary, replicas = state["routing"]
+        cluster.routing._primary = dict(primary)
+        cluster.routing._replicas = {
+            tablet_id: tuple(indices) for tablet_id, indices in replicas.items()
+        }
+        if cluster.contention is not None and state["contention"] is not None:
+            requests_since, factor = state["contention"]
+            cluster.contention._requests_since_refresh = requests_since
+            cluster.contention._cached_factor = factor
+        self._last_applied = state["dedup"]
+
+    def _write_accounting_checkpoint(self) -> None:
+        """Persist :meth:`accounting_state` atomically (when the recipe asks
+        for it) — called after every state-changing verb, so the blob on
+        disk always describes the last *completed* request."""
+        recipe = self.recipe
+        if recipe is None or not recipe.durable_accounting:
+            return
+        storage_dir = recipe.shard_storage_dir
+        if storage_dir is None or self.cluster is None:
+            return
+        from repro.disk.store import write_state_blob
+
+        write_state_blob(
+            os.path.join(storage_dir, STATE_BLOB_NAME), self.accounting_state()
+        )
+
+    def _reject_stale(self, request_id: int) -> None:
+        window = self._last_applied
+        if window is not None and request_id < window[0]:
+            raise StaleRequestError(
+                f"request id {request_id} is older than the last applied "
+                f"data-plane request {window[0]}"
+            )
 
     def _require_master(self) -> TabletMaster:
         if self.master is None:
@@ -559,9 +747,23 @@ class ShardService:
 
 
 def dispatch_request(
-    services: Dict[int, ShardService], shard_id: int, opcode: int, body: bytes
+    services: Dict[int, ShardService],
+    shard_id: int,
+    opcode: int,
+    body: bytes,
+    request_id: int = 0,
 ) -> bytes:
-    """Decode one request frame, run it, encode the response body."""
+    """Decode one request frame, run it, encode the response body.
+
+    Data-plane opcodes flow through the shard's exactly-once dedup window:
+    a request id equal to the last applied one replays the recorded result
+    without touching state (the parent retried after a respawn), an older
+    id is rejected with :class:`StaleRequestError`, and a fresh id applies,
+    records its result, then re-checkpoints the accounting soft state —
+    *before* the response frame goes out, so a kill at any point leaves the
+    shard either unaware of the batch (the retry applies it) or able to
+    replay the ack (the retry is suppressed).
+    """
     service = services.get(shard_id)
     if service is None:
         service = ShardService()
@@ -569,12 +771,40 @@ def dispatch_request(
     if opcode == rpc.OP_PING:
         return b""
     if opcode == rpc.OP_UPDATE_BATCH:
+        window = service._last_applied
+        if window is not None and window[0] == request_id:
+            if window[1] != opcode:
+                raise StaleRequestError(
+                    f"request id {request_id} was applied with opcode "
+                    f"{window[1]}, retried as {opcode}"
+                )
+            processed, makespan = window[2]
+            return _UPDATE_RESULT.pack(processed, makespan)
+        service._reject_stale(request_id)
         messages = rpc.decode_update_batch(body)
         processed, makespan = service.update_batch(messages)
+        service._last_applied = (request_id, opcode, (processed, makespan))
+        service._write_accounting_checkpoint()
         return _UPDATE_RESULT.pack(processed, makespan)
     if opcode == rpc.OP_QUERY_BATCH:
         queries = rpc.decode_query_batch(body)
-        results, makespan = service.query_batch(queries)
+        window = service._last_applied
+        if window is not None and window[0] == request_id:
+            if window[1] != opcode:
+                raise StaleRequestError(
+                    f"request id {request_id} was applied with opcode "
+                    f"{window[1]}, retried as {opcode}"
+                )
+            # Replay re-encodes the recorded *results* with the current
+            # stream encoder: a respawned worker starts a fresh encoder and
+            # the parent resets its decoder twin, so recorded raw bytes
+            # from the previous process would not decode.
+            results, makespan = window[2]
+        else:
+            service._reject_stale(request_id)
+            results, makespan = service.query_batch(queries)
+            service._last_applied = (request_id, opcode, (results, makespan))
+            service._write_accounting_checkpoint()
         # Stateful per-shard stream encoding: only what changed since this
         # shard's previous response frame actually rides the wire.
         return _MAKESPAN.pack(makespan) + service.neighbor_encoder.encode(
@@ -585,6 +815,8 @@ def dispatch_request(
         if method.startswith("_") or not hasattr(ShardService, method):
             raise RpcError(f"unknown shard service method {method!r}")
         result = getattr(service, method)(*args, **kwargs)
+        if method not in _READ_ONLY_VERBS:
+            service._write_accounting_checkpoint()
         return rpc.encode_result(result)
     raise RpcError(f"unknown opcode {opcode}")
 
@@ -597,8 +829,10 @@ def worker_main(sock: socket.socket) -> None:
     """
     services: Dict[int, ShardService] = {}
 
-    def _dispatch(shard_id: int, opcode: int, body: bytes) -> bytes:
-        return dispatch_request(services, shard_id, opcode, body)
+    def _dispatch(
+        shard_id: int, opcode: int, body: bytes, request_id: int
+    ) -> bytes:
+        return dispatch_request(services, shard_id, opcode, body, request_id)
 
     try:
         rpc.serve(sock, _dispatch)

@@ -11,7 +11,13 @@ import threading
 
 import pytest
 
-from repro.errors import ConfigurationError, RpcError, WorkerDiedError
+from repro.errors import (
+    ConfigurationError,
+    FrameCorruptionError,
+    RpcError,
+    StaleRequestError,
+    WorkerDiedError,
+)
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.model import NeighborResult, UpdateMessage
@@ -48,6 +54,48 @@ def test_read_frame_raises_on_truncated_stream():
         with pytest.raises(WorkerDiedError):
             rpc.read_frame(right)
     finally:
+        right.close()
+
+
+def test_read_frame_detects_flipped_body_bit():
+    left, right = socket.socketpair()
+    try:
+        frame = bytearray(
+            rpc.encode_frame(rpc.KIND_REQUEST, 1, 0, rpc.OP_CALL, b"payload")
+        )
+        frame[-2] ^= 0x01  # one bit, deep in the body
+        left.sendall(bytes(frame))
+        with pytest.raises(FrameCorruptionError, match="crc mismatch"):
+            rpc.read_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_read_frame_detects_flipped_header_bit():
+    left, right = socket.socketpair()
+    try:
+        frame = bytearray(
+            rpc.encode_frame(rpc.KIND_REQUEST, 7, 3, rpc.OP_CALL, b"payload")
+        )
+        frame[5] ^= 0x40  # inside the request id field
+        left.sendall(bytes(frame))
+        with pytest.raises(FrameCorruptionError):
+            rpc.read_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_read_frame_times_out_as_worker_death():
+    left, right = socket.socketpair()
+    try:
+        right.settimeout(0.05)
+        left.sendall(b"\x00\x00\x00\x20")  # length prefix, then silence
+        with pytest.raises(WorkerDiedError, match="timed out"):
+            rpc.read_frame(right)
+    finally:
+        left.close()
         right.close()
 
 
@@ -122,7 +170,7 @@ def test_error_codec_degrades_to_rpc_error_for_unpicklable_payloads():
 # --------------------------------------------------------------------------
 # Connection pipelining against a live serve() loop
 # --------------------------------------------------------------------------
-def _echo_dispatch(shard_id, opcode, body):
+def _echo_dispatch(shard_id, opcode, body, request_id):
     if opcode == rpc.OP_PING:
         return b""
     return bytes([shard_id]) + body
@@ -179,7 +227,7 @@ def test_connection_counts_frames_and_bytes(served_connection):
 
 
 def test_dispatch_errors_reraise_client_side():
-    def failing_dispatch(shard_id, opcode, body):
+    def failing_dispatch(shard_id, opcode, body, request_id):
         raise ConfigurationError("remote guard tripped")
 
     left, right = socket.socketpair()
@@ -190,3 +238,198 @@ def test_dispatch_errors_reraise_client_side():
     with pytest.raises(ConfigurationError, match="remote guard tripped"):
         connection.wait(request_id)
     _stop_serving(connection, thread)
+
+
+# --------------------------------------------------------------------------
+# Failure paths: deadlines, mid-frame closures, corruption, stale retries
+# --------------------------------------------------------------------------
+def test_wait_deadline_expires_as_worker_death():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=30.0)
+        request_id = connection.send_request(0, rpc.OP_PING, b"")
+        # The deadline surfaces either as a socket timeout mapped to
+        # WorkerDiedError or, on a late wakeup, as the explicit expiry.
+        with pytest.raises(WorkerDiedError, match="timed out|deadline expired"):
+            connection.wait(request_id, deadline_s=0.05)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_wait_surfaces_peer_closed_mid_frame():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        request_id = connection.send_request(0, rpc.OP_PING, b"")
+        # Half a response frame, then the "worker" dies.
+        frame = rpc.encode_frame(rpc.KIND_RESPONSE, request_id, 0, rpc.OP_PING, b"")
+        right.sendall(frame[: len(frame) // 2])
+        right.close()
+        # Clean EOF surfaces as "closed mid-frame"; a close with our
+        # request still unread in the peer's buffer arrives as ECONNRESET.
+        with pytest.raises(WorkerDiedError, match="closed mid-frame|receive failed"):
+            connection.wait(request_id)
+    finally:
+        left.close()
+
+
+def test_truncated_pipelined_response_fails_every_outstanding_wait():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        first = connection.send_request(0, rpc.OP_CALL, b"a")
+        second = connection.send_request(1, rpc.OP_CALL, b"b")
+        # The first response arrives whole, the second is cut mid-frame.
+        right.sendall(
+            rpc.encode_frame(rpc.KIND_RESPONSE, first, 0, rpc.OP_CALL, b"ok")
+        )
+        tail = rpc.encode_frame(rpc.KIND_RESPONSE, second, 1, rpc.OP_CALL, b"gone")
+        right.sendall(tail[: len(tail) - 4])
+        right.close()
+        assert connection.wait(first) == (rpc.OP_CALL, b"ok")
+        with pytest.raises(WorkerDiedError):
+            connection.wait(second)
+    finally:
+        left.close()
+
+
+def test_corrupt_response_surfaces_as_frame_corruption():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        request_id = connection.send_request(0, rpc.OP_CALL, b"")
+        frame = bytearray(
+            rpc.encode_frame(rpc.KIND_RESPONSE, request_id, 0, rpc.OP_CALL, b"xyz")
+        )
+        frame[-1] ^= 0xFF
+        right.sendall(bytes(frame))
+        with pytest.raises(FrameCorruptionError):
+            connection.wait(request_id)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_inject_bitflip_corrupts_exactly_one_send():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        connection.inject_fault("bitflip")
+        connection.send_request(0, rpc.OP_CALL, b"abc")
+        with pytest.raises(FrameCorruptionError):
+            rpc.read_frame(right)
+        # The fault is consumed: the next frame is clean.
+        request_id = connection.send_request(0, rpc.OP_CALL, b"abc")
+        kind, got_id, _shard, _opcode, body = rpc.read_frame(right)
+        assert (kind, got_id, body) == (rpc.KIND_REQUEST, request_id, b"abc")
+    finally:
+        left.close()
+        right.close()
+
+
+def test_inject_truncate_leaves_the_peer_blocked():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        connection.inject_fault("truncate")
+        connection.send_request(0, rpc.OP_CALL, b"abcdefgh")
+        right.settimeout(0.05)
+        with pytest.raises(WorkerDiedError, match="timed out"):
+            rpc.read_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_inject_fault_rejects_unknown_modes():
+    left, right = socket.socketpair()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        with pytest.raises(RpcError, match="fault mode"):
+            connection.inject_fault("meteor")
+    finally:
+        left.close()
+        right.close()
+
+
+def test_explicit_request_ids_pin_the_retry_frame(served_connection):
+    first = served_connection.send_request(1, rpc.OP_CALL, b"a")
+    assert served_connection.wait(first) == (rpc.OP_CALL, b"\x01a")
+    # A retry re-sends with the original id; the echo server happily
+    # answers it again (dedup lives in the shard dispatch, not here).
+    retried = served_connection.send_request(1, rpc.OP_CALL, b"a", request_id=first)
+    assert retried == first
+    assert served_connection.wait(first) == (rpc.OP_CALL, b"\x01a")
+    # Fresh sends continue the counter past the pinned id.
+    assert served_connection.send_request(0, rpc.OP_PING, b"") > first
+
+
+def test_allocate_then_send_pins_batched_ids(served_connection):
+    ids = served_connection.allocate_request_ids(3)
+    assert ids == sorted(ids)
+    sent = served_connection.send_requests(
+        [(0, rpc.OP_CALL, b"x"), (1, rpc.OP_CALL, b"y"), (2, rpc.OP_CALL, b"z")],
+        request_ids=ids,
+    )
+    assert sent == ids
+    bodies = [served_connection.wait(request_id)[1] for request_id in ids]
+    assert bodies == [b"\x00x", b"\x01y", b"\x02z"]
+
+
+def test_initial_request_id_continues_a_dead_connections_counter():
+    left, right = socket.socketpair()
+    thread = threading.Thread(target=rpc.serve, args=(right, _echo_dispatch))
+    thread.start()
+    connection = rpc.RpcConnection(left, timeout_s=10.0, initial_request_id=41)
+    request_id = connection.send_request(0, rpc.OP_CALL, b"q")
+    assert request_id == 41
+    assert connection.next_request_id == 42
+    assert connection.wait(request_id) == (rpc.OP_CALL, b"\x00q")
+    _stop_serving(connection, thread)
+
+
+def test_stale_request_errors_cross_the_wire_typed():
+    def stale_dispatch(shard_id, opcode, body, request_id):
+        raise StaleRequestError(f"request id {request_id} is older")
+
+    left, right = socket.socketpair()
+    thread = threading.Thread(target=rpc.serve, args=(right, stale_dispatch))
+    thread.start()
+    connection = rpc.RpcConnection(left, timeout_s=10.0)
+    request_id = connection.send_request(0, rpc.OP_CALL, b"")
+    with pytest.raises(StaleRequestError, match="older"):
+        connection.wait(request_id)
+    _stop_serving(connection, thread)
+
+
+def test_serve_exits_on_corrupt_request_frame():
+    left, right = socket.socketpair()
+    thread = threading.Thread(target=rpc.serve, args=(right, _echo_dispatch))
+    thread.start()
+    try:
+        connection = rpc.RpcConnection(left, timeout_s=10.0)
+        connection.inject_fault("bitflip")
+        request_id = connection.send_request(0, rpc.OP_CALL, b"abc")
+        # The worker cannot trust the corrupt header enough to address an
+        # error frame, so it exits; the parent sees EOF.
+        with pytest.raises(WorkerDiedError):
+            connection.wait(request_id, deadline_s=5.0)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        connection.close()
+    finally:
+        left.close()
+        right.close()
+
+
+def test_retry_policy_backoff_schedule():
+    policy = rpc.RetryPolicy(
+        base_backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.5
+    )
+    assert policy.backoff_s(0) == 0.0
+    assert policy.backoff_s(1) == pytest.approx(0.1)
+    assert policy.backoff_s(2) == pytest.approx(0.2)
+    assert policy.backoff_s(3) == pytest.approx(0.4)
+    assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+    assert policy.backoff_s(10) == pytest.approx(0.5)
