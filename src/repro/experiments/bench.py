@@ -26,7 +26,13 @@ cluster (tablet routing, group commit, block cache, batched shared reads):
   supervision with a seeded chaos schedule SIGKILLing every worker
   mid-workload; the payload records the supervisor's recovery counts and
   durations plus whether the healed run's report stayed byte-identical to
-  a fault-free reference.
+  a fault-free reference;
+* ``scaleout_window`` — the pipelined engine's window axis: the same
+  update-only stream through the disk-backed federation at in-flight
+  windows 1, 2 and 8, recording the per-phase encode/send/blocked-wait/
+  decode breakdown and the machine-independent blocking-wait counters
+  (waits per round must fall like ``1/window`` while the report stays
+  byte-identical to the window=1 run).
 
 Each workload reports best-of-``repeats`` wall-clock, client requests per
 wall-clock second, the simulated QPS of the same run, the storage RPC
@@ -251,6 +257,7 @@ def run_multiproc_workload(
         + [("disk", "disk", max(worker_counts) if worker_counts else 1)]
     )
     inprocess_wall = None
+    host_cpu_count = os.cpu_count() or 1
     for key, backend, workers in plans:
         best_wall = float("inf")
         outcome = None
@@ -266,6 +273,7 @@ def run_multiproc_workload(
             )
             best_wall = min(best_wall, wall)
         row: Dict[str, object] = {
+            "num_workers": workers,
             "requests": outcome.total_requests,
             "wall_seconds": best_wall,
             "ops_per_sec": (
@@ -288,6 +296,12 @@ def run_multiproc_workload(
             row["speedup_vs_inprocess"] = (
                 inprocess_wall / best_wall if best_wall > 0 else 0.0
             )
+            # Every speedup column carries the core count it was measured
+            # on: a sub-1x speedup on a host with fewer cores than workers
+            # is an oversubscription artefact, not a regression, and the
+            # formatter flags exactly those rows.
+            row["host_cpu_count"] = host_cpu_count
+            row["host_oversubscribed"] = host_cpu_count < workers
         variants[key] = row
     return {
         "num_shards": num_shards,
@@ -297,7 +311,7 @@ def run_multiproc_workload(
         #: host every variant serialises onto the same CPU and the RPC
         #: transport is pure overhead; the simulated-side columns stay
         #: bit-identical regardless.
-        "host_cpu_count": os.cpu_count() or 1,
+        "host_cpu_count": host_cpu_count,
         "variants": variants,
     }
 
@@ -373,6 +387,96 @@ def run_chaos_workload(
     }
 
 
+#: Shape of the ``scaleout_window`` workload: the disk-backed federation
+#: (the heaviest per-batch apply, so overlap has the most to hide) at two
+#: workers, driven with a pure update stream at each in-flight window
+#: size.  Window 1 is the unpipelined reference the others must match
+#: byte for byte.
+_WINDOW_SIZES = (1, 2, 8)
+_WINDOW_WORKERS = 2
+
+
+def run_window_workload(
+    num_objects: int,
+    num_requests: int,
+    repeats: int = 1,
+    seed: int = 59,
+    num_shards: int = _MULTIPROC_SHARDS,
+    num_workers: int = _WINDOW_WORKERS,
+    window_sizes=_WINDOW_SIZES,
+) -> Dict[str, object]:
+    """Benchmark the pipelined engine's in-flight window axis.
+
+    Drives the identical seeded update-only stream through the disk-backed
+    federation once per entry of ``window_sizes``.  Two families of columns
+    come out of each run: the wall-clock phase breakdown (parent-side
+    encode / send / blocked-wait / decode seconds) and the
+    machine-independent overlap counters — ``blocking_waits`` divided by
+    ``rounds_enqueued`` must fall like ``1/window``, which is what the CI
+    guard pins.  ``report_matches_window1`` is the determinism headline:
+    pipelining may only move wall-clock, never the report bytes.
+    """
+    from repro.experiments.scaleout import multiproc_window_run
+
+    num_updates = num_requests // 2
+    variants: Dict[str, Dict[str, object]] = {}
+    reference_report = None
+    window1_wall = None
+    for window in window_sizes:
+        best_wall = float("inf")
+        outcome = pipeline = report = None
+        for _ in range(max(repeats, 1)):
+            outcome, wall, pipeline, report = multiproc_window_run(
+                backend="disk",
+                num_workers=num_workers,
+                num_shards=num_shards,
+                num_objects=num_objects,
+                num_updates=num_updates,
+                seed=seed,
+                window=window,
+            )
+            best_wall = min(best_wall, wall)
+        rounds = pipeline.get("rounds_enqueued") or 0
+        row: Dict[str, object] = {
+            "window": window,
+            "requests": outcome.total_requests,
+            "wall_seconds": best_wall,
+            "ops_per_sec": (
+                outcome.total_requests / best_wall if best_wall > 0 else 0.0
+            ),
+            "simulated_qps": outcome.qps,
+            "rounds_enqueued": rounds,
+            "blocking_waits": pipeline.get("blocking_waits", 0),
+            "blocking_waits_per_round": (
+                pipeline.get("blocking_waits", 0) / rounds if rounds else 0.0
+            ),
+            "barrier_drains": pipeline.get("barrier_drains", 0),
+            "encode_seconds": pipeline.get("encode_seconds", 0.0),
+            "send_seconds": pipeline.get("send_seconds", 0.0),
+            "blocked_wait_seconds": pipeline.get("blocked_wait_seconds", 0.0),
+            "decode_seconds": pipeline.get("decode_seconds", 0.0),
+        }
+        if reference_report is None:
+            reference_report = report
+            window1_wall = best_wall
+        else:
+            row["report_matches_window1"] = report == reference_report
+            row["speedup_vs_window1"] = (
+                window1_wall / best_wall if best_wall > 0 else 0.0
+            )
+            row["host_cpu_count"] = os.cpu_count() or 1
+            row["host_oversubscribed"] = (os.cpu_count() or 1) < num_workers
+        variants[f"window_{window}"] = row
+    return {
+        "num_shards": num_shards,
+        "num_workers": num_workers,
+        "backend": "disk",
+        "window_sizes": list(window_sizes),
+        "host_cpu_count": os.cpu_count() or 1,
+        "variants": variants,
+    }
+
+
 def run_bench(
     quick: bool = False,
     label: str = "PR3",
@@ -416,6 +520,12 @@ def run_bench(
         repeats=effective_repeats,
         seed=seed,
     )
+    window = run_window_workload(
+        num_objects=profile["num_objects"],
+        num_requests=profile["num_requests"],
+        repeats=effective_repeats,
+        seed=seed,
+    )
     return {
         "label": label,
         "created_unix": time.time(),
@@ -428,6 +538,7 @@ def run_bench(
         "workloads": workloads,
         "scaleout_multiproc": multiproc,
         "scaleout_chaos": chaos,
+        "scaleout_window": window,
     }
 
 
@@ -522,7 +633,7 @@ def format_bench(payload: Dict[str, object]) -> str:
                 "bytes_per_request",
                 row["serialized_bytes"] / requests if requests else 0.0,
             )
-            lines.append(
+            line = (
                 f"{key:<14} {row['wall_seconds']:>8.3f} "
                 f"{row['ops_per_sec']:>10.0f} {row['simulated_qps']:>10.0f} "
                 f"{row['storage_rpc_count']:>8d} "
@@ -530,6 +641,45 @@ def format_bench(payload: Dict[str, object]) -> str:
                 f"{bytes_per_request:>7.1f} "
                 + (f"{speedup:>7.2f}x" if speedup is not None else f"{'—':>8}")
             )
+            # Honesty flag: a speedup measured with more workers than host
+            # cores is an oversubscription number, not a scaling number.
+            if speedup is not None and row.get("host_oversubscribed"):
+                line += f" ({row.get('host_cpu_count', 1)}-core host)"
+            lines.append(line)
+    window = payload.get("scaleout_window")
+    if window:
+        lines.append("")
+        lines.append(
+            f"scaleout_window ({window['num_shards']} shards, "
+            f"{window['num_workers']} workers, {window['backend']}, "
+            f"update-only, {window.get('host_cpu_count')} host core(s)):"
+        )
+        sub_header = (
+            f"{'variant':<10} {'wall s':>8} {'ops/s':>10} {'waits/rd':>9} "
+            f"{'enc s':>7} {'send s':>7} {'wait s':>7} {'dec s':>7} "
+            f"{'report':>10} {'speedup':>8}"
+        )
+        lines.append(sub_header)
+        lines.append("-" * len(sub_header))
+        for key, row in window["variants"].items():
+            matches = row.get("report_matches_window1")
+            if matches is None:
+                verdict = "reference"
+            else:
+                verdict = "identical" if matches else "DIVERGED"
+            speedup = row.get("speedup_vs_window1")
+            line = (
+                f"{key:<10} {row['wall_seconds']:>8.3f} "
+                f"{row['ops_per_sec']:>10.0f} "
+                f"{row['blocking_waits_per_round']:>9.3f} "
+                f"{row['encode_seconds']:>7.3f} {row['send_seconds']:>7.3f} "
+                f"{row['blocked_wait_seconds']:>7.3f} "
+                f"{row['decode_seconds']:>7.3f} {verdict:>10} "
+                + (f"{speedup:>7.2f}x" if speedup is not None else f"{'—':>8}")
+            )
+            if speedup is not None and row.get("host_oversubscribed"):
+                line += f" ({row.get('host_cpu_count', 1)}-core host)"
+            lines.append(line)
     chaos = payload.get("scaleout_chaos")
     if chaos:
         recovery = chaos.get("recovery") or {}

@@ -167,6 +167,7 @@ def multiproc_load_run(
     seed: int = 59,
     batch_size: int = 256,
     num_servers: int = 2,
+    window: int = 1,
 ):
     """One measured scale-out run: build, drive, account, tear down.
 
@@ -175,7 +176,8 @@ def multiproc_load_run(
     bench harness), ``transport`` holds the merged-ledger and RPC-framing
     counters, and ``report`` is the byte-deterministic
     :meth:`~repro.server.loadtest.LoadTestResult.to_report` rendering the
-    determinism guards compare across worker counts.
+    determinism guards compare across worker counts (and window sizes —
+    ``window`` bounds the engine's in-flight update rounds).
     """
     import time
 
@@ -189,6 +191,7 @@ def multiproc_load_run(
         num_objects=num_objects,
         seed=seed,
         num_servers=num_servers,
+        window=window,
     )
     try:
         messages, queries = multiproc_streams(num_objects, num_requests, seed)
@@ -211,6 +214,54 @@ def multiproc_load_run(
     return outcome, wall, transport, report
 
 
+def multiproc_window_run(
+    backend: str,
+    num_workers: int,
+    num_shards: int,
+    num_objects: int,
+    num_updates: int,
+    seed: int = 59,
+    batch_size: int = 256,
+    num_servers: int = 2,
+    window: int = 1,
+):
+    """One measured *pipelined* run: update-only stream, windowed engine.
+
+    The mixed stream barriers on every query broadcast, so the window axis
+    is measured on a pure update stream where rounds can actually stay in
+    flight.  Returns ``(outcome, wall_seconds, pipeline, report)`` where
+    ``pipeline`` is the engine's :meth:`metrics_snapshot` — the per-phase
+    encode/send/blocked-wait/decode breakdown plus the machine-independent
+    ``blocking_waits`` / ``rounds_enqueued`` counters the overlap guard
+    pins (blocking waits per round must fall like ``1/window``).
+    """
+    import time
+
+    from repro.server.loadtest import ScaleOutLoadTest
+    from repro.server.scaleout import ScaleOutCluster
+
+    messages, _queries = multiproc_streams(num_objects, num_updates * 2, seed)
+    cluster = ScaleOutCluster.build(
+        num_shards,
+        backend=backend,
+        num_workers=num_workers,
+        num_objects=num_objects,
+        seed=seed,
+        num_servers=num_servers,
+        window=window,
+    )
+    try:
+        load_test = ScaleOutLoadTest(cluster, failure_probability=0.0, seed=seed)
+        start = time.perf_counter()
+        outcome = load_test.run_update_batches(messages, batch_size=batch_size)
+        wall = time.perf_counter() - start
+        pipeline = cluster.metrics_snapshot()
+        report = outcome.to_report()
+    finally:
+        cluster.close()
+    return outcome, wall, pipeline, report
+
+
 def multiproc_chaos_run(
     num_workers: int,
     num_shards: int,
@@ -220,6 +271,7 @@ def multiproc_chaos_run(
     chaos_seed: int = 29,
     batch_size: int = 256,
     num_servers: int = 2,
+    window: int = 1,
 ):
     """One measured self-healing run: every worker SIGKILLed mid-workload.
 
@@ -258,6 +310,7 @@ def multiproc_chaos_run(
         seed=seed,
         num_servers=num_servers,
         supervision_policy="respawn",
+        window=window,
     )
     try:
         load_test = ScaleOutLoadTest(

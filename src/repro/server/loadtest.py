@@ -236,9 +236,24 @@ class _TimelineBucket:
     threshold; each flush converts the bucket into one
     :class:`TimelinePoint` using the simulated makespan growth since the
     previous flush.
+
+    The *deferred* variant (:meth:`defer` / :meth:`finish_deferred` /
+    :meth:`resolve`) supports the windowed scale-out engine: makespans are
+    unknowable mid-window without a barrier, so the flush *decision* is
+    taken eagerly (same thresholds, same order) while the makespan lookup
+    is parked behind a round marker and resolved after the final drain —
+    the arithmetic is identical to the eager path, point for point.
     """
 
-    __slots__ = ("threshold", "points", "_start_makespan", "_completed", "_failed", "_units")
+    __slots__ = (
+        "threshold",
+        "points",
+        "_start_makespan",
+        "_completed",
+        "_failed",
+        "_units",
+        "_pending",
+    )
 
     def __init__(self, threshold: int) -> None:
         self.threshold = threshold
@@ -247,6 +262,7 @@ class _TimelineBucket:
         self._completed = 0
         self._failed = 0
         self._units = 0
+        self._pending: List[Tuple[int, int, int]] = []
 
     def add(self, completed: int, failed: int) -> None:
         self._completed += completed
@@ -262,6 +278,42 @@ class _TimelineBucket:
         """Flush the trailing partial bucket (if it completed anything)."""
         if self._completed > 0:
             self._flush(makespan)
+
+    def defer(self, marker: int) -> None:
+        """Count one unit; at the threshold, record a flush pending at
+        ``marker`` instead of reading a makespan now."""
+        self._units += 1
+        if self._units >= self.threshold:
+            self._pending.append((self._completed, self._failed, marker))
+            self._completed = 0
+            self._failed = 0
+            self._units = 0
+
+    def finish_deferred(self, marker: int) -> None:
+        """Deferred twin of :meth:`finish`: park the trailing partial
+        bucket behind ``marker`` (if it completed anything)."""
+        if self._completed > 0:
+            self._pending.append((self._completed, self._failed, marker))
+            self._completed = 0
+            self._failed = 0
+            self._units = 0
+
+    def resolve(self, makespan_of: Callable[[int], float]) -> None:
+        """Turn every pending flush into a timeline point, in order,
+        using ``makespan_of(marker)`` — the cluster makespan *as of* that
+        round.  Exactly the eager :meth:`_flush` arithmetic."""
+        pending, self._pending = self._pending, []
+        for completed, failed, marker in pending:
+            makespan = makespan_of(marker)
+            elapsed = max(makespan - self._start_makespan, 1e-12)
+            self.points.append(
+                TimelinePoint(
+                    time_s=makespan,
+                    qps=completed / elapsed,
+                    failed_qps=failed / elapsed,
+                )
+            )
+            self._start_makespan = makespan
 
     def _flush(self, makespan: float) -> None:
         elapsed = max(makespan - self._start_makespan, 1e-12)
@@ -657,6 +709,7 @@ class ScaleOutLoadTest(LoadTest):
         rebalance_every: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         chaos_plan=None,
+        window: Optional[int] = None,
     ) -> None:
         if not 0.0 <= failure_probability < 1.0:
             raise ConfigurationError("failure_probability must be in [0, 1)")
@@ -686,6 +739,8 @@ class ScaleOutLoadTest(LoadTest):
         self.chaos_applied: List[str] = []
         self._faults_applied: List[str] = []
         self._master_baseline = (0, 0, 0)
+        if window is not None:
+            cluster.set_window(window)
 
     def _begin_run(self) -> None:
         self.cluster.reset_metrics()
@@ -724,6 +779,99 @@ class ScaleOutLoadTest(LoadTest):
             and batch_index % self.rebalance_every == 0
         ):
             self.cluster.rebalance()
+
+    # ------------------------------------------------------------------
+    # Windowed batch loops
+    # ------------------------------------------------------------------
+    # Same admit RNG order, same control-step cadence, same timeline
+    # thresholds as the base loops — but batches go in flight through
+    # ``enqueue_update_batch`` and timeline flushes are deferred behind
+    # round markers, resolved from the per-round makespan history after
+    # the final drain.  At window=1 the schedule degenerates to the base
+    # loop's (one enqueue, one drain, per round), which is why reports
+    # stay byte-identical across window sizes.
+
+    def run_update_batches(
+        self,
+        messages: Sequence[UpdateMessage],
+        batch_size: int = 256,
+        bucket_batches: int = 4,
+    ) -> LoadTestResult:
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if bucket_batches <= 0:
+            raise ConfigurationError("bucket_batches must be positive")
+        self._begin_run()
+        cluster = self.cluster
+        bucket = _TimelineBucket(bucket_batches)
+        failed = 0
+        last_index = 0
+        for batch_index, start in enumerate(range(0, len(messages), batch_size)):
+            last_index = batch_index
+            # Control-plane and chaos ticks barrier internally, so every
+            # event still observes fully settled shards.
+            self._control_step(batch_index)
+            batch, dropped = self._admit(messages[start : start + batch_size])
+            failed += dropped
+            cluster.enqueue_update_batch(batch, round_index=batch_index)
+            bucket.add(len(batch), dropped)
+            bucket.defer(batch_index)
+        cluster.drain_update_window()
+        completed = cluster.pipeline_processed
+        makespan = cluster.makespan_seconds()
+        bucket.finish_deferred(last_index)
+        bucket.resolve(cluster.makespan_at_round)
+        return self._build_result(completed, failed, makespan, bucket.points)
+
+    def run_mixed_batches(
+        self,
+        messages: Sequence[UpdateMessage],
+        queries: Sequence[object],
+        batch_size: int = 256,
+        bucket_batches: int = 4,
+    ) -> LoadTestResult:
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if bucket_batches <= 0:
+            raise ConfigurationError("bucket_batches must be positive")
+        self._begin_run()
+        cluster = self.cluster
+        bucket = _TimelineBucket(bucket_batches)
+        failed = 0
+        completed_queries = 0
+        update_offset = 0
+        query_offset = 0
+        batch_index = 0
+        while update_offset < len(messages) or query_offset < len(queries):
+            self._control_step(batch_index)
+            update_batch, dropped_updates = self._admit(
+                messages[update_offset : update_offset + batch_size]
+            )
+            update_offset += batch_size
+            query_batch, dropped_queries = self._admit(
+                queries[query_offset : query_offset + batch_size]
+            )
+            query_offset += batch_size
+            failed += dropped_updates + dropped_queries
+            cluster.enqueue_update_batch(update_batch, round_index=batch_index)
+            if query_batch:
+                # The broadcast drains the window (explicit barrier), then
+                # the settled makespan — update *and* query growth — is
+                # pinned to this round for the deferred timeline.
+                completed_queries += len(cluster.submit_query_batch(query_batch))
+                cluster.record_round_makespan(batch_index)
+            bucket.add(
+                len(update_batch) + len(query_batch),
+                dropped_updates + dropped_queries,
+            )
+            bucket.defer(batch_index)
+            batch_index += 1
+        cluster.drain_update_window()
+        completed = completed_queries + cluster.pipeline_processed
+        makespan = cluster.makespan_seconds()
+        bucket.finish_deferred(max(batch_index - 1, 0))
+        bucket.resolve(cluster.makespan_at_round)
+        return self._build_result(completed, failed, makespan, bucket.points)
 
     def _build_result(
         self,

@@ -359,6 +359,7 @@ class RpcConnection:
         # requests never collide with an id the dedup window already saw.
         self._next_request_id = initial_request_id & 0xFFFFFFFF
         self._parked: Dict[int, Tuple[int, int, bytes]] = {}
+        self._send_queue: List[bytes] = []
         self._closed = False
         self._pending_fault: Optional[str] = None
         self.bytes_sent = 0
@@ -426,6 +427,45 @@ class RpcConnection:
             self._send_bytes(b"".join(frames))
             self.frames_sent += len(frames)
         return ids
+
+    def queue_request(
+        self,
+        shard_id: int,
+        opcode: int,
+        body: bytes,
+        request_id: Optional[int] = None,
+    ) -> int:
+        """Frame a request but keep it in the local send queue.
+
+        The pipelined engine frames every per-shard request of a window
+        step here, then ships the whole step with one :meth:`flush_queued`
+        ``sendall`` — coalescing keeps the syscall count per window step at
+        one regardless of how many shards a worker hosts."""
+        if request_id is None:
+            request_id = self._allocate_id()
+        self._send_queue.append(
+            encode_frame(KIND_REQUEST, request_id, shard_id, opcode, body)
+        )
+        return request_id
+
+    def flush_queued(self) -> int:
+        """Ship every queued frame in one ``sendall`` -> frames flushed.
+
+        The queue is cleared even when the send raises: a failed flush
+        means the worker is gone, and the supervised resend path rebuilds
+        the frames from its own in-flight record with the original pinned
+        request ids rather than replaying stale queue bytes."""
+        if not self._send_queue:
+            return 0
+        frames, self._send_queue = self._send_queue, []
+        self._send_bytes(b"".join(frames))
+        self.frames_sent += len(frames)
+        return len(frames)
+
+    def has_parked(self, request_id: int) -> bool:
+        """True when ``request_id``'s response already arrived and is parked
+        (a non-blocking completion probe for the windowed drain loop)."""
+        return request_id in self._parked
 
     def inject_fault(self, mode: str) -> None:
         """Corrupt the next outgoing send (chaos harness hook).

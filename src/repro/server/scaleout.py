@@ -50,6 +50,18 @@ class ScaleOutCluster:
     needs.  All scatters are pipelined: every shard's request is on the
     wire before the first response is read, so one round costs one
     round-trip regardless of shard count.
+
+    On top of the per-round pipelining sits the *windowed* engine: the
+    parent may keep up to ``window`` whole update rounds in flight before
+    blocking (:meth:`enqueue_update_batch` / :meth:`drain_update_window`),
+    overlapping parent-side columnar encode of round *k+1* and decode of
+    round *k−1* with worker-side apply of round *k*.  Per-connection FIFO
+    order is untouched — a worker applies its frames in send order — so
+    every shard sees exactly the batch stream it would have seen at
+    ``window=1`` and the simulated results stay byte-identical for every
+    window size.  Query broadcasts, control-plane verbs, chaos events and
+    metric reads all drain the window first (an explicit barrier), so
+    nothing can observe a shard mid-window.
     """
 
     def __init__(
@@ -58,6 +70,7 @@ class ScaleOutCluster:
         supervision_policy: Optional[str] = None,
         retry_policy: Optional[rpc.RetryPolicy] = None,
         max_consecutive_failures: int = 5,
+        window: int = 1,
     ) -> None:
         if backend.num_shards < 1:
             raise ConfigurationError("a scale-out cluster needs >= 1 shard")
@@ -74,6 +87,27 @@ class ScaleOutCluster:
         #: but their simulated clocks are independent).
         self._makespans = [0.0] * self.num_shards
         self.retry_policy = retry_policy or rpc.RetryPolicy()
+        #: Windowed in-flight state.  ``_inflight`` holds one entry per
+        #: outstanding per-shard request in *send order*:
+        #: ``(shard_id, worker, request_id, body, round_index)`` on the
+        #: process backend, or ``(shard_id, None, handle, None,
+        #: round_index)`` in-process (the handle is already resolved — the
+        #: in-process federation has no wire to overlap, but it walks the
+        #: identical enqueue/drain schedule so the pipeline counters and
+        #: reports match the process backend exactly).
+        self.window = 1
+        self._inflight: List[Tuple[int, Optional[int], Any, Optional[bytes], Optional[int]]] = []
+        self._inflight_rounds = 0
+        self._pipeline_processed = 0
+        #: Workers whose enqueue-time send failed; the next drain heals
+        #: them (supervised) or raises (unsupervised).
+        self._send_failed: Dict[int, str] = {}
+        #: ``(round_index, shard makespan)`` per committed in-flight entry;
+        #: :meth:`makespan_at_round` resolves the cluster makespan *as of*
+        #: any past round from this, which is what lets the load test
+        #: defer its timeline arithmetic instead of barriering per bucket.
+        self._makespan_history: List[Tuple[int, float]] = []
+        self._phase = self._zero_phase()
         #: Supervised clusters route the data plane through the
         #: retry-after-heal scatter (:meth:`_supervised_round`); without a
         #: policy the dispatch path is exactly the pre-supervision one.
@@ -90,6 +124,7 @@ class ScaleOutCluster:
                 retry_policy=self.retry_policy,
                 max_consecutive_failures=max_consecutive_failures,
             )
+        self.set_window(window)
 
     @classmethod
     def build(
@@ -101,6 +136,7 @@ class ScaleOutCluster:
         supervision_policy: Optional[str] = None,
         retry_policy: Optional[rpc.RetryPolicy] = None,
         max_consecutive_failures: int = 5,
+        window: int = 1,
         **recipe_kwargs,
     ) -> "ScaleOutCluster":
         """Build a fully loaded cluster from recipe knobs.
@@ -110,10 +146,14 @@ class ScaleOutCluster:
         :class:`repro.server.worker.ShardRecipe`.  A ``supervision_policy``
         enables the self-healing dispatch path; ``"respawn"`` (lossless)
         additionally turns on durable accounting checkpoints so a respawned
-        shard restores its simulated tallies and dedup window.
+        shard restores its simulated tallies and dedup window.  ``window``
+        bounds the in-flight update rounds per worker; the worker-side
+        dedup window is sized to at least ``window`` so a heal-then-resend
+        of the whole in-flight window stays exactly-once.
         """
         if supervision_policy == "respawn":
             recipe_kwargs.setdefault("durable_accounting", True)
+        recipe_kwargs.setdefault("dedup_window", max(8, window))
         return cls(
             make_scaleout_backend(
                 backend,
@@ -125,6 +165,7 @@ class ScaleOutCluster:
             supervision_policy=supervision_policy,
             retry_policy=retry_policy,
             max_consecutive_failures=max_consecutive_failures,
+            window=window,
         )
 
     # ------------------------------------------------------------------
@@ -139,30 +180,276 @@ class ScaleOutCluster:
         return self.submit_update_batch([message])
 
     def submit_update_batch(self, messages: Sequence[UpdateMessage]) -> int:
-        """Partition a batch by owning shard and dispatch in one round.
+        """Partition a batch by owning shard, dispatch, and wait for it.
 
-        Shards with no messages this round are skipped entirely (no empty
-        RPC), which is itself deterministic: the partition depends only on
-        message content.  Returns the number of messages processed.
+        The synchronous legacy surface: one call is one enqueued round
+        followed by a full window drain, so callers that never touch the
+        windowed API keep exact ``window=1`` semantics.  Returns the
+        number of messages processed across everything the drain
+        collected.
         """
         if not messages:
             return 0
+        before = self._pipeline_processed
+        self.enqueue_update_batch(messages)
+        self.drain_update_window()
+        return self._pipeline_processed - before
+
+    # ------------------------------------------------------------------
+    # Windowed pipelined engine
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _zero_phase() -> Dict[str, float]:
+        return {
+            "encode_seconds": 0.0,
+            "send_seconds": 0.0,
+            "blocked_wait_seconds": 0.0,
+            "decode_seconds": 0.0,
+            "blocking_waits": 0,
+            "barrier_drains": 0,
+            "rounds_enqueued": 0,
+            "drains": 0,
+        }
+
+    def set_window(self, window: int) -> None:
+        """Bound the in-flight update rounds per worker.
+
+        The window cannot exceed the worker-side dedup depth: a heal must
+        be able to resend the *whole* in-flight window with original ids
+        and have every already-applied batch replayed, not re-applied.
+        """
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        dedup_depth = getattr(self.recipes[0], "dedup_window", window)
+        if window > dedup_depth:
+            raise ConfigurationError(
+                f"window {window} exceeds the worker-side dedup depth "
+                f"{dedup_depth}; rebuild with dedup_window >= window"
+            )
+        self.drain_update_window()
+        self.window = window
+
+    @property
+    def pipeline_processed(self) -> int:
+        """Messages processed through the windowed engine since the last
+        metrics reset (committed at drain time, in send order)."""
+        return self._pipeline_processed
+
+    def enqueue_update_batch(
+        self,
+        messages: Sequence[UpdateMessage],
+        round_index: Optional[int] = None,
+    ) -> None:
+        """Put one update round in flight without waiting for it.
+
+        Parent-side encode happens here — while workers are still applying
+        previously enqueued rounds — and each worker's frames for this
+        round coalesce into a single ``sendall``.  When the window is
+        full the call drains it first, so at most ``self.window`` rounds
+        are ever outstanding.  ``round_index`` tags the round for
+        :meth:`makespan_at_round` (the load test's deferred timeline).
+        """
+        if not messages:
+            return
+        if self._inflight_rounds >= self.window:
+            self.drain_update_window()
         buckets: List[List[UpdateMessage]] = [[] for _ in range(self.num_shards)]
         for message in messages:
             buckets[shard_of(message.object_id, self.num_shards)].append(message)
-        if self.supervisor is not None:
-            return self._supervised_update_scatter(buckets)
-        pending = self.backend.begin_update_scatter(
-            (shard_id, batch)
+        backend = self.backend
+        if not isinstance(backend, ProcessShardedBackend):
+            # In-process federation: the "send" applies synchronously, but
+            # the handles join the in-flight record so the drain schedule
+            # (and every pipeline counter derived from it) matches the
+            # process backend step for step.
+            for shard_id, handle in backend.begin_update_scatter(
+                (shard_id, batch)
+                for shard_id, batch in enumerate(buckets)
+                if batch
+            ):
+                self._inflight.append((shard_id, None, handle, None, round_index))
+            self._inflight_rounds += 1
+            self._phase["rounds_enqueued"] += 1
+            return
+        clock = time.perf_counter
+        started = clock()
+        sends = [
+            (shard_id, rpc.encode_update_batch(batch))
             for shard_id, batch in enumerate(buckets)
             if batch
-        )
+        ]
+        self._phase["encode_seconds"] += clock() - started
+        started = clock()
+        by_worker: Dict[int, List[Tuple[int, bytes]]] = {}
+        for shard_id, body in sends:
+            by_worker.setdefault(backend.worker_of(shard_id), []).append(
+                (shard_id, body)
+            )
+        for worker, entries in by_worker.items():
+            connection = backend.pool.connections[worker]
+            ids = connection.allocate_request_ids(len(entries))
+            for (shard_id, body), request_id in zip(entries, ids):
+                self._inflight.append(
+                    (shard_id, worker, request_id, body, round_index)
+                )
+            if worker in self._send_failed:
+                continue  # known-dead: the drain heals and resends
+            try:
+                for (shard_id, body), request_id in zip(entries, ids):
+                    connection.queue_request(
+                        shard_id, rpc.OP_UPDATE_BATCH, body, request_id=request_id
+                    )
+                connection.flush_queued()
+            except WorkerDiedError as exc:
+                self._send_failed[worker] = str(exc)
+        self._phase["send_seconds"] += clock() - started
+        self._inflight_rounds += 1
+        self._phase["rounds_enqueued"] += 1
+
+    def drain_update_window(self) -> int:
+        """Collect every in-flight update round (the explicit barrier).
+
+        Responses are committed in send order, so makespans, ack
+        accounting and the per-round makespan history are independent of
+        arrival order.  Supervised failures heal the worker and resend its
+        *entire* uncollected window with the original pinned request ids —
+        the worker-side dedup window (sized >= the engine window) replays
+        what was already applied and applies the rest exactly once.
+        Returns the messages processed by this drain.
+        """
+        entries = self._inflight
+        if not entries:
+            self._inflight_rounds = 0
+            if self._send_failed and self.supervisor is None:
+                failures, self._send_failed = self._send_failed, {}
+                raise WorkerDiedError(
+                    "; ".join(
+                        f"worker {worker}: {reason}"
+                        for worker, reason in sorted(failures.items())
+                    )
+                )
+            return 0
+        self._inflight = []
+        self._inflight_rounds = 0
+        self._phase["drains"] += 1
+        self._phase["blocking_waits"] += 1
+        policy = self.retry_policy
+        clock = time.perf_counter
+        results: Dict[int, Tuple[int, float]] = {}
+        failed: Dict[int, str] = self._send_failed
+        self._send_failed = {}
+        attempts = 1
+        while True:
+            for index, (shard_id, worker, token, _body, _round) in enumerate(
+                entries
+            ):
+                if index in results:
+                    continue
+                if worker is None:
+                    results[index] = token.result()
+                    continue
+                if worker in failed:
+                    continue
+                connection = self.backend.pool.connections[worker]
+                try:
+                    started = clock()
+                    _opcode, body = connection.wait(
+                        token, deadline_s=policy.call_deadline_s
+                    )
+                    self._phase["blocked_wait_seconds"] += clock() - started
+                    started = clock()
+                    results[index] = _decode_update_result(body)
+                    self._phase["decode_seconds"] += clock() - started
+                except (WorkerDiedError, FrameCorruptionError) as exc:
+                    failed[worker] = f"shard {shard_id}: {exc}"
+            if not failed:
+                break
+            if self.supervisor is None or attempts >= policy.max_attempts:
+                reasons = "; ".join(
+                    f"worker {worker}: {reason}"
+                    for worker, reason in sorted(failed.items())
+                )
+                raise WorkerDiedError(
+                    f"window drain failed after {attempts} attempts ({reasons})"
+                )
+            time.sleep(policy.backoff_s(attempts))
+            attempts += 1
+            for worker in sorted(failed):
+                self.supervisor.handle_worker_failure(worker, failed[worker])
+                connection = self.backend.pool.connections[worker]
+                for index, (shard_id, owner, token, body, _round) in enumerate(
+                    entries
+                ):
+                    if owner == worker and index not in results:
+                        connection.queue_request(
+                            shard_id,
+                            rpc.OP_UPDATE_BATCH,
+                            body,
+                            request_id=token,
+                        )
+                connection.flush_queued()
+            failed.clear()
         processed = 0
-        for shard_id, handle in pending:
-            count, makespan = handle.result()
+        touched_workers = set()
+        for index, (shard_id, worker, _token, _body, round_index) in enumerate(
+            entries
+        ):
+            count, makespan = results[index]
             processed += count
             self._makespans[shard_id] = makespan
+            if round_index is not None:
+                self._makespan_history.append((round_index, makespan))
+            if self.supervisor is not None:
+                self.supervisor.note_acked_updates(shard_id, count)
+            if worker is not None:
+                touched_workers.add(worker)
+        if self.supervisor is not None:
+            for worker in touched_workers:
+                self.supervisor.notify_success(worker)
+        self._pipeline_processed += processed
         return processed
+
+    def _barrier(self) -> int:
+        """Drain before anything that must observe settled shards (query
+        broadcasts, control-plane verbs, chaos events, metric reads)."""
+        if self._inflight:
+            self._phase["barrier_drains"] += 1
+        return self.drain_update_window()
+
+    def record_round_makespan(self, round_index: int) -> None:
+        """Pin the current *settled* makespan to a round marker.
+
+        The mixed load-test loop calls this right after a barriered query
+        broadcast: queries advance shard clocks outside the windowed
+        update path, and the deferred timeline still needs
+        :meth:`makespan_at_round` to see that growth."""
+        self._makespan_history.append((round_index, self.makespan_seconds()))
+
+    def makespan_at_round(self, round_index: int) -> float:
+        """The cluster-wide simulated makespan *as of* a past round.
+
+        Valid because per-shard makespans are monotonically nondecreasing:
+        the max over every committed entry tagged with a round at or
+        before ``round_index`` equals the makespan a ``window=1`` engine
+        would have reported right after that round."""
+        best = 0.0
+        for committed_round, makespan in self._makespan_history:
+            if committed_round <= round_index and makespan > best:
+                best = makespan
+        return best
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Engine-side pipeline counters and phase timing breakdown.
+
+        Phase seconds are wall-clock (parent-side) and deliberately live
+        *outside* ``to_report()``; the counter fields (``blocking_waits``,
+        ``rounds_enqueued``, ...) are machine-independent — functions of
+        the batch schedule only — which is what the CI overlap guard
+        pins."""
+        snapshot: Dict[str, object] = dict(self._phase)
+        snapshot["window"] = self.window
+        snapshot["inflight_rounds"] = self._inflight_rounds
+        return snapshot
 
     def submit_query_batch(
         self, queries: Sequence[object]
@@ -177,6 +464,7 @@ class ScaleOutCluster:
         queries = list(queries)
         if not queries:
             return []
+        self._barrier()
         if self.supervisor is not None:
             per_shard = self._supervised_query_broadcast(queries)
         else:
@@ -202,8 +490,8 @@ class ScaleOutCluster:
         """Scatter ``sends`` with retry-after-heal semantics.
 
         ``sends`` is an ordered sequence of ``(shard_id, opcode, body)``
-        triples — at most one per shard, which is what keeps the worker-side
-        dedup window depth 1 — and ``decode(shard_id, body)`` turns a
+        triples — at most one per shard, dispatched against a drained
+        window — and ``decode(shard_id, body)`` turns a
         response body into the caller's result.  The send phase mirrors the
         unsupervised backend exactly: requests grouped per worker connection
         in first-appearance order and flushed with one batched
@@ -236,7 +524,9 @@ class ScaleOutCluster:
             try:
                 connection.send_requests(entries, request_ids=ids)
             except WorkerDiedError as exc:
-                failed[worker] = f"send failed: {exc}"
+                # The raise site already wrapped the OS error ("send
+                # failed: ..."): record it verbatim, don't wrap again.
+                failed[worker] = str(exc)
         order = [shard_id for shard_id, _opcode, _body in sends]
         results: Dict[int, Any] = {}
         attempts = 1
@@ -284,27 +574,6 @@ class ScaleOutCluster:
         for worker in grouped:
             self.supervisor.notify_success(worker)
         return results
-
-    def _supervised_update_scatter(
-        self, buckets: Sequence[Sequence[UpdateMessage]]
-    ) -> int:
-        sends = [
-            (shard_id, rpc.OP_UPDATE_BATCH, rpc.encode_update_batch(batch))
-            for shard_id, batch in enumerate(buckets)
-            if batch
-        ]
-        if not sends:
-            return 0
-        results = self._supervised_round(
-            sends, lambda _shard_id, body: _decode_update_result(body)
-        )
-        processed = 0
-        for shard_id, _opcode, _body in sends:
-            count, makespan = results[shard_id]
-            processed += count
-            self._makespans[shard_id] = makespan
-            self.supervisor.note_acked_updates(shard_id, count)
-        return processed
 
     def _supervised_query_broadcast(
         self, queries: Sequence[object]
@@ -356,6 +625,7 @@ class ScaleOutCluster:
         stream is unusable until the worker is replaced.
         """
         supervisor = self._require_supervision()
+        self._barrier()
         pool = self.backend.pool
         worker = event.worker_index
         if worker >= pool.num_workers:
@@ -394,6 +664,7 @@ class ScaleOutCluster:
         """
         if self.supervisor is None:
             return 0
+        self._barrier()
         healed = 0
         for worker in range(self.backend.pool.num_workers):
             try:
@@ -419,12 +690,18 @@ class ScaleOutCluster:
         return max(self._makespans)
 
     def reset_metrics(self) -> None:
-        """Zero every shard's server accounting and the local makespans."""
+        """Zero every shard's server accounting, the local makespans and
+        the pipeline counters (draining any leftover window first)."""
+        self._barrier()
         self.backend.scatter("reset_metrics")
         self._makespans = [0.0] * self.num_shards
+        self._makespan_history = []
+        self._pipeline_processed = 0
+        self._phase = self._zero_phase()
 
     def metrics(self) -> List[Dict[str, object]]:
         """Per-shard metrics dicts, in shard order."""
+        self._barrier()
         return self.backend.scatter("metrics")
 
     def master_action_counts(self) -> Tuple[int, int, int]:
@@ -450,6 +727,7 @@ class ScaleOutCluster:
     def rebalance(self) -> None:
         """Give every shard's master one rebalance tick."""
         self._require_master()
+        self._barrier()
         self.backend.scatter("rebalance")
 
     def apply_fault(
@@ -463,6 +741,7 @@ class ScaleOutCluster:
         semantics applied shard-side.  Returns one description per shard
         (shard order), each tagged with the shard it fired on."""
         self._require_master()
+        self._barrier()
         pending = [
             (
                 shard_id,
@@ -482,6 +761,11 @@ class ScaleOutCluster:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        # Discard (never drain) the in-flight window: close must not block
+        # on workers that may already be gone.
+        self._inflight = []
+        self._inflight_rounds = 0
+        self._send_failed = {}
         self.backend.close()
 
     def __enter__(self) -> "ScaleOutCluster":

@@ -20,8 +20,11 @@ Three policies:
     Lossless healing.  Requires the disk backend with durable accounting
     (and no tablet master — master decision state is not checkpointed):
     the replacement restores to the last *acked* batch boundary and the
-    retry layer re-sends anything in flight, so no acked write is lost and
-    no update is double-applied.
+    retry layer re-sends anything in flight — under the pipelined engine
+    that is the dead worker's **whole in-flight window**, in its original
+    send order with its original pinned request ids — so no acked write
+    is lost and no update is double-applied (the worker-side dedup window
+    is sized to at least the in-flight window for exactly this replay).
 
 ``respawn_lossy``
     For in-memory backends, which have nothing to restore from: the

@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import socket
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 from random import Random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -129,6 +130,19 @@ class ShardRecipe:
     #: a supervised respawn also restores every simulated tally, so a
     #: killed-and-healed run reports byte-identically to a fault-free one.
     durable_accounting: bool = False
+    #: Depth of the exactly-once dedup window.  The pipelined engine may
+    #: have up to ``W`` update batches in flight per worker; a heal-then-
+    #: resend replays the *whole* window with original pinned ids, so the
+    #: window must remember at least ``W`` applied requests per shard.
+    dedup_window: int = 8
+    #: Opt-in idle-window maintenance: after each applied update batch —
+    #: while the pipelined parent is busy encoding the next one — flush any
+    #: memtable already at this fraction of its flush threshold, so the
+    #: *next* foreground batch stops paying the minor-flush stall mid-
+    #: apply.  Deterministic (a pure function of the per-shard batch
+    #: stream), hence identical across window sizes, worker counts and
+    #: backends.  ``None`` disables the hint entirely.
+    idle_flush_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_objects < 0:
@@ -141,6 +155,14 @@ class ShardRecipe:
             )
         if self.num_servers < 1:
             raise ConfigurationError("num_servers must be >= 1")
+        if self.dedup_window < 1:
+            raise ConfigurationError("dedup_window must be >= 1")
+        if self.idle_flush_fraction is not None and not (
+            0.0 < self.idle_flush_fraction <= 1.0
+        ):
+            raise ConfigurationError(
+                "idle_flush_fraction must be in (0.0, 1.0]"
+            )
 
     def sibling(self, shard_id: int) -> "ShardRecipe":
         """The same recipe for another shard id."""
@@ -160,6 +182,8 @@ class ShardRecipe:
             tablet_options=self.tablet_options,
             storage_dir=self.storage_dir,
             durable_accounting=self.durable_accounting,
+            dedup_window=self.dedup_window,
+            idle_flush_fraction=self.idle_flush_fraction,
         )
 
     @property
@@ -215,12 +239,16 @@ class ShardService:
         #: *shard* — never per connection or worker — is what makes wire
         #: bytes invariant across worker counts.
         self.neighbor_encoder = NeighborStreamEncoder()
-        #: Exactly-once dedup window: ``(request_id, opcode, recorded
-        #: result)`` of the last applied data-plane request.  A window of
-        #: one suffices because the parent collects every shard's response
-        #: before dispatching that shard's next batch — a retried id can
-        #: only ever be the last one applied.
-        self._last_applied: Optional[Tuple[int, int, tuple]] = None
+        #: Exactly-once dedup window: ``request_id -> (opcode, recorded
+        #: result)`` for the most recent applied data-plane requests, in
+        #: application order.  The pipelined parent keeps up to ``W``
+        #: batches in flight per worker and a heal-then-resend replays the
+        #: *whole* window with original pinned ids, so the window holds
+        #: ``recipe.dedup_window >= W`` entries — a replayed id anywhere in
+        #: the window returns its recorded result without touching state.
+        self._applied_window: "OrderedDict[int, Tuple[int, tuple]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -345,7 +373,10 @@ class ShardService:
                 cluster.contention._cached_factor,
             )
         return {
-            "dedup": self._last_applied,
+            "dedup": tuple(
+                (request_id, entry[0], entry[1])
+                for request_id, entry in self._applied_window.items()
+            ),
             "counter": emulator.counter.snapshot(),
             "tablet_counters": tablet_counters,
             "block_caches": block_caches,
@@ -411,7 +442,15 @@ class ShardService:
             requests_since, factor = state["contention"]
             cluster.contention._requests_since_refresh = requests_since
             cluster.contention._cached_factor = factor
-        self._last_applied = state["dedup"]
+        dedup = state["dedup"]
+        self._applied_window = OrderedDict()
+        if dedup is not None:
+            if dedup and isinstance(dedup[0], int):
+                # Pre-window checkpoint shape: one (id, opcode, result)
+                # triple for the single last applied request.
+                dedup = (dedup,)
+            for request_id, opcode, result in dedup:
+                self._applied_window[request_id] = (opcode, result)
 
     def _write_accounting_checkpoint(self) -> None:
         """Persist :meth:`accounting_state` atomically (when the recipe asks
@@ -429,12 +468,40 @@ class ShardService:
             os.path.join(storage_dir, STATE_BLOB_NAME), self.accounting_state()
         )
 
-    def _reject_stale(self, request_id: int) -> None:
-        window = self._last_applied
-        if window is not None and request_id < window[0]:
+    def _recall_applied(self, request_id: int, opcode: int) -> Optional[tuple]:
+        """The recorded result when ``request_id`` was already applied.
+
+        ``None`` means fresh; a window hit with a *different* opcode is a
+        protocol violation (the parent never reuses ids across opcodes) and
+        raises :class:`StaleRequestError` rather than replaying the wrong
+        result shape."""
+        entry = self._applied_window.get(request_id)
+        if entry is None:
+            return None
+        if entry[0] != opcode:
             raise StaleRequestError(
-                f"request id {request_id} is older than the last applied "
-                f"data-plane request {window[0]}"
+                f"request id {request_id} was applied with opcode "
+                f"{entry[0]}, retried as {opcode}"
+            )
+        return entry[1]
+
+    def _record_applied(
+        self, request_id: int, opcode: int, result: tuple
+    ) -> None:
+        """Remember one applied request, evicting beyond the window depth."""
+        window = self._applied_window
+        window[request_id] = (opcode, result)
+        depth = self.recipe.dedup_window if self.recipe is not None else 8
+        while len(window) > depth:
+            window.popitem(last=False)
+
+    def _reject_stale(self, request_id: int) -> None:
+        window = self._applied_window
+        if window and request_id < next(reversed(window)):
+            raise StaleRequestError(
+                f"request id {request_id} is older than the newest applied "
+                f"data-plane request {next(reversed(window))} and has "
+                f"fallen out of the dedup window"
             )
 
     def _require_master(self) -> TabletMaster:
@@ -453,7 +520,33 @@ class ShardService:
         makespan without an extra round trip."""
         cluster = self._require_cluster()
         processed = cluster.submit_update_batch(messages)
-        return processed, cluster.makespan_seconds()
+        makespan = cluster.makespan_seconds()
+        self._idle_flush_hint()
+        return processed, makespan
+
+    def _idle_flush_hint(self) -> int:
+        """Opt-in maintenance between applies: flush memtables already near
+        their threshold while the parent is busy encoding the next window
+        step, so the next foreground batch does not stall mid-apply on a
+        minor flush.  Runs after the makespan is read — the flush cost
+        rides the separate durability ledger either way — and evolves as a
+        pure function of the per-shard batch stream, so every window size,
+        worker count and backend flushes identically."""
+        recipe = self.recipe
+        if recipe is None or recipe.idle_flush_fraction is None:
+            return 0
+        emulator = self.indexer.emulator
+        flushed = 0
+        for name in emulator.table_names():
+            table = emulator.table(name)
+            threshold = table.options.memtable_flush_rows
+            if threshold is None:
+                continue
+            hint_rows = max(1, int(threshold * recipe.idle_flush_fraction))
+            for tablet in list(table.tablets()):
+                if len(tablet.rows) >= hint_rows or len(tablet.log) >= hint_rows:
+                    flushed += table.flush_tablet(tablet)
+        return flushed
 
     def query_batch(self, queries: Sequence[object]) -> Tuple[list, float]:
         """Run one broadcast probe set against this shard's objects."""
@@ -756,13 +849,15 @@ def dispatch_request(
     """Decode one request frame, run it, encode the response body.
 
     Data-plane opcodes flow through the shard's exactly-once dedup window:
-    a request id equal to the last applied one replays the recorded result
-    without touching state (the parent retried after a respawn), an older
-    id is rejected with :class:`StaleRequestError`, and a fresh id applies,
-    records its result, then re-checkpoints the accounting soft state —
-    *before* the response frame goes out, so a kill at any point leaves the
-    shard either unaware of the batch (the retry applies it) or able to
-    replay the ack (the retry is suppressed).
+    a request id still inside the window replays its recorded result
+    without touching state (the parent resent a whole in-flight window
+    after a respawn), an id older than the newest applied request that has
+    fallen out of the window is rejected with :class:`StaleRequestError`,
+    and a fresh id applies, records its result, then re-checkpoints the
+    accounting soft state — *before* the response frame goes out, so a
+    kill at any point leaves the shard either unaware of the batch (the
+    resend applies it) or able to replay the ack (the resend is
+    suppressed).
     """
     service = services.get(shard_id)
     if service is None:
@@ -771,39 +866,29 @@ def dispatch_request(
     if opcode == rpc.OP_PING:
         return b""
     if opcode == rpc.OP_UPDATE_BATCH:
-        window = service._last_applied
-        if window is not None and window[0] == request_id:
-            if window[1] != opcode:
-                raise StaleRequestError(
-                    f"request id {request_id} was applied with opcode "
-                    f"{window[1]}, retried as {opcode}"
-                )
-            processed, makespan = window[2]
+        recorded = service._recall_applied(request_id, opcode)
+        if recorded is not None:
+            processed, makespan = recorded
             return _UPDATE_RESULT.pack(processed, makespan)
         service._reject_stale(request_id)
         messages = rpc.decode_update_batch(body)
         processed, makespan = service.update_batch(messages)
-        service._last_applied = (request_id, opcode, (processed, makespan))
+        service._record_applied(request_id, opcode, (processed, makespan))
         service._write_accounting_checkpoint()
         return _UPDATE_RESULT.pack(processed, makespan)
     if opcode == rpc.OP_QUERY_BATCH:
         queries = rpc.decode_query_batch(body)
-        window = service._last_applied
-        if window is not None and window[0] == request_id:
-            if window[1] != opcode:
-                raise StaleRequestError(
-                    f"request id {request_id} was applied with opcode "
-                    f"{window[1]}, retried as {opcode}"
-                )
+        recorded = service._recall_applied(request_id, opcode)
+        if recorded is not None:
             # Replay re-encodes the recorded *results* with the current
             # stream encoder: a respawned worker starts a fresh encoder and
             # the parent resets its decoder twin, so recorded raw bytes
             # from the previous process would not decode.
-            results, makespan = window[2]
+            results, makespan = recorded
         else:
             service._reject_stale(request_id)
             results, makespan = service.query_batch(queries)
-            service._last_applied = (request_id, opcode, (results, makespan))
+            service._record_applied(request_id, opcode, (results, makespan))
             service._write_accounting_checkpoint()
         # Stateful per-shard stream encoding: only what changed since this
         # shard's previous response frame actually rides the wire.

@@ -423,6 +423,71 @@ def test_serve_exits_on_corrupt_request_frame():
         right.close()
 
 
+# --------------------------------------------------------------------------
+# Queued (windowed) sends: coalescing, parked lookups, error shape
+# --------------------------------------------------------------------------
+def test_queued_requests_coalesce_into_one_send(served_connection):
+    sends = []
+    original = served_connection._send_bytes
+
+    def counting_send(payload):
+        sends.append(len(payload))
+        original(payload)
+
+    served_connection._send_bytes = counting_send
+    first = served_connection.queue_request(0, rpc.OP_CALL, b"a")
+    second = served_connection.queue_request(1, rpc.OP_CALL, b"b")
+    third = served_connection.queue_request(2, rpc.OP_CALL, b"c")
+    assert sends == []  # nothing on the wire until the flush
+    frames_before = served_connection.frames_sent
+    assert served_connection.flush_queued() == 3
+    served_connection._send_bytes = original
+    # One sendall carried all three frames; the frame counter still
+    # advances per frame so wire accounting stays comparable.
+    assert len(sends) == 1
+    assert served_connection.frames_sent - frames_before == 3
+    bodies = [served_connection.wait(rid)[1] for rid in (first, second, third)]
+    assert bodies == [b"\x00a", b"\x01b", b"\x02c"]
+
+
+def test_flush_queued_is_a_noop_when_empty(served_connection):
+    frames_before = served_connection.frames_sent
+    assert served_connection.flush_queued() == 0
+    assert served_connection.frames_sent == frames_before
+
+
+def test_queue_request_pins_explicit_ids(served_connection):
+    (pinned,) = served_connection.allocate_request_ids(1)
+    assert served_connection.queue_request(0, rpc.OP_CALL, b"x", request_id=pinned) == pinned
+    served_connection.flush_queued()
+    assert served_connection.wait(pinned) == (rpc.OP_CALL, b"\x00x")
+
+
+def test_has_parked_reports_out_of_order_arrivals(served_connection):
+    first = served_connection.send_request(1, rpc.OP_CALL, b"a")
+    second = served_connection.send_request(2, rpc.OP_CALL, b"b")
+    assert not served_connection.has_parked(first)
+    # Waiting on the later id parks the earlier response.
+    served_connection.wait(second)
+    assert served_connection.has_parked(first)
+    served_connection.wait(first)
+    assert not served_connection.has_parked(first)
+
+
+def test_send_failure_is_wrapped_exactly_once():
+    left, right = socket.socketpair()
+    connection = rpc.RpcConnection(left, timeout_s=10.0)
+    left.close()
+    right.close()
+    with pytest.raises(WorkerDiedError) as excinfo:
+        connection.send_request(0, rpc.OP_PING, b"")
+    message = str(excinfo.value)
+    # Regression: the raise site wraps the OS error once; callers must
+    # not wrap again ("send failed: send failed: [Errno 32] ...").
+    assert message.startswith("send failed: ")
+    assert message.count("send failed: ") == 1
+
+
 def test_retry_policy_backoff_schedule():
     policy = rpc.RetryPolicy(
         base_backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.5
