@@ -27,6 +27,12 @@ cluster (tablet routing, group commit, block cache, batched shared reads):
   mid-workload; the payload records the supervisor's recovery counts and
   durations plus whether the healed run's report stayed byte-identical to
   a fault-free reference;
+* ``scaleout_master_chaos`` — the supervised-master composition: master-
+  bearing shards under ``respawn`` supervision with simulated control-plane
+  faults (aborted migration, server crash + revival) folded into the same
+  seeded timeline as the SIGKILLs, one of which lands mid-migration; the
+  payload records whether the healed run's report — real merged p99
+  included — stayed byte-identical to the fault-only reference;
 * ``scaleout_window`` — the pipelined engine's window axis: the same
   update-only stream through the disk-backed federation at in-flight
   windows 1, 2 and 8, recording the per-phase encode/send/blocked-wait/
@@ -387,6 +393,76 @@ def run_chaos_workload(
     }
 
 
+#: Shape of the ``scaleout_master_chaos`` workload: master-bearing shards
+#: under ``respawn`` supervision, with simulated control-plane faults (an
+#: aborted migration, a server crash + revival) folded into the same seeded
+#: timeline as the SIGKILLs — one kill landing on the migration batch, so a
+#: worker dies mid-migration right after checkpointing the aborted hand-off.
+_MASTER_CHAOS_SEED = 47
+
+
+def run_master_chaos_workload(
+    num_objects: int,
+    num_requests: int,
+    repeats: int = 1,
+    seed: int = 59,
+    num_shards: int = _MULTIPROC_SHARDS,
+    num_workers: int = _CHAOS_WORKERS,
+) -> Dict[str, object]:
+    """Benchmark the supervised-master path: SIGKILL mid-migration, heal.
+
+    The PR 10 acceptance shape as a persistent record: the fault-only
+    in-process reference and the chaos run share one seeded schedule whose
+    fault half never depends on the worker count, and
+    ``report_matches_fault_free`` asserts the healed master-bearing run
+    reproduced the reference byte for byte — master decision history,
+    routing overrides and all.  Both runs record service times, so
+    ``p99_service_time_s`` is the real merged percentile (PR 10 satellite:
+    previously hardcoded 0.0 across the RPC boundary).
+    """
+    from repro.experiments.scaleout import multiproc_master_chaos_run
+
+    best_wall = float("inf")
+    outcome = recovery = report = reference = None
+    chaos_applied: list = []
+    for _ in range(max(repeats, 1)):
+        (
+            outcome,
+            wall,
+            recovery,
+            report,
+            reference,
+            chaos_applied,
+        ) = multiproc_master_chaos_run(
+            num_workers=num_workers,
+            num_shards=num_shards,
+            num_objects=num_objects,
+            num_requests=num_requests,
+            seed=seed,
+            chaos_seed=_MASTER_CHAOS_SEED,
+        )
+        best_wall = min(best_wall, wall)
+    return {
+        "num_shards": num_shards,
+        "num_workers": num_workers,
+        "backend": "disk",
+        "supervision_policy": "respawn",
+        "with_master": True,
+        "chaos_seed": _MASTER_CHAOS_SEED,
+        "chaos_events": chaos_applied,
+        "requests": outcome.total_requests,
+        "wall_seconds": best_wall,
+        "ops_per_sec": (
+            outcome.total_requests / best_wall if best_wall > 0 else 0.0
+        ),
+        "simulated_qps": outcome.qps,
+        "p99_service_time_s": outcome.p99_service_time_s,
+        "report_matches_fault_free": report == reference,
+        "recovery": recovery,
+        "host_cpu_count": os.cpu_count() or 1,
+    }
+
+
 #: Shape of the ``scaleout_window`` workload: the disk-backed federation
 #: (the heaviest per-batch apply, so overlap has the most to hide) at two
 #: workers, driven with a pure update stream at each in-flight window
@@ -520,6 +596,12 @@ def run_bench(
         repeats=effective_repeats,
         seed=seed,
     )
+    master_chaos = run_master_chaos_workload(
+        num_objects=profile["num_objects"],
+        num_requests=profile["num_requests"],
+        repeats=effective_repeats,
+        seed=seed,
+    )
     window = run_window_workload(
         num_objects=profile["num_objects"],
         num_requests=profile["num_requests"],
@@ -538,6 +620,7 @@ def run_bench(
         "workloads": workloads,
         "scaleout_multiproc": multiproc,
         "scaleout_chaos": chaos,
+        "scaleout_master_chaos": master_chaos,
         "scaleout_window": window,
     }
 
@@ -706,5 +789,35 @@ def format_bench(payload: Dict[str, object]) -> str:
             f"total {recovery.get('recovery_seconds_total', 0.0):.3f}s, "
             f"max {recovery.get('recovery_seconds_max', 0.0):.3f}s, "
             f"mean {recovery.get('recovery_seconds_mean', 0.0):.3f}s"
+        )
+    master_chaos = payload.get("scaleout_master_chaos")
+    if master_chaos:
+        recovery = master_chaos.get("recovery") or {}
+        lines.append("")
+        lines.append(
+            f"scaleout_master_chaos ({master_chaos['num_shards']} shards, "
+            f"{master_chaos['num_workers']} workers, disk+respawn+masters, "
+            f"chaos seed {master_chaos['chaos_seed']}):"
+        )
+        verdict = (
+            "byte-identical"
+            if master_chaos.get("report_matches_fault_free")
+            else "DIVERGED"
+        )
+        lines.append(
+            f"  report vs fault-free: {verdict}; "
+            f"recoveries {recovery.get('recoveries', 0)} "
+            f"({recovery.get('lossless_recoveries', 0)} lossless, "
+            f"{recovery.get('lost_updates', 0)} lost updates); "
+            f"kill landed mid-migration"
+        )
+        lines.append(
+            f"  wall {master_chaos['wall_seconds']:.3f}s, "
+            f"{master_chaos['ops_per_sec']:.0f} ops/s, "
+            f"p99 service time "
+            f"{master_chaos.get('p99_service_time_s', 0.0):.6g}s; "
+            f"recovery time total "
+            f"{recovery.get('recovery_seconds_total', 0.0):.3f}s, "
+            f"max {recovery.get('recovery_seconds_max', 0.0):.3f}s"
         )
     return "\n".join(lines)

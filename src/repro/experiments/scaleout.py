@@ -329,6 +329,117 @@ def multiproc_chaos_run(
     return outcome, wall, recovery, report, chaos_applied
 
 
+def multiproc_master_chaos_run(
+    num_workers: int,
+    num_shards: int,
+    num_objects: int,
+    num_requests: int,
+    seed: int = 59,
+    chaos_seed: int = 47,
+    batch_size: int = 256,
+    num_servers: int = 2,
+    window: int = 1,
+    rebalance_every: int = 2,
+):
+    """One measured supervised-master run: SIGKILL mid-migration, heal.
+
+    The PR 10 acceptance shape: master-bearing shards under ``respawn``
+    supervision, driven by a seeded :class:`~repro.server.chaos.ChaosPlan`
+    that folds simulated control-plane faults (one migration aborted
+    mid-flight, one server crash + revival) into the same timeline as the
+    real SIGKILLs — including a kill at the *same batch boundary* as the
+    migration crash, so the worker dies right after checkpointing the
+    aborted hand-off.  The fault half of the schedule is drawn before the
+    chaos half and never depends on the worker count, so one fault-only
+    in-process reference run serves every worker count.
+
+    Both clusters record service times so the report carries a real
+    ``p99_service_time_s`` merged across shards in fixed shard order —
+    and the chaos run's value must still equal the reference's.
+
+    Returns ``(outcome, wall_seconds, recovery, report, reference_report,
+    chaos_applied)``; the caller asserts ``report == reference_report``.
+    """
+    import time
+
+    from repro.server.chaos import ChaosPlan
+    from repro.server.loadtest import ScaleOutLoadTest
+    from repro.server.master import MasterOptions
+    from repro.server.scaleout import ScaleOutCluster
+
+    messages, queries = multiproc_streams(num_objects, num_requests, seed)
+    num_batches = max(
+        -(-len(messages) // batch_size), -(-len(queries) // batch_size), 2
+    )
+    plan = ChaosPlan.seeded(
+        chaos_seed,
+        num_batches=num_batches,
+        num_workers=num_workers,
+        kills=num_workers,
+        migration_crashes=1,
+        server_crashes=1,
+        num_servers=num_servers,
+    )
+    master_options = MasterOptions(replicate_read_share=0.10)
+    reference_cluster = ScaleOutCluster.build(
+        num_shards,
+        backend="inprocess",
+        num_workers=1,
+        num_objects=num_objects,
+        seed=seed,
+        num_servers=num_servers,
+        with_master=True,
+        master_options=master_options,
+        record_service_times=True,
+    )
+    try:
+        reference_report = (
+            ScaleOutLoadTest(
+                reference_cluster,
+                failure_probability=0.0,
+                seed=seed,
+                rebalance_every=rebalance_every,
+                fault_plan=plan.fault_plan,
+            )
+            .run_mixed_batches(messages, queries, batch_size=batch_size)
+            .to_report()
+        )
+    finally:
+        reference_cluster.close()
+    cluster = ScaleOutCluster.build(
+        num_shards,
+        backend="disk",
+        num_workers=num_workers,
+        num_objects=num_objects,
+        seed=seed,
+        num_servers=num_servers,
+        supervision_policy="respawn",
+        window=window,
+        with_master=True,
+        master_options=master_options,
+        record_service_times=True,
+    )
+    try:
+        load_test = ScaleOutLoadTest(
+            cluster,
+            failure_probability=0.0,
+            seed=seed,
+            rebalance_every=rebalance_every,
+            chaos_plan=plan,
+        )
+        start = time.perf_counter()
+        outcome = load_test.run_mixed_batches(
+            messages, queries, batch_size=batch_size
+        )
+        wall = time.perf_counter() - start
+        recovery = cluster.recovery_snapshot()
+        report = outcome.to_report()
+        chaos_applied = list(load_test.chaos_applied)
+    finally:
+        cluster.close()
+    return outcome, wall, recovery, report, reference_report, chaos_applied
+
+
 def scaleout_tablet_report(
     num_objects: int = 20000,
     num_servers: int = 5,

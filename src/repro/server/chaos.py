@@ -14,15 +14,34 @@ property the chaos suite asserts.
 The plan consumes **no** randomness from the load test's admission rng; it
 draws from its own seeded generator at construction, so the workload under
 chaos is literally the same request stream as the reference run.
+
+A plan may also *fold in* PR 5's simulated control-plane faults: a
+:class:`~repro.server.loadtest.FaultPlan` attached as ``fault_plan`` rides
+the same timeline (and :meth:`seeded` can draw one from the same rng).
+Simulated faults are part of the deterministic workload — they appear in
+``faults_applied`` and must fire identically in the reference run — while
+the chaos events stay report-invisible.  Within one batch boundary the
+load test fires the simulated faults *first* and the chaos events last,
+so a ``MIGRATION_CRASH`` paired with a ``KILL_WORKER`` at the same batch
+SIGKILLs the worker **mid-migration**: the just-checkpointed aborted
+hand-off (master record, untouched routing) must survive the respawn.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.server.loadtest import (
+    CRASH_SERVER,
+    MIGRATION_CRASH,
+    REVIVE_SERVER,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.server.master import CRASH_AFTER_FLUSH, CRASH_AFTER_HANDOFF
 
 #: Hard kill: the worker vanishes mid-run (waitpid detection).
 KILL_WORKER = "sigkill"
@@ -49,9 +68,19 @@ class ChaosEvent:
 
 
 class ChaosPlan:
-    """A deterministic schedule of process-level failures."""
+    """A deterministic schedule of process-level failures.
 
-    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+    ``fault_plan`` optionally folds a simulated
+    :class:`~repro.server.loadtest.FaultPlan` into the same timeline; a
+    :class:`~repro.server.loadtest.ScaleOutLoadTest` given a chaos plan
+    that carries one adopts it as its fault plan.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[ChaosEvent],
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         for event in events:
             if event.kind not in CHAOS_KINDS:
                 raise ConfigurationError(
@@ -68,6 +97,11 @@ class ChaosPlan:
         self._by_batch: Dict[int, List[ChaosEvent]] = {}
         for event in self.events:
             self._by_batch.setdefault(event.at_batch, []).append(event)
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise ConfigurationError(
+                "fault_plan must be a repro.server.loadtest.FaultPlan"
+            )
+        self.fault_plan = fault_plan
 
     def __len__(self) -> int:
         return len(self.events)
@@ -93,6 +127,11 @@ class ChaosPlan:
         stops: int = 0,
         corruptions: int = 0,
         kill_every_worker: bool = True,
+        migration_crashes: int = 0,
+        server_crashes: int = 0,
+        num_servers: int = 0,
+        revive: bool = True,
+        kill_on_migration: bool = True,
     ) -> "ChaosPlan":
         """A reproducible schedule over ``num_batches`` rounds.
 
@@ -103,19 +142,73 @@ class ChaosPlan:
         drawn from ``[1, num_batches)`` — never batch 0, so every worker
         has served at least one round before its first failure (killing a
         never-used worker exercises nothing).
+
+        ``migration_crashes`` / ``server_crashes`` fold simulated
+        control-plane faults into the plan (master-bearing shards only):
+        migrations aborted mid-flight at a drawn crash point, and server
+        crashes on a drawn server out of ``num_servers`` (revived a few
+        rounds later when ``revive``).  The fault draws happen *before*
+        the chaos draws, so the folded :class:`FaultPlan` depends only on
+        ``(seed, num_batches, num_servers)`` and the fault counts — never
+        on the worker count — which is what lets one fault-only reference
+        run serve every worker-count matrix point.  ``kill_on_migration``
+        pairs each migration crash with a round-robin SIGKILL at the same
+        boundary: the load test fires faults before chaos, so the worker
+        dies *mid-migration*, right after the aborted hand-off was
+        checkpointed.
         """
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
-        if num_batches < 2 and (kills or stops or corruptions):
+        if num_batches < 2 and (
+            kills or stops or corruptions or migration_crashes or server_crashes
+        ):
             raise ConfigurationError(
                 "chaos needs at least two batches (events fire from batch 1)"
             )
+        if server_crashes and num_servers < 1:
+            raise ConfigurationError("server_crashes needs num_servers >= 1")
         rng = Random(seed)
         events: List[ChaosEvent] = []
+        fault_events: List[FaultEvent] = []
 
         def draw_batch() -> int:
             return rng.randrange(1, num_batches)
 
+        for _ in range(server_crashes):
+            at_batch = draw_batch()
+            server_id = rng.randrange(num_servers)
+            fault_events.append(
+                FaultEvent(
+                    at_batch=at_batch, kind=CRASH_SERVER, server_id=server_id
+                )
+            )
+            if revive:
+                fault_events.append(
+                    FaultEvent(
+                        at_batch=min(
+                            at_batch + 1 + rng.randrange(3), num_batches - 1
+                        ),
+                        kind=REVIVE_SERVER,
+                        server_id=server_id,
+                    )
+                )
+        for index in range(migration_crashes):
+            at_batch = draw_batch()
+            fault_events.append(
+                FaultEvent(
+                    at_batch=at_batch,
+                    kind=MIGRATION_CRASH,
+                    crash_point=rng.choice(
+                        (CRASH_AFTER_FLUSH, CRASH_AFTER_HANDOFF)
+                    ),
+                )
+            )
+            if kill_on_migration:
+                # No rng draw: the paired victim is round-robin so the
+                # fault schedule above stays worker-count independent.
+                events.append(
+                    ChaosEvent(at_batch, index % num_workers, KILL_WORKER)
+                )
         for index in range(kills):
             if kill_every_worker and index < num_workers:
                 worker = index % num_workers
@@ -131,4 +224,6 @@ class ChaosPlan:
             events.append(
                 ChaosEvent(draw_batch(), rng.randrange(num_workers), kind)
             )
-        return cls(events)
+        return cls(
+            events, fault_plan=FaultPlan(fault_events) if fault_events else None
+        )

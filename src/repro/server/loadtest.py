@@ -696,9 +696,10 @@ class ScaleOutLoadTest(LoadTest):
     Differences from the single-cluster build are confined to the result
     assembly: per-server QPS flattens the shard clusters in
     ``(shard, server)`` order, control-plane counts sum over the shard
-    masters, and ``p99_service_time_s`` is reported as 0.0 (service-time
-    samples stay shard-side; shipping every sample over RPC would defeat
-    the batched framing).
+    masters, and ``p99_service_time_s`` merges every shard's samples in
+    fixed shard order through one read-only scatter at result time (0.0
+    unless the recipes set ``record_service_times``, exactly like the
+    single-cluster build).
     """
 
     def __init__(
@@ -717,6 +718,17 @@ class ScaleOutLoadTest(LoadTest):
             raise ConfigurationError("rebalance_every must be >= 0")
         if rebalance_every > 0 and not cluster.has_master:
             raise ConfigurationError("rebalance_every needs shard tablet masters")
+        # A chaos plan may fold simulated control-plane faults into its
+        # timeline; adopt them so one plan object describes the whole
+        # composed schedule (the fault half also drives the reference run).
+        chaos_faults = getattr(chaos_plan, "fault_plan", None)
+        if chaos_faults is not None and chaos_faults.events:
+            if fault_plan is not None and fault_plan.events:
+                raise ConfigurationError(
+                    "pass simulated faults either as fault_plan or folded "
+                    "into the chaos plan, not both"
+                )
+            fault_plan = chaos_faults
         if fault_plan is not None and not cluster.has_master:
             raise ConfigurationError("a fault plan needs shard tablet masters")
         if chaos_plan is not None and getattr(cluster, "supervisor", None) is None:
@@ -761,24 +773,27 @@ class ScaleOutLoadTest(LoadTest):
         )
 
     def _control_step(self, batch_index: int) -> None:
-        # Chaos fires first: every worker is idle at the batch boundary
-        # (the previous round fully collected, this round's requests not
-        # yet sent), which is what makes a kill's effect on shard state a
-        # pure function of the schedule.
+        # Simulated control-plane events fire first: they are part of the
+        # deterministic workload (visible in ``faults_applied``, replayed
+        # identically by the reference run), and each verb barriers and
+        # checkpoints shard-side.  Chaos fires *last* at the same boundary
+        # — every worker idle again — so a SIGKILL paired with a
+        # MIGRATION_CRASH lands mid-migration, right after the aborted
+        # hand-off (master record, untouched routing) hit the checkpoint,
+        # and the kill's effect stays a pure function of the schedule.
+        if self.cluster.has_master:
+            if self.fault_plan is not None:
+                for event in self.fault_plan.events_at(batch_index):
+                    self._apply_fault(event)
+            if (
+                self.rebalance_every > 0
+                and batch_index > 0
+                and batch_index % self.rebalance_every == 0
+            ):
+                self.cluster.rebalance()
         if self.chaos_plan is not None:
             for event in self.chaos_plan.events_at(batch_index):
                 self.chaos_applied.append(self.cluster.apply_chaos_event(event))
-        if not self.cluster.has_master:
-            return
-        if self.fault_plan is not None:
-            for event in self.fault_plan.events_at(batch_index):
-                self._apply_fault(event)
-        if (
-            self.rebalance_every > 0
-            and batch_index > 0
-            and batch_index % self.rebalance_every == 0
-        ):
-            self.cluster.rebalance()
 
     # ------------------------------------------------------------------
     # Windowed batch loops
@@ -902,7 +917,7 @@ class ScaleOutLoadTest(LoadTest):
             tablet_count=backend.tablet_count(),
             hot_tablet_share=backend.hot_tablet_share(),
             cache_hit_rate=backend.cache_hit_rate(),
-            p99_service_time_s=0.0,
+            p99_service_time_s=self.cluster.service_time_percentile(0.99),
             migrations=migrations - self._master_baseline[0],
             replications=replications - self._master_baseline[1],
             failovers=failovers - self._master_baseline[2],

@@ -78,10 +78,30 @@ class ScaleOutCluster:
         self.clients = backend.clients
         self.recipes = backend.recipes
         self.num_shards = backend.num_shards
-        #: Every recipe is a sibling of the same base, so shard 0 speaks
-        #: for the federation's shape.
-        self.has_master = backend.recipes[0].with_master
-        self.num_servers_per_shard = backend.recipes[0].num_servers
+        # Shard 0 speaks for the federation's shape below, so a mixed
+        # fleet must be rejected here — otherwise e.g. a master on shard 0
+        # only would silently misroute every rebalance tick at the shards
+        # without one.
+        base = backend.recipes[0]
+        for shard_id, recipe in enumerate(backend.recipes):
+            for field_name in (
+                "with_master",
+                "num_servers",
+                "record_service_times",
+                "durable_accounting",
+                "dedup_window",
+            ):
+                if getattr(recipe, field_name) != getattr(base, field_name):
+                    raise ConfigurationError(
+                        f"mixed fleet: shard {shard_id} disagrees with "
+                        f"shard 0 on {field_name} "
+                        f"({getattr(recipe, field_name)!r} != "
+                        f"{getattr(base, field_name)!r}); every recipe must "
+                        "agree on the fields the parent reads from the "
+                        "first recipe"
+                    )
+        self.has_master = base.with_master
+        self.num_servers_per_shard = base.num_servers
         #: Last reported simulated makespan per shard; the cluster-wide
         #: makespan is their max (shards run concurrently in wall-clock
         #: but their simulated clocks are independent).
@@ -704,6 +724,33 @@ class ScaleOutCluster:
         self._barrier()
         return self.backend.scatter("metrics")
 
+    def service_time_percentile(self, quantile: float) -> float:
+        """Simulated per-request service-time percentile over every shard.
+
+        One read-only scatter collects each shard's samples (flattened in
+        server order worker-side); the parent concatenates them in fixed
+        shard order and applies exactly
+        :meth:`repro.server.cluster.ServerCluster.service_time_percentile`'s
+        arithmetic, so the result is identical for every worker count,
+        backend and window size — and 0.0 unless the recipes set
+        ``record_service_times``, matching the single-cluster build.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ConfigurationError("quantile must be in (0, 1]")
+        if not self.recipes[0].record_service_times:
+            # No shard has samples; skip the scatter so non-recording runs
+            # keep their exact pre-p99 wire-frame counts.
+            return 0.0
+        self._barrier()
+        samples: List[float] = []
+        for shard_samples in self.backend.scatter("service_time_samples"):
+            samples.extend(shard_samples)
+        if not samples:
+            return 0.0
+        samples.sort()
+        rank = max(int(len(samples) * quantile) - 1, 0)
+        return samples[rank]
+
     def master_action_counts(self) -> Tuple[int, int, int]:
         """Cumulative ``(migrations, replications, failovers)`` summed
         across shards (all zero without masters)."""
@@ -727,6 +774,12 @@ class ScaleOutCluster:
     def rebalance(self) -> None:
         """Give every shard's master one rebalance tick."""
         self._require_master()
+        # The scatter below is the unsupervised path; sweep-and-heal first
+        # so a worker killed at an earlier boundary — possibly without any
+        # intervening dispatch to detect it — meets a healthy pool with
+        # its master state restored from the checkpoint.
+        if self.supervisor is not None:
+            self.heal_dead_workers()
         self._barrier()
         self.backend.scatter("rebalance")
 
@@ -741,6 +794,10 @@ class ScaleOutCluster:
         semantics applied shard-side.  Returns one description per shard
         (shard order), each tagged with the shard it fired on."""
         self._require_master()
+        # Same heal-before-scatter as :meth:`rebalance`: the begin_call
+        # fan-out below has no retry path of its own.
+        if self.supervisor is not None:
+            self.heal_dead_workers()
         self._barrier()
         pending = [
             (

@@ -18,8 +18,11 @@ Three policies:
 
 ``respawn``
     Lossless healing.  Requires the disk backend with durable accounting
-    (and no tablet master — master decision state is not checkpointed):
-    the replacement restores to the last *acked* batch boundary and the
+    (tablet masters included: the accounting checkpoint carries the
+    master's decision history — migration/replication/failover records —
+    alongside the routing overrides and replica placement, so a respawned
+    shard's master continues byte-identically): the replacement restores
+    to the last *acked* batch boundary and the
     retry layer re-sends anything in flight — under the pipelined engine
     that is the dead worker's **whole in-flight window**, in its original
     send order with its original pinned request ids — so no acked write
@@ -111,11 +114,6 @@ class Supervisor:
                         "durable_accounting on every recipe); use "
                         "'respawn_lossy' for in-memory backends"
                     )
-                if recipe.with_master:
-                    raise ConfigurationError(
-                        "lossless respawn cannot restore a tablet master's "
-                        "decision state; build the shards without a master"
-                    )
         self.backend = backend
         self.policy = policy
         self.retry_policy = retry_policy or rpc.RetryPolicy()
@@ -182,8 +180,10 @@ class Supervisor:
         counter, rebind the worker's shard clients (fresh stream decoders)
         and re-issue ``build_indexer`` per shard — which for the disk
         backend re-attaches the store, replays the journal tail through
-        ``recover()`` and installs the accounting checkpoint before the
-        shard is readmitted to routing.
+        ``recover()`` and installs the accounting checkpoint — including
+        the tablet master's decision history and routing overrides on
+        master-bearing recipes — before the shard is readmitted to
+        routing.
         """
         if self.policy == "fail_fast":
             raise WorkerDiedError(

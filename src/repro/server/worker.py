@@ -74,6 +74,7 @@ _READ_ONLY_VERBS = frozenset(
         "alive_server_indices",
         "servers_alive",
         "server_requests",
+        "service_time_samples",
         "state_signature",
         "full_row_signature",
         "has_table",
@@ -350,9 +351,11 @@ class ShardService:
         The LSM state under the shard already survives SIGKILL exactly
         (manifest + runs + journal tail); this snapshot covers the rest of
         what :meth:`metrics`/``to_report`` can observe — op ledgers, cache
-        residency and tallies, FLAG levels, per-server metrics, routing,
-        contention scalars — plus the exactly-once dedup window and the
-        per-table acked journal watermarks that bound the restore."""
+        residency and tallies, FLAG levels, per-server metrics, routing
+        (primary pins *and* replica placement), contention scalars, the
+        tablet master's decision history — plus the exactly-once dedup
+        window and the per-table acked journal watermarks that bound the
+        restore."""
         cluster = self._require_cluster()
         emulator = self.indexer.emulator
         tablet_counters: Dict[Tuple[str, str], Any] = {}
@@ -403,6 +406,21 @@ class ShardService:
             ),
             "contention": contention,
             "table_seqs": table_seqs,
+            # Tablet-master decision state: the migration / replication /
+            # failover histories (plain frozen dataclasses, the same
+            # objects the control verbs already ship over RPC).  Routing
+            # overrides and replica placement ride the "routing" key above;
+            # together they let a respawned shard's master continue
+            # byte-identically instead of forgetting every decision.
+            "master": (
+                None
+                if self.master is None
+                else (
+                    list(self.master.migrations),
+                    list(self.master.replications),
+                    list(self.master.failovers),
+                )
+            ),
         }
 
     def _install_accounting(self, state: Dict[str, Any]) -> None:
@@ -442,6 +460,14 @@ class ShardService:
             requests_since, factor = state["contention"]
             cluster.contention._requests_since_refresh = requests_since
             cluster.contention._cached_factor = factor
+        # ``.get``: pre-master checkpoints (or masterless recipes) simply
+        # leave the freshly built master's empty histories in place.
+        master_state = state.get("master")
+        if self.master is not None and master_state is not None:
+            migrations, replications, failovers = master_state
+            self.master.migrations = list(migrations)
+            self.master.replications = list(replications)
+            self.master.failovers = list(failovers)
         dedup = state["dedup"]
         self._applied_window = OrderedDict()
         if dedup is not None:
@@ -738,6 +764,16 @@ class ShardService:
             (server.updates_handled, server.queries_handled)
             for server in self._require_cluster().servers
         ]
+
+    def service_time_samples(self) -> List[float]:
+        """Per-request simulated service-time samples, flattened in server
+        order (empty unless the recipe set ``record_service_times``).  The
+        parent merges every shard's samples in fixed shard order and sorts,
+        so the scale-out percentile is identical for every worker count."""
+        samples: List[float] = []
+        for server in self._require_cluster().servers:
+            samples.extend(server.service_time_samples)
+        return samples
 
     # ------------------------------------------------------------------
     # Losslessness signatures

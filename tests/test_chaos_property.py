@@ -207,6 +207,28 @@ class TestLossyAndFailFast:
         finally:
             cluster.close()
 
+    def test_repeated_lossy_respawns_do_not_double_count_lost_updates(self):
+        # The loss ledger pops a shard's acked-update count on heal; a
+        # second heal of the same worker with no acks in between must
+        # forfeit zero, not re-charge what the first heal already counted.
+        cluster = _cluster(
+            "process",
+            1,
+            policy="respawn_lossy",
+            retry=rpc.RetryPolicy(call_deadline_s=15.0),
+        )
+        try:
+            acked = cluster.submit_update_batch(MESSAGES[:64])
+            assert acked > 0
+            supervisor = cluster.supervisor
+            first = supervisor.handle_worker_failure(0, "first lossy heal")
+            assert first.lost_updates == acked
+            second = supervisor.handle_worker_failure(0, "second lossy heal")
+            assert second.lost_updates == 0
+            assert supervisor.metrics_snapshot()["lost_updates"] == acked
+        finally:
+            cluster.close()
+
     def test_fail_fast_propagates_the_first_worker_death(self):
         plan = ChaosPlan([ChaosEvent(1, 0, KILL_WORKER)])
         cluster = _cluster(
@@ -257,9 +279,18 @@ class TestSupervisionGuards:
         with pytest.raises(ConfigurationError, match="respawn_lossy"):
             _cluster("process", 1, policy="respawn")
 
-    def test_lossless_respawn_rejects_masters(self):
-        with pytest.raises(ConfigurationError, match="master"):
-            _cluster("disk", 1, policy="respawn", with_master=True)
+    def test_lossless_respawn_accepts_masters(self):
+        # PR 10: master decision state rides the accounting checkpoint, so
+        # the old refusal is gone — a master-bearing recipe builds under
+        # lossless supervision (the property suite proves the healing in
+        # tests/test_master_supervision_property.py).
+        cluster = _cluster("disk", 1, policy="respawn", with_master=True)
+        try:
+            assert cluster.has_master
+            assert cluster.supervisor is not None
+            assert cluster.supervisor.policy == "respawn"
+        finally:
+            cluster.close()
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ConfigurationError, match="policy"):

@@ -259,6 +259,68 @@ def test_control_plane_is_lossless_across_the_rpc_boundary(backend, seed):
         ), f"seed {seed} ({backend}): NN results diverged"
 
 
+@pytest.mark.parametrize("seed", [1, 4])
+def test_control_plane_survives_supervised_worker_death(seed):
+    """The RPC-boundary property composed with PR 10's supervised masters:
+    the worker hosting the faulted shard is SIGKILLed *twice* mid-workload
+    and healed by a ``respawn`` supervisor, and the final state must still
+    equal the quiet in-process reference draw for draw.  The accounting
+    checkpoint restores the master's decision history and routing
+    overrides, so the replayed control actions continue exactly where the
+    dead worker's master stopped."""
+    from repro.server.scaleout import ScaleOutCluster
+
+    rng = random.Random(3000 + seed)
+    num_objects = rng.choice([400, 800])
+    num_servers = rng.choice([3, 4, 5])
+    batch_size = rng.choice([64, 128, 256])
+    batches = update_batches(rng, num_objects, num_batches=8, batch_size=batch_size)
+    queries = NNQueryWorkload(
+        uniform_leader_indexer(10, seed=1).config.world, k=8, seed=seed
+    ).batch(25)
+
+    reference = uniform_leader_indexer(num_objects, seed=11)
+    reference_cluster = ServerCluster(reference, num_servers=num_servers)
+    for batch in batches:
+        reference_cluster.submit_update_batch(batch)
+        reference_cluster.submit_query_batch(queries[:5])
+
+    cluster = ScaleOutCluster.build(
+        1,
+        backend="disk",
+        num_workers=1,
+        supervision_policy="respawn",
+        num_objects=num_objects,
+        seed=11,
+        num_servers=num_servers,
+        with_master=True,
+        master_options=MasterOptions(replicate_read_share=0.10),
+    )
+    try:
+        client = cluster.clients[0]
+        for round_index, batch in enumerate(batches):
+            if round_index in (2, 5):
+                cluster.backend.pool.kill_worker(0)
+                assert cluster.heal_dead_workers() == 1
+            control_actions_via_client(rng, client, num_servers)
+            cluster.submit_update_batch(batch)
+            cluster.submit_query_batch(queries[:5])
+        snapshot = cluster.recovery_snapshot()
+        assert snapshot["recoveries"] == 2
+        assert snapshot["lost_updates"] == 0
+        assert client.call("state_signature") == _state_signature(reference), (
+            f"seed {seed}: boundaries/keys diverged"
+        )
+        assert client.call("full_row_signature") == full_row_signature(
+            reference
+        ), f"seed {seed}: row contents diverged"
+        assert client.call("nn_signature", queries) == _nn_signature(
+            reference, queries
+        ), f"seed {seed}: NN results diverged"
+    finally:
+        cluster.close()
+
+
 @pytest.mark.parametrize("seed", range(4))
 def test_replicated_query_batches_match_sequential_results(seed):
     """Replica fan-out must return exactly what per-query dispatch returns,
